@@ -1,0 +1,24 @@
+// Figure 14 (appendix) — latency vs throughput for the six YCSB workloads
+// at 256B object size: the companion of Figure 6, sharing its harness.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+int main(int, char**) {
+  // Delegate to the Fig. 6 binary with the 256B flag so the two figures
+  // cannot drift apart.
+  // The bench binaries live side by side; try the sibling path first.
+  for (const char* candidate :
+       {"./bench_fig6_latency_throughput", "build/bench/bench_fig6_latency_throughput",
+        "bench/bench_fig6_latency_throughput"}) {
+    std::string cmd = std::string(candidate) + " --256";
+    if (std::system((std::string("test -x ") + candidate).c_str()) == 0) {
+      return std::system(cmd.c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "bench_fig6_latency_throughput not found next to this binary; "
+               "run it directly with --256\n");
+  return 1;
+}

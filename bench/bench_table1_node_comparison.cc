@@ -1,0 +1,72 @@
+// Table 1 — data store node comparison among embedded node, server JBOF,
+// and SmartNIC JBOF: storage-hierarchy skewness, per-core network/storage
+// computing density, and balls-into-bins maximum load.
+//
+// Paper values (Table 1):
+//   skew:            16 / 64 / 1024
+//   net density:     0.25 / 3.2 / 12.5 GbE per core
+//   storage density: 5K / 125K / 500K IOPS per core
+//   max load:        0.01m+Θ(√0.02m) / 0.33m+Θ(√0.16m) / 0.33m+Θ(√0.16m)
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "analysis/balls_into_bins.h"
+#include "bench/bench_util.h"
+#include "common/rand.h"
+#include "sim/platform.h"
+
+using namespace leed;
+
+int main() {
+  bench::PrintHeader(
+      "Table 1: node comparison (embedded / server JBOF / SmartNIC JBOF)");
+
+  auto pi = sim::RaspberryPiNode();
+  auto server = sim::ServerJbof();
+  auto stingray = sim::StingrayJbof();
+
+  bench::PrintRow({"metric", "embedded", "server-jbof", "smartnic-jbof",
+                   "paper(e/s/sn)"},
+                  16);
+  bench::PrintRow({"flash:DRAM skew", bench::Fmt("%.0f", pi.StorageSkew()),
+                   bench::Fmt("%.0f", server.StorageSkew()),
+                   bench::Fmt("%.0f", stingray.StorageSkew()), "16/64/1024"},
+                  16);
+  bench::PrintRow({"net GbE/core", bench::Fmt("%.2f", pi.NetworkDensityGbps()),
+                   bench::Fmt("%.2f", server.NetworkDensityGbps()),
+                   bench::Fmt("%.2f", stingray.NetworkDensityGbps()),
+                   "0.25/3.2/12.5"},
+                  16);
+  bench::PrintRow({"KIOPS/core",
+                   bench::Fmt("%.1f", pi.StorageDensityIops() / 1e3),
+                   bench::Fmt("%.1f", server.StorageDensityIops() / 1e3),
+                   bench::Fmt("%.1f", stingray.StorageDensityIops() / 1e3),
+                   "5/125/500"},
+                  16);
+
+  // Maximum load: m = 1M req/s over a 100-node embedded cluster vs 3-node
+  // JBOF clusters (the paper's configuration), closed form + Monte Carlo.
+  const double m = 1e6;
+  std::printf("\nMax load for m = 1M req/s (closed form + simulated):\n");
+  bench::PrintRow({"cluster", "mean", "+deviation", "simulated max"}, 16);
+  Rng rng(42);
+  struct Case {
+    const char* name;
+    double n;
+  } cases[] = {{"embedded x100", 100}, {"jbof x3", 3}};
+  for (const auto& c : cases) {
+    auto est = analysis::EstimateMaxLoad(m, c.n);
+    double simulated = analysis::SimulateMaxLoad(
+        static_cast<uint64_t>(m), static_cast<uint64_t>(c.n), 5, rng);
+    bench::PrintRow({c.name, bench::Fmt("%.0f", est.mean),
+                     bench::Fmt("%.0f", est.deviation),
+                     bench::Fmt("%.0f", simulated)},
+                    16);
+  }
+  std::printf(
+      "\nShape check: the 3-node JBOF cluster carries both a 33x higher mean\n"
+      "load per node and a larger absolute deviation term than the 100-node\n"
+      "embedded cluster -- Challenge C3's motivation.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "analysis/balls_into_bins.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace leed::analysis {
+
+MaxLoadEstimate EstimateMaxLoad(double m, double n) {
+  MaxLoadEstimate e;
+  e.mean = m / n;
+  e.deviation = n > 1.0 ? std::sqrt(2.0 * m * std::log(n) / n) : 0.0;
+  e.total = e.mean + e.deviation;
+  return e;
+}
+
+double SimulateMaxLoad(uint64_t m, uint64_t n, uint32_t trials, Rng& rng) {
+  if (n == 0 || trials == 0) return 0.0;
+  double sum = 0.0;
+  std::vector<uint64_t> bins(n);
+  for (uint32_t t = 0; t < trials; ++t) {
+    std::fill(bins.begin(), bins.end(), 0);
+    for (uint64_t b = 0; b < m; ++b) bins[rng.NextBounded(n)]++;
+    sum += static_cast<double>(*std::max_element(bins.begin(), bins.end()));
+  }
+  return sum / trials;
+}
+
+}  // namespace leed::analysis

@@ -1,0 +1,31 @@
+// Balls-into-bins maximum-load analysis (paper §2.3, Table 1).
+//
+// With m requests hashed uniformly onto n nodes and m >> n log n, the
+// maximum per-node load is m/n + Theta(sqrt(m log n / n)) with high
+// probability (Raab & Steger). Fewer, bigger nodes (JBOFs) therefore see a
+// *larger* deviation term than a fleet of wimpy nodes — the paper's
+// Challenge C3. This module provides both the closed-form estimate used in
+// Table 1 and a Monte-Carlo simulation to validate it.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/rand.h"
+
+namespace leed::analysis {
+
+struct MaxLoadEstimate {
+  double mean;       // m / n
+  double deviation;  // sqrt(2 m ln n / n) — the Theta term with constant 2
+  double total;      // mean + deviation
+};
+
+// Closed-form w.h.p. bound for the heavily-loaded regime (m >= n ln n).
+MaxLoadEstimate EstimateMaxLoad(double m, double n);
+
+// Empirical: throw m balls into n bins `trials` times; return the mean of
+// the per-trial maxima.
+double SimulateMaxLoad(uint64_t m, uint64_t n, uint32_t trials, Rng& rng);
+
+}  // namespace leed::analysis

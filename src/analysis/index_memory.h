@@ -1,0 +1,49 @@
+// DRAM-indexing arithmetic for Challenge C1 and the Table 3 capacity rows.
+//
+// Capacity usable by a store = min(flash, objects_indexable * object_size),
+// where objects_indexable = usable DRAM / index bytes-per-object:
+//   FAWN      : 6 B per object (15-bit key fragment + valid bit + 4 B ptr)
+//   SkimpyStash: ~1 B per object (best case, from the paper's discussion)
+//   SILT      : ~0.7 B per object
+//   KVell     : in-memory B-tree + partial free lists + page cache; we model
+//               58 B fixed + 2% of the object size (the page-cache share),
+//               which reproduces the paper's 33 GB / 100 GB usable for
+//               256 B / 1 KB objects on an 8 GB Stingray.
+//   LEED      : one SegTbl entry per *segment* (4 B offset + K bits), i.e.
+//               ~0.03-0.06 B per object with 4 KB buckets — two orders of
+//               magnitude under FAWN, which is what unlocks the full flash.
+//
+// LEED's flash-side overhead (bucket headers, value-entry headers, log
+// headroom) costs < 5% of capacity instead.
+
+#pragma once
+
+#include <cstdint>
+
+namespace leed::analysis {
+
+struct IndexModel {
+  double bytes_per_object;   // DRAM cost per object
+  double flash_overhead;     // fraction of flash lost to store metadata
+};
+
+IndexModel FawnIndexModel();
+IndexModel SkimpyStashIndexModel();
+IndexModel SiltIndexModel();
+IndexModel KvellIndexModel(uint32_t object_size);
+// LEED: derived from the real geometry (items per bucket at this object
+// size, segment-table entry width).
+IndexModel LeedIndexModel(uint32_t object_size, uint32_t bucket_size,
+                          uint32_t key_size, uint32_t chain_bits);
+
+struct CapacityResult {
+  uint64_t indexable_objects;
+  uint64_t usable_bytes;    // min(flash after overhead, indexable * size)
+  double fraction_of_flash; // usable / raw flash
+};
+
+CapacityResult MaxCapacity(const IndexModel& model, uint64_t dram_bytes,
+                           double usable_dram_fraction, uint64_t flash_bytes,
+                           uint32_t object_size);
+
+}  // namespace leed::analysis

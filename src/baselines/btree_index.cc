@@ -1,0 +1,223 @@
+#include "baselines/btree_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace leed::baselines {
+
+// B+-tree: all key/location pairs live in leaves; inner nodes hold
+// separator keys where separator[i] == smallest key of children[i+1]'s
+// subtree. Deletion removes from the leaf without rebalancing (nodes may
+// underflow; empty nodes are pruned) — fine for an index whose workload is
+// overwhelmingly insert/lookup, and documented in CheckInvariants.
+struct BTreeIndex::Node {
+  bool leaf = true;
+  std::vector<std::string> keys;
+  // Leaf payload:
+  std::vector<Location> locs;
+  // Inner children: children.size() == keys.size() + 1.
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+struct BTreeIndex::InsertResult {
+  bool inserted_new = false;
+  // Set when the child split: new right sibling and its smallest key.
+  std::unique_ptr<Node> split_right;
+  std::string split_key;
+};
+
+BTreeIndex::BTreeIndex() : root_(std::make_unique<Node>()) {}
+BTreeIndex::~BTreeIndex() = default;
+
+namespace {
+
+// Index of the child subtree a key belongs to.
+size_t ChildIndex(const std::vector<std::string>& seps, std::string_view key) {
+  size_t i = 0;
+  while (i < seps.size() && key >= seps[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+BTreeIndex::InsertResult BTreeIndex::InsertRec(Node* node, std::string_view key,
+                                               Location loc) {
+  InsertResult result;
+  if (node->leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    size_t idx = static_cast<size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+      node->locs[idx] = loc;  // overwrite
+      return result;
+    }
+    node->keys.insert(it, std::string(key));
+    node->locs.insert(node->locs.begin() + static_cast<long>(idx), loc);
+    result.inserted_new = true;
+    if (node->keys.size() >= kFanout) {
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->leaf = true;
+      right->keys.assign(node->keys.begin() + static_cast<long>(mid), node->keys.end());
+      right->locs.assign(node->locs.begin() + static_cast<long>(mid), node->locs.end());
+      node->keys.resize(mid);
+      node->locs.resize(mid);
+      result.split_key = right->keys.front();
+      result.split_right = std::move(right);
+    }
+    return result;
+  }
+
+  size_t ci = ChildIndex(node->keys, key);
+  InsertResult child = InsertRec(node->children[ci].get(), key, loc);
+  result.inserted_new = child.inserted_new;
+  if (child.split_right) {
+    node->keys.insert(node->keys.begin() + static_cast<long>(ci),
+                      std::move(child.split_key));
+    node->children.insert(node->children.begin() + static_cast<long>(ci) + 1,
+                          std::move(child.split_right));
+    if (node->children.size() > kFanout) {
+      size_t mid = node->keys.size() / 2;  // separator promoted upward
+      auto right = std::make_unique<Node>();
+      right->leaf = false;
+      result.split_key = std::move(node->keys[mid]);
+      right->keys.assign(std::make_move_iterator(node->keys.begin() + static_cast<long>(mid) + 1),
+                         std::make_move_iterator(node->keys.end()));
+      for (size_t i = mid + 1; i < node->children.size(); ++i) {
+        right->children.push_back(std::move(node->children[i]));
+      }
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+      result.split_right = std::move(right);
+    }
+  }
+  return result;
+}
+
+bool BTreeIndex::Insert(std::string_view key, Location loc) {
+  InsertResult r = InsertRec(root_.get(), key, loc);
+  if (r.split_right) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(r.split_key));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(r.split_right));
+    root_ = std::move(new_root);
+  }
+  if (r.inserted_new) ++size_;
+  return r.inserted_new;
+}
+
+std::optional<BTreeIndex::Location> BTreeIndex::Find(std::string_view key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[ChildIndex(node->keys, key)].get();
+  }
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  if (it != node->keys.end() && *it == key) {
+    return node->locs[static_cast<size_t>(it - node->keys.begin())];
+  }
+  return std::nullopt;
+}
+
+bool BTreeIndex::EraseRec(Node* node, std::string_view key) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it == node->keys.end() || *it != key) return false;
+    size_t idx = static_cast<size_t>(it - node->keys.begin());
+    node->keys.erase(it);
+    node->locs.erase(node->locs.begin() + static_cast<long>(idx));
+    return true;
+  }
+  size_t ci = ChildIndex(node->keys, key);
+  Node* child = node->children[ci].get();
+  bool erased = EraseRec(child, key);
+  // Prune empty leaves (no rebalancing).
+  if (erased && child->leaf && child->keys.empty() && node->children.size() > 1) {
+    node->children.erase(node->children.begin() + static_cast<long>(ci));
+    if (ci > 0) {
+      node->keys.erase(node->keys.begin() + static_cast<long>(ci) - 1);
+    } else {
+      node->keys.erase(node->keys.begin());
+    }
+  }
+  return erased;
+}
+
+bool BTreeIndex::Erase(std::string_view key) {
+  bool erased = EraseRec(root_.get(), key);
+  if (erased) --size_;
+  // Collapse a single-child root.
+  while (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  return erased;
+}
+
+int BTreeIndex::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+void BTreeIndex::Visit(
+    const std::function<void(std::string_view, Location)>& fn) const {
+  // Iterative DFS, leaves left-to-right.
+  std::vector<std::pair<const Node*, size_t>> stack;
+  stack.emplace_back(root_.get(), 0);
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (node->leaf) {
+      for (size_t i = 0; i < node->keys.size(); ++i) fn(node->keys[i], node->locs[i]);
+      stack.pop_back();
+      continue;
+    }
+    if (idx >= node->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const Node* child = node->children[idx].get();
+    ++idx;
+    stack.emplace_back(child, 0);
+  }
+}
+
+bool BTreeIndex::CheckInvariants() const {
+  // Keys strictly increase in-order; all leaves at the same depth; node
+  // sizes within bounds.
+  std::string prev;
+  bool first = true;
+  bool ordered = true;
+  Visit([&](std::string_view k, Location) {
+    if (!first && std::string_view(prev) >= k) ordered = false;
+    prev = std::string(k);
+    first = false;
+  });
+  if (!ordered) return false;
+
+  int leaf_depth = -1;
+  bool uniform = true;
+  std::function<void(const Node*, int)> walk = [&](const Node* n, int depth) {
+    if (!uniform) return;
+    if (n->leaf) {
+      if (leaf_depth < 0) leaf_depth = depth;
+      if (depth != leaf_depth) uniform = false;
+      if (n->keys.size() != n->locs.size()) uniform = false;
+      if (n->keys.size() >= kFanout) uniform = false;
+      return;
+    }
+    if (n->children.size() != n->keys.size() + 1) {
+      uniform = false;
+      return;
+    }
+    if (n->children.size() > kFanout) uniform = false;
+    for (const auto& c : n->children) walk(c.get(), depth + 1);
+  };
+  walk(root_.get(), 0);
+  return uniform;
+}
+
+}  // namespace leed::baselines

@@ -1,0 +1,73 @@
+// BaselineExecutor: adapts the FAWN / KVell stores to the StorageService
+// interface so the identical cluster harness (network, replication, flow
+// control, clients) drives all three systems — the paper's methodology for
+// Figs. 5/6 and Table 3.
+//
+// Unlike LEED's IoEngine there is no token admission or data swapping here:
+// both baselines use their own queueing (FAWN's per-store event loop,
+// KVell's per-partition IO depth). Tokens advertised to the flow-control
+// layer are simply remaining queue slack, so LEED's client-side scheduler
+// degrades gracefully into a window limit when pointed at a baseline.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/fawn_store.h"
+#include "baselines/kvell_store.h"
+#include "common/histogram.h"
+#include "engine/storage_service.h"
+#include "sim/cpu_model.h"
+#include "sim/ssd_model.h"
+
+namespace leed::baselines {
+
+enum class BaselineKind : uint8_t { kFawn, kKvell };
+
+struct BaselineConfig {
+  BaselineKind kind = BaselineKind::kFawn;
+  uint32_t ssd_count = 1;
+  uint32_t stores_per_ssd = 1;
+  sim::SsdSpec ssd;
+  uint64_t partition_bytes = 0;  // 0: divide capacity evenly
+  FawnConfig fawn;
+  KvellConfig kvell;
+};
+
+struct BaselineStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  Histogram total_us;
+};
+
+class BaselineExecutor : public engine::StorageService {
+ public:
+  BaselineExecutor(sim::Simulator& simulator, sim::CpuModel& cpu,
+                   BaselineConfig config, uint64_t seed);
+  ~BaselineExecutor() override;
+
+  void Submit(engine::Request request) override;
+  uint32_t num_stores() const override;
+  uint32_t ssd_of_store(uint32_t store_id) const override {
+    return store_id / config_.stores_per_ssd;
+  }
+  uint32_t AvailableTokens(uint32_t ssd) const override;
+
+  sim::SimSsd& ssd(uint32_t i) { return *ssds_[i]; }
+  FawnStore& fawn(uint32_t store_id) { return *fawn_stores_[store_id]; }
+  KvellStore& kvell(uint32_t store_id) { return *kvell_stores_[store_id]; }
+  const BaselineStats& stats() const { return stats_; }
+  const BaselineConfig& config() const { return config_; }
+
+ private:
+  sim::Simulator& sim_;
+  BaselineConfig config_;
+  std::vector<std::unique_ptr<sim::SimSsd>> ssds_;
+  std::vector<std::unique_ptr<FawnStore>> fawn_stores_;
+  std::vector<std::unique_ptr<KvellStore>> kvell_stores_;
+  BaselineStats stats_;
+};
+
+}  // namespace leed::baselines

@@ -1,0 +1,93 @@
+#include "cluster/hash_ring.h"
+
+namespace leed::cluster {
+
+bool HashRing::Insert(VNodeId id, uint64_t position) {
+  if (ring_.count(position) || positions_.count(id)) return false;
+  ring_[position] = id;
+  positions_[id] = position;
+  return true;
+}
+
+bool HashRing::Remove(VNodeId id) {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return false;
+  ring_.erase(it->second);
+  positions_.erase(it);
+  return true;
+}
+
+VNodeId HashRing::PrimaryOf(uint64_t key_hash) const {
+  if (ring_.empty()) return kInvalidVNode;
+  auto it = ring_.lower_bound(key_hash);
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<VNodeId> HashRing::ChainOf(uint64_t key_hash, uint32_t r) const {
+  std::vector<VNodeId> chain;
+  if (ring_.empty()) return chain;
+  auto it = ring_.lower_bound(key_hash);
+  if (it == ring_.end()) it = ring_.begin();
+  const uint32_t take = std::min<uint32_t>(r, static_cast<uint32_t>(ring_.size()));
+  chain.reserve(take);
+  while (chain.size() < take) {
+    chain.push_back(it->second);
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  return chain;
+}
+
+VNodeId HashRing::SuccessorOf(VNodeId id) const {
+  auto pit = positions_.find(id);
+  if (pit == positions_.end() || ring_.size() < 2) return kInvalidVNode;
+  auto it = ring_.upper_bound(pit->second);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::pair<uint64_t, uint64_t> HashRing::ArcOf(VNodeId id) const {
+  uint64_t end = positions_.at(id);
+  if (ring_.size() == 1) return {end, end};  // whole ring
+  auto it = ring_.find(end);
+  uint64_t start = (it == ring_.begin()) ? ring_.rbegin()->first : std::prev(it)->first;
+  return {start, end};
+}
+
+bool HashRing::InArcOf(VNodeId id, uint64_t key_hash) const {
+  auto [start, end] = ArcOf(id);
+  if (start == end) return true;  // single member owns everything
+  if (start < end) return key_hash > start && key_hash <= end;
+  return key_hash > start || key_hash <= end;  // wrapping arc
+}
+
+uint64_t HashRing::WidestArcMidpoint() const {
+  if (ring_.empty()) return UINT64_MAX / 2;
+  if (ring_.size() == 1) return ring_.begin()->first + UINT64_MAX / 2;  // wraps
+  uint64_t best_width = 0;
+  uint64_t best_mid = 0;
+  uint64_t prev = ring_.rbegin()->first;  // predecessor of the first entry
+  for (const auto& [pos, id] : ring_) {
+    (void)id;
+    uint64_t width = pos - prev;  // modular arithmetic handles wrap
+    if (width > best_width) {
+      best_width = width;
+      best_mid = prev + width / 2;
+    }
+    prev = pos;
+  }
+  return best_mid;
+}
+
+std::vector<VNodeId> HashRing::Members() const {
+  std::vector<VNodeId> out;
+  out.reserve(positions_.size());
+  for (const auto& [id, pos] : positions_) {
+    (void)pos;
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace leed::cluster

@@ -1,0 +1,73 @@
+// Consistent-hash ring over virtual nodes (paper §3.1.2, §3.8).
+//
+// LEED divides the key space into partitions and maps each to a (virtual)
+// storage node via consistent hashing, like FAWN. A virtual node owns the
+// ring arc (predecessor position, own position]; the replication chain for
+// a key is the R consecutive virtual nodes clockwise from its hash.
+// Node join splits an existing arc in two ("each virtual node splits the
+// key range of a chosen partition into two"); leave merges the arc into
+// the successor.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace leed::cluster {
+
+using VNodeId = uint32_t;
+constexpr VNodeId kInvalidVNode = UINT32_MAX;
+
+class HashRing {
+ public:
+  // Returns false if the position is already taken.
+  bool Insert(VNodeId id, uint64_t position);
+  bool Remove(VNodeId id);
+  bool Contains(VNodeId id) const { return positions_.count(id) != 0; }
+
+  size_t size() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
+
+  // First virtual node at-or-clockwise-from the hash (the chain head).
+  VNodeId PrimaryOf(uint64_t key_hash) const;
+
+  // The R distinct virtual nodes clockwise from the hash: chain[0] is the
+  // head, chain[r-1] the tail. Fewer than r entries if the ring is small.
+  std::vector<VNodeId> ChainOf(uint64_t key_hash, uint32_t r) const;
+
+  // Next virtual node clockwise after `id` (the node that inherits its arc
+  // on leave). kInvalidVNode if the ring has no other member.
+  VNodeId SuccessorOf(VNodeId id) const;
+
+  uint64_t PositionOf(VNodeId id) const { return positions_.at(id); }
+
+  // The arc (start, end] owned by `id`, as a pair; start==end means the
+  // whole ring (single member). Wrapping is expressed by start > end.
+  std::pair<uint64_t, uint64_t> ArcOf(VNodeId id) const;
+
+  // Does `key_hash` fall in the arc owned by `id`?
+  bool InArcOf(VNodeId id, uint64_t key_hash) const;
+
+  // Midpoint of the widest arc — where a joining virtual node should land
+  // to halve the largest partition.
+  uint64_t WidestArcMidpoint() const;
+
+  // Convenience: hash a key onto the ring (one fixed seed for placement —
+  // independent from the data store's segment hash).
+  static uint64_t KeyPosition(std::string_view key) {
+    return HashKey(key, 0x12196ULL);  // ring-placement seed
+  }
+
+  std::vector<VNodeId> Members() const;
+
+ private:
+  std::map<uint64_t, VNodeId> ring_;        // position -> vnode
+  std::map<VNodeId, uint64_t> positions_;   // vnode -> position
+};
+
+}  // namespace leed::cluster

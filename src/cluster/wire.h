@@ -1,0 +1,71 @@
+// Control-plane message types (paper §3.1.2, §3.8).
+//
+// These flow over the simulated network between the control-plane manager
+// (the etcd-backed service in the paper) and the JBOF nodes / clients.
+// Payload structs ride in sim::Message::payload (std::any); wire size is
+// charged explicitly by the sender.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/membership.h"
+#include "sim/network.h"
+
+namespace leed::cluster {
+
+struct ViewUpdateMsg {
+  ClusterView view;
+};
+
+// Client asking the control plane for the current view (after a NACK).
+struct ViewRequestMsg {
+  sim::EndpointId reply_to = sim::kInvalidEndpoint;
+};
+
+struct HeartbeatMsg {
+  uint32_t node = 0;
+};
+
+// Control plane -> node owning `src`: stream every live item whose ring
+// position lies in (range_start, range_end] to `dst`.
+struct CopyCommandMsg {
+  uint64_t copy_id = 0;
+  VNodeId src = kInvalidVNode;
+  VNodeId dst = kInvalidVNode;
+  uint32_t dst_node = 0;
+  sim::EndpointId dst_endpoint = sim::kInvalidEndpoint;
+  uint64_t range_start = 0;
+  uint64_t range_end = 0;
+  uint64_t transition_epoch = 0;
+};
+
+// One copied item, node -> node. `last` marks the end of the stream.
+struct CopyItemMsg {
+  uint64_t copy_id = 0;
+  VNodeId dst = kInvalidVNode;
+  uint64_t transition_epoch = 0;
+  std::string key;
+  std::vector<uint8_t> value;
+  bool last = false;
+};
+
+// Destination node -> control plane once the final item is durable.
+struct CopyDoneMsg {
+  uint64_t copy_id = 0;
+  VNodeId dst = kInvalidVNode;
+};
+
+// Approximate wire sizes (header + payload), for honest bandwidth charging.
+constexpr uint64_t kControlHeaderBytes = 48;
+
+inline uint64_t WireSize(const ViewUpdateMsg& m) {
+  return kControlHeaderBytes + m.view.vnodes.size() * 24 + m.view.filling.size() * 28;
+}
+inline uint64_t WireSize(const CopyItemMsg& m) {
+  return kControlHeaderBytes + m.key.size() + m.value.size();
+}
+
+}  // namespace leed::cluster

@@ -1,0 +1,20 @@
+#include "common/hash.h"
+
+namespace leed {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashKey(std::string_view key, uint64_t seed) {
+  // FNV gives a fast pass over the bytes; Mix64 with the seed folded in
+  // fixes FNV's weak high bits and derives independent functions per seed.
+  return Mix64(Fnv1a64(key) ^ Mix64(seed + 0x6a09e667f3bcc909ULL));
+}
+
+}  // namespace leed

@@ -1,0 +1,45 @@
+// Hash functions used by LEED.
+//
+// The paper's data store derives three things from a key hash:
+//   * the segment id (which SegTbl slot a key belongs to),
+//   * the 4-byte bucket index tag used for in-bucket key-hash matching,
+//   * the consistent-hash position of the key on the ring.
+// All three must be cheap (SmartNIC cores are the scarce resource) and well
+// mixed. We provide FNV-1a for short tags and a 64-bit xx-style avalanche
+// mix for everything that feeds placement decisions.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace leed {
+
+// 64-bit FNV-1a over an arbitrary byte string.
+uint64_t Fnv1a64(std::string_view data);
+
+// Strong 64-bit mix (xxhash/splitmix-style finalizer). Good avalanche; used
+// to derive independent sub-hashes from one key hash via different seeds.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Hash of a key with a seed; distinct seeds give effectively independent
+// hash functions (needed for ring placement vs. segment choice so that
+// hot ring ranges do not map to hot segments).
+uint64_t HashKey(std::string_view key, uint64_t seed = 0);
+
+// The 4-byte bucket-index tag stored in each on-flash bucket (paper §3.2.3):
+// a fingerprint of the key hash used for fast in-bucket matching before
+// comparing full keys.
+inline uint32_t BucketTag(uint64_t key_hash) {
+  return static_cast<uint32_t>(Mix64(key_hash ^ 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace leed

@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace leed {
+
+Histogram::Histogram() : buckets_((kMaxExponent + 1) * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(double value) {
+  if (value <= 0.0) return 0;
+  int exponent;
+  double mantissa = std::frexp(value, &exponent);  // mantissa in [0.5, 1)
+  if (exponent < 0) exponent = 0;
+  if (exponent > kMaxExponent) exponent = kMaxExponent;
+  // Map mantissa [0.5, 1) -> [0, kSubBuckets).
+  int sub = static_cast<int>((mantissa - 0.5) * 2.0 * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return exponent * kSubBuckets + sub;
+}
+
+double Histogram::BucketMidpoint(int index) {
+  int exponent = index / kSubBuckets;
+  int sub = index % kSubBuckets;
+  double lo = std::ldexp(0.5 + 0.5 * sub / kSubBuckets, exponent);
+  double hi = std::ldexp(0.5 + 0.5 * (sub + 1) / kSubBuckets, exponent);
+  return 0.5 * (lo + hi);
+}
+
+void Histogram::Record(double value) { RecordN(value, 1); }
+
+void Histogram::RecordN(double value, uint64_t n) {
+  if (n == 0) return;
+  int idx = BucketIndex(value);
+  buckets_[idx] += n;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double Histogram::min() const { return count_ ? min_ : 0.0; }
+
+double Histogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based, ceil like HdrHistogram).
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      double v = BucketMidpoint(static_cast<int>(i));
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f%s p50=%.1f%s p99=%.1f%s p999=%.1f%s max=%.1f%s",
+                static_cast<unsigned long long>(count_), Mean(), unit.c_str(),
+                P50(), unit.c_str(), P99(), unit.c_str(), P999(), unit.c_str(),
+                max(), unit.c_str());
+  return buf;
+}
+
+}  // namespace leed

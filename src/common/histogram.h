@@ -1,0 +1,60 @@
+// Log-bucketed latency histogram (HDR-style).
+//
+// Tail latency is a pivotal metric in the paper (99.9th percentile in
+// Figs. 7, 8, 10), so we need percentile queries that stay accurate across
+// five orders of magnitude (sub-microsecond CPU costs to multi-millisecond
+// overload queueing) with O(1) recording. We bucket values by
+// (exponent, sub-bucket) like HdrHistogram: within each power-of-two range,
+// kSubBuckets linear sub-buckets bound relative error to 1/kSubBuckets.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leed {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  void RecordN(double value, uint64_t count);
+
+  // Merge another histogram into this one (for per-core -> global rollups).
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const { return max_; }
+  double Mean() const;
+
+  // q in [0, 1]; Percentile(0.999) is the 99.9th percentile.
+  double Percentile(double q) const;
+
+  double P50() const { return Percentile(0.50); }
+  double P99() const { return Percentile(0.99); }
+  double P999() const { return Percentile(0.999); }
+
+  // "count=... mean=... p50=... p99=... p999=... max=..." for bench output.
+  std::string Summary(const std::string& unit = "us") const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets => <=1.6% error
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMaxExponent = 40;   // values up to ~2^40
+
+  static int BucketIndex(double value);
+  static double BucketMidpoint(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace leed

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for the simulator and
+// workload generators.
+//
+// Everything in a LEED simulation must be reproducible from a single seed:
+// benches print the seed so a run can be replayed exactly. We use
+// xoshiro256** (Blackman & Vigna) — fast, high quality, and trivially
+// seedable from SplitMix64 as its authors recommend.
+
+#pragma once
+
+#include <cstdint>
+
+namespace leed {
+
+// SplitMix64: used only to expand a user seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x1eed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Exponentially distributed value with the given mean (> 0). Used for
+  // Poisson (open-loop) client arrival processes.
+  double NextExponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace leed

@@ -1,0 +1,42 @@
+#include "common/status.h"
+
+namespace leed {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kOutOfSpace:
+      return "out_of_space";
+    case StatusCode::kBusy:
+      return "busy";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kWrongView:
+      return "wrong_view";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace leed

@@ -1,0 +1,31 @@
+// Size and time units.
+//
+// All simulated time in LEED is kept as integer nanoseconds (SimTime);
+// doubles are only used at the reporting boundary. All sizes are bytes.
+
+#pragma once
+
+#include <cstdint>
+
+namespace leed {
+
+using SimTime = int64_t;  // nanoseconds since simulation start
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr double ToMicros(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+constexpr uint64_t KiB = 1024;
+constexpr uint64_t MiB = 1024 * KiB;
+constexpr uint64_t GiB = 1024 * MiB;
+constexpr uint64_t TiB = 1024 * GiB;
+
+// Bytes-per-nanosecond from a link rate in Gbit/s.
+constexpr double GbpsToBytesPerNs(double gbps) { return gbps / 8.0; }
+
+}  // namespace leed

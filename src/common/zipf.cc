@@ -1,0 +1,53 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace leed {
+
+double ZetaSum(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, bool scramble)
+    : n_(n == 0 ? 1 : n), theta_(theta), scramble_(scramble) {
+  zetan_ = ZetaSum(n_, theta_);
+  zeta2_ = ZetaSum(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfGenerator::RankToItem(uint64_t rank) const {
+  if (!scramble_) return rank;
+  // FNV-style scramble of the rank, reduced into [0, n). Collisions merge a
+  // cold item into a hotter one — acceptable and standard in YCSB.
+  return Mix64(rank ^ 0x5bd1e995ULL) % n_;
+}
+
+uint64_t ZipfGenerator::HottestItem() const { return RankToItem(0); }
+
+double ZipfGenerator::TopItemProbability() const { return 1.0 / zetan_; }
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (theta_ <= 0.0) return rng.NextBounded(n_);
+  // Gray et al., "Quickly generating billion-record synthetic databases".
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_) rank = n_ - 1;
+  }
+  return RankToItem(rank);
+}
+
+}  // namespace leed

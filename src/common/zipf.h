@@ -1,0 +1,54 @@
+// Zipf-distributed key sampling.
+//
+// The paper's skew experiments (Figs. 7, 8, 10) sweep the Zipf skewness
+// theta over {0.1 .. 0.99}; YCSB's default "zipfian" request distribution is
+// theta = 0.99. We implement the YCSB/Gray et al. scrambled-zipfian
+// construction: a zeta-normalized inverse-CDF sampler over ranks, with an
+// optional scramble so that hot keys are spread across the key space (rank
+// 0 is the hottest *logical* item, but its key id is pseudo-random — this is
+// what makes consistent hashing see point-hotspots rather than hot ranges).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/rand.h"
+
+namespace leed {
+
+class ZipfGenerator {
+ public:
+  // n: number of items (>=1). theta: skewness in [0, 1); theta==0 degenerates
+  // to uniform. scramble: map ranks through a hash so hot items are spread.
+  ZipfGenerator(uint64_t n, double theta, bool scramble = true);
+
+  // Sample an item id in [0, n).
+  uint64_t Next(Rng& rng);
+
+  // The rank of the hottest item after scrambling (useful in tests: this id
+  // receives the largest request share).
+  uint64_t HottestItem() const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // P(rank 0) = 1/zeta(n, theta): the request share of the hottest item.
+  double TopItemProbability() const;
+
+ private:
+  uint64_t RankToItem(uint64_t rank) const;
+
+  uint64_t n_;
+  double theta_;
+  bool scramble_;
+  double zetan_;    // zeta(n, theta)
+  double alpha_;    // 1 / (1 - theta)
+  double eta_;
+  double zeta2_;    // zeta(2, theta)
+};
+
+// Partial zeta sum: sum_{i=1..n} 1/i^theta. O(n) but memoized by callers; n
+// in our scaled experiments is <= ~10^7 so this is fine at setup time.
+double ZetaSum(uint64_t n, double theta);
+
+}  // namespace leed

@@ -1,0 +1,270 @@
+#include "engine/io_engine.h"
+
+#include <algorithm>
+
+namespace leed::engine {
+
+IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
+                   EngineConfig config, uint64_t seed)
+    : sim_(simulator), cpu_(cpu), config_(std::move(config)) {
+  const uint32_t n_ssd = config_.ssd_count;
+  const uint32_t per = config_.stores_per_ssd;
+
+  ssds_.reserve(n_ssd);
+  per_ssd_.reserve(n_ssd);
+  for (uint32_t i = 0; i < n_ssd; ++i) {
+    ssds_.push_back(std::make_unique<sim::SimSsd>(sim_, config_.ssd, seed + i * 7919));
+    per_ssd_.push_back(std::make_unique<PerSsd>(config_));
+  }
+
+  // Geometry: [partition 0 | partition 1 | ... | swap region] per SSD.
+  const uint64_t cap = config_.ssd.capacity_bytes;
+  const uint64_t swap_bytes = static_cast<uint64_t>(cap * config_.swap_fraction);
+  uint64_t part = config_.partition_bytes;
+  if (part == 0) part = (cap - swap_bytes) / per;
+  part = std::min<uint64_t>(part, (cap - swap_bytes) / per);
+  const uint64_t key_bytes = static_cast<uint64_t>(part * config_.key_log_fraction);
+  const uint64_t val_bytes = part - key_bytes;
+
+  for (uint32_t i = 0; i < n_ssd; ++i) {
+    uint64_t swap_base = cap - swap_bytes;
+    uint64_t swap_key = static_cast<uint64_t>(swap_bytes * config_.key_log_fraction);
+    swap_key_logs_.push_back(
+        std::make_unique<log::CircularLog>(*ssds_[i], swap_base, swap_key));
+    swap_value_logs_.push_back(std::make_unique<log::CircularLog>(
+        *ssds_[i], swap_base + swap_key, swap_bytes - swap_key));
+  }
+
+  std::shared_ptr<store::CompactionGate> gate;
+  if (config_.max_concurrent_compactions > 0) {
+    gate = std::make_shared<store::CompactionGate>();
+    gate->max = config_.max_concurrent_compactions;
+  }
+  for (uint32_t i = 0; i < n_ssd; ++i) {
+    for (uint32_t s = 0; s < per; ++s) {
+      uint64_t base = static_cast<uint64_t>(s) * part;
+      auto key_log = std::make_unique<log::CircularLog>(*ssds_[i], base, key_bytes);
+      auto value_log =
+          std::make_unique<log::CircularLog>(*ssds_[i], base + key_bytes, val_bytes);
+
+      store::StoreConfig sc = config_.store_template;
+      sc.compaction_gate = gate;
+      sc.store_id = i * per + s;
+      sc.home_ssd = static_cast<uint8_t>(i);
+      store::LogSet home{static_cast<uint8_t>(i), key_log.get(), value_log.get()};
+      auto ds = std::make_unique<store::DataStore>(sim_, cpu_.core(i), home, sc);
+      // Register every other SSD's swap region as a potential donor (and the
+      // read path for data parked there).
+      for (uint32_t j = 0; j < n_ssd; ++j) {
+        if (j == i) continue;
+        ds->AddLogSet(store::LogSet{static_cast<uint8_t>(j), swap_key_logs_[j].get(),
+                                    swap_value_logs_[j].get()});
+      }
+      home_logs_.push_back(std::move(key_log));
+      home_logs_.push_back(std::move(value_log));
+      stores_.push_back(std::move(ds));
+    }
+  }
+
+  if (config_.enable_data_swap && n_ssd > 1) {
+    swap_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, config_.swap_check_period, [this] { SwapCheck(); });
+    swap_timer_->Start();
+  }
+}
+
+IoEngine::~IoEngine() = default;
+
+void IoEngine::ResetStats() { stats_ = EngineStats{}; }
+
+void IoEngine::set_data_swap_enabled(bool on) {
+  config_.enable_data_swap = on;
+  if (!on) {
+    for (auto& s : stores_) s->SetSwapTarget(std::nullopt);
+    if (swap_timer_) swap_timer_->Stop();
+  } else if (swap_timer_ && !swap_timer_->running()) {
+    swap_timer_->Start();
+  }
+}
+
+void IoEngine::Submit(Request req) {
+  stats_.submitted++;
+  req.enqueued_at = sim_.Now();
+  // §3.6: a swapped write is routed "from one SSD's waiting queue to
+  // another one's active queue" — it is admitted against the DONOR's
+  // tokens and queue, which is what actually relieves the overloaded SSD.
+  uint32_t ssd = ssd_of_store(req.store_id);
+  if (req.type != OpType::kGet) {
+    if (auto donor = stores_[req.store_id]->swap_target()) ssd = *donor;
+  }
+  PerSsd& p = *per_ssd_[ssd];
+  const uint32_t cost = TokenCost(p.tokens.config(), req.type);
+
+  if (!admission_control_ || p.tokens.TryTake(cost)) {
+    if (!admission_control_) p.tokens.TryTake(cost);  // best-effort accounting
+    Execute(ssd, std::move(req));
+    return;
+  }
+  if (p.waiting.TryPush(std::move(req))) {
+    stats_.waited++;
+    return;
+  }
+  // Waiting queue full: the SSD is overloaded; reject so flow control can
+  // back-pressure the client (§3.4/§3.5).
+  stats_.rejected_overloaded++;
+  ResponseMeta meta;
+  meta.available_tokens = p.tokens.available();
+  meta.ssd = ssd;
+  // `req` was moved into TryPush only on success; on failure it is intact.
+  auto cb = std::move(req.callback);
+  cb(Status::Overloaded("waiting queue full"), {}, meta);
+}
+
+void IoEngine::Execute(uint32_t ssd, Request req) {
+  stats_.executed++;
+  PerSsd& p = *per_ssd_[ssd];
+  p.active++;
+  const SimTime started = sim_.Now();
+  const SimTime queued = started - req.enqueued_at;
+  stats_.queue_us.Record(ToMicros(queued));
+
+  store::DataStore& ds = *stores_[req.store_id];
+  const uint32_t cost = TokenCost(p.tokens.config(), req.type);
+
+  auto shared = std::make_shared<Request>(std::move(req));
+  switch (shared->type) {
+    case OpType::kGet:
+      ds.Get(shared->key, [this, ssd, cost, started, shared](
+                              Status st, std::vector<uint8_t> value) {
+        OnComplete(ssd, cost, started, *shared, std::move(st), std::move(value));
+      });
+      break;
+    case OpType::kPut:
+      ds.Put(shared->key, shared->value, [this, ssd, cost, started, shared](Status st) {
+        OnComplete(ssd, cost, started, *shared, std::move(st), {});
+      });
+      break;
+    case OpType::kDel:
+      ds.Del(shared->key, [this, ssd, cost, started, shared](Status st) {
+        OnComplete(ssd, cost, started, *shared, std::move(st), {});
+      });
+      break;
+  }
+}
+
+void IoEngine::OnComplete(uint32_t ssd, uint32_t cost, SimTime started,
+                          Request& req, Status status, std::vector<uint8_t> value) {
+  stats_.completed++;
+  PerSsd& p = *per_ssd_[ssd];
+  p.active = p.active > 0 ? p.active - 1 : 0;
+
+  const SimTime service = sim_.Now() - started;
+  stats_.service_us.Record(ToMicros(service));
+  stats_.total_us.Record(ToMicros(sim_.Now() - req.enqueued_at));
+
+  // Feed the token pool the measured per-IO latency (service time divided
+  // by the command's access count approximates one device IO).
+  p.tokens.OnIoCompleted(service / std::max(1u, cost));
+  p.tokens.Refund(cost);
+
+  ResponseMeta meta;
+  meta.available_tokens = AvailableTokensFor(ssd, req.tenant);
+  meta.ssd = ssd;
+  meta.server_time_ns = sim_.Now() - req.enqueued_at;
+  req.callback(std::move(status), std::move(value), meta);
+
+  PumpWaiting(ssd);
+}
+
+uint32_t IoEngine::AvailableTokensFor(uint32_t ssd, uint32_t tenant) const {
+  const uint32_t available = per_ssd_[ssd]->tokens.available();
+  const auto& weights = config_.tenant_weights;
+  if (weights.empty()) return available;
+  double total = 0;
+  for (double w : weights) total += w;
+  // Tenants beyond the configured vector carry weight 1 conceptually, but
+  // the advertised split only covers configured tenants; others get the
+  // smallest configured share so they stay live.
+  double mine = tenant < weights.size()
+                    ? weights[tenant]
+                    : *std::min_element(weights.begin(), weights.end());
+  if (total <= 0) return available;
+  return static_cast<uint32_t>(static_cast<double>(available) * mine / total);
+}
+
+void IoEngine::PumpWaiting(uint32_t ssd) {
+  PerSsd& p = *per_ssd_[ssd];
+  while (const Request* front = p.waiting.Front()) {
+    const uint32_t cost = TokenCost(p.tokens.config(), front->type);
+    if (!p.tokens.TryTake(cost)) break;  // FCFS: no reordering past the head
+    auto req = p.waiting.TryPop();
+    Execute(ssd, std::move(*req));
+  }
+}
+
+void IoEngine::SwapCheck() {
+  if (!config_.enable_data_swap) return;
+  const uint32_t n = config_.ssd_count;
+
+  // Reclaim: if nothing anywhere references swap regions, reset them all.
+  bool any_swapped = false;
+  for (const auto& s : stores_) {
+    if (s->swapped_segments() > 0 || s->swap_target()) {
+      any_swapped = true;
+      break;
+    }
+  }
+  if (!any_swapped) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (swap_key_logs_[j]->used() > 0 || swap_value_logs_[j]->used() > 0) {
+        swap_key_logs_[j]->Reset();
+        swap_value_logs_[j]->Reset();
+        stats_.swap_reclaims++;
+      }
+    }
+  }
+
+  // Occupancy-gap detection: overloaded SSD -> most-available donor. An SSD
+  // only counts as overloaded once its waiting queue is substantially
+  // occupied (hysteresis) — transient depth noise between equally-loaded
+  // SSDs must not trigger swapping, which costs cross-SSD writes and a
+  // merge-back later.
+  const size_t occupancy_floor = config_.wait_queue_capacity / 4;
+  for (uint32_t i = 0; i < n; ++i) {
+    size_t my_depth = per_ssd_[i]->waiting.Size();
+    uint32_t best = i;
+    size_t best_depth = my_depth;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      size_t d = per_ssd_[j]->waiting.Size();
+      if (d < best_depth) {
+        best_depth = d;
+        best = j;
+      }
+    }
+    const bool overloaded =
+        best != i && my_depth >= occupancy_floor &&
+        my_depth >= best_depth + config_.swap_gap_threshold &&
+        my_depth >= best_depth * 2;  // relative gap: uniform overload is not
+                                     // imbalance, however deep the queues
+    // Release hysteresis: once swapping, keep absorbing until the home
+    // queue has genuinely drained — flapping on every check period costs a
+    // merge-back per flap.
+    const bool drained = my_depth < occupancy_floor / 2;
+    for (uint32_t s = 0; s < config_.stores_per_ssd; ++s) {
+      auto& ds = stores_[i * config_.stores_per_ssd + s];
+      if (overloaded) {
+        if (!ds->swap_target()) {
+          ds->SetSwapTarget(static_cast<uint8_t>(best));
+          stats_.swap_activations++;
+        }
+      } else if (ds->swap_target() && drained) {
+        ds->SetSwapTarget(std::nullopt);
+        // Nudge merge-back now that the burst has passed.
+        ds->MaybeCompact();
+      }
+    }
+  }
+}
+
+}  // namespace leed::engine

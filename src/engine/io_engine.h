@@ -1,0 +1,165 @@
+// Intra-JBOF I/O execution engine (paper §3.4) + data swapping (§3.6).
+//
+// One IoEngine drives the storage side of a SmartNIC JBOF:
+//   * static core<->device mapping: the data store of SSD i runs on core i
+//     (no dispatcher core — LEED takes the load-agnostic pipeline and adds
+//     admission control rather than burning a core on load-aware dispatch);
+//   * per-SSD active queue (in-flight commands holding tokens) and a
+//     shallow bounded waiting queue (lock-free ring), FCFS;
+//   * token admission: a command executes only when the SSD's token pool —
+//     continuously rescaled from measured per-IO latency — covers its cost;
+//     a full waiting queue rejects with kOverloaded, which the inter-JBOF
+//     flow control turns into client-side throttling;
+//   * data swapping: a periodic watchdog compares waiting-queue occupancy
+//     across the JBOF's SSDs and temporarily redirects overloaded PUT
+//     traffic to the most-available donor SSD's swap region; the region is
+//     wholesale-reclaimed once compaction has merged everything home.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "engine/spsc_ring.h"
+#include "engine/storage_service.h"
+#include "engine/token_bucket.h"
+#include "sim/cpu_model.h"
+#include "sim/platform.h"
+#include "sim/simulator.h"
+#include "sim/ssd_model.h"
+#include "store/data_store.h"
+
+namespace leed::engine {
+
+struct EngineConfig {
+  uint32_t ssd_count = 4;
+  uint32_t stores_per_ssd = 4;
+  sim::SsdSpec ssd;
+  store::StoreConfig store_template;
+  TokenConfig tokens;
+  size_t wait_queue_capacity = 256;
+
+  // Partition geometry: each store gets partition_bytes of its SSD, split
+  // key/value log by key_log_fraction; swap_fraction of each SSD is the
+  // shared swap region. If partition_bytes is 0 the engine divides the
+  // whole non-swap capacity evenly.
+  uint64_t partition_bytes = 0;
+  double key_log_fraction = 0.5;
+  double swap_fraction = 0.10;
+
+  // Data swapping (§3.6).
+  bool enable_data_swap = true;
+  SimTime swap_check_period = 500 * kMicrosecond;
+  size_t swap_gap_threshold = 24;  // waiting-queue occupancy gap
+
+  // Weighted token allocation across co-located tenants (§3.5). Empty =>
+  // every tenant is advertised the full pool (single-tenant deployments).
+  // tenant_weights[t] is tenant t's share weight; tenants beyond the
+  // vector get weight 1.
+  std::vector<double> tenant_weights;
+
+  // Cap on co-scheduled compaction runs across this JBOF's stores
+  // (Fig. 13b's inter-parallelism knob). 0 = unlimited.
+  uint32_t max_concurrent_compactions = 0;
+};
+
+struct EngineStats {
+  uint64_t submitted = 0;
+  uint64_t executed = 0;
+  uint64_t completed = 0;
+  uint64_t rejected_overloaded = 0;
+  uint64_t waited = 0;            // requests that sat in a waiting queue
+  uint64_t swap_activations = 0;  // times a store was pointed at a donor
+  uint64_t swap_reclaims = 0;     // swap regions wholesale-reset
+  Histogram queue_us;             // waiting-queue residence
+  Histogram service_us;           // store execution time
+  Histogram total_us;             // submit -> completion on this node
+};
+
+class IoEngine : public StorageService {
+ public:
+  // Uses cores [0, ssd_count) of `cpu` for the per-SSD data stores.
+  IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu, EngineConfig config,
+           uint64_t seed);
+  ~IoEngine() override;
+
+  IoEngine(const IoEngine&) = delete;
+  IoEngine& operator=(const IoEngine&) = delete;
+
+  // Submit a request. Completion (or an immediate kOverloaded rejection)
+  // arrives through req.callback.
+  void Submit(Request req) override;
+
+  uint32_t num_stores() const override {
+    return static_cast<uint32_t>(stores_.size());
+  }
+  uint32_t ssd_of_store(uint32_t store_id) const override {
+    return store_id / config_.stores_per_ssd;
+  }
+  store::DataStore& data_store(uint32_t store_id) { return *stores_[store_id]; }
+  sim::SimSsd& ssd(uint32_t i) { return *ssds_[i]; }
+  uint32_t ssd_count() const { return config_.ssd_count; }
+
+  // Flow-control signals.
+  uint32_t AvailableTokens(uint32_t ssd) const override {
+    return per_ssd_[ssd]->tokens.available();
+  }
+  // The share of `ssd`'s available tokens advertised to `tenant` under the
+  // configured weights.
+  uint32_t AvailableTokensFor(uint32_t ssd, uint32_t tenant) const;
+  size_t WaitQueueDepth(uint32_t ssd) const { return per_ssd_[ssd]->waiting.Size(); }
+  size_t ActiveCount(uint32_t ssd) const { return per_ssd_[ssd]->active; }
+
+  const EngineStats& stats() const { return stats_; }
+  void ResetStats();
+  const EngineConfig& config() const { return config_; }
+
+  // Enable/disable the token-based admission (the "load-aware scheduling"
+  // knob of Fig. 8; disabled = pure FCFS fire-and-forget).
+  void set_admission_control(bool on) { admission_control_ = on; }
+  bool admission_control() const { return admission_control_; }
+
+  void set_data_swap_enabled(bool on);
+
+  // The donor a store is currently swapping to (tests / Fig. 10).
+  std::optional<uint8_t> SwapTargetOf(uint32_t store_id) const {
+    return stores_[store_id]->swap_target();
+  }
+
+ private:
+  struct PerSsd {
+    explicit PerSsd(const EngineConfig& cfg)
+        : tokens(cfg.tokens), waiting(cfg.wait_queue_capacity) {}
+    TokenPool tokens;
+    SpscRing<Request> waiting;
+    size_t active = 0;
+  };
+
+  void Execute(uint32_t ssd, Request req);
+  void OnComplete(uint32_t ssd, uint32_t cost, SimTime started, Request& req,
+                  Status status, std::vector<uint8_t> value);
+  void PumpWaiting(uint32_t ssd);
+  void SwapCheck();
+
+  sim::Simulator& sim_;
+  sim::CpuModel& cpu_;
+  EngineConfig config_;
+  EngineStats stats_;
+  bool admission_control_ = true;
+
+  std::vector<std::unique_ptr<sim::SimSsd>> ssds_;
+  // Per-SSD swap region logs (index = donor SSD).
+  std::vector<std::unique_ptr<log::CircularLog>> swap_key_logs_;
+  std::vector<std::unique_ptr<log::CircularLog>> swap_value_logs_;
+  // Per-store home logs, ordered [ssd][slot].
+  std::vector<std::unique_ptr<log::CircularLog>> home_logs_;
+  std::vector<std::unique_ptr<store::DataStore>> stores_;
+  std::vector<std::unique_ptr<PerSsd>> per_ssd_;
+  std::unique_ptr<sim::PeriodicTimer> swap_timer_;
+};
+
+}  // namespace leed::engine

@@ -1,0 +1,94 @@
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// The paper's intra-JBOF engine "uses a lockless concurrent queue
+// everywhere in the system (e.g., the NIC/SSD ring buffer) for inter-core
+// communication" (§3.4). This is that queue: a bounded power-of-two ring
+// with acquire/release publication, wait-free on both sides, one cache
+// line per index to avoid false sharing between the producer and consumer.
+//
+// Inside the (single-threaded, deterministic) simulation it is used as a
+// plain bounded FIFO; its atomics are exercised for real by the
+// multi-threaded stress tests in tests/engine/spsc_ring_test.cc.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace leed::engine {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two; usable slots = capacity.
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity + 1) cap <<= 1;  // one slot sacrificed for full/empty
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when full, in which case `value` is left
+  // untouched (the move only happens on success — callers rely on being
+  // able to reject the intact object).
+  bool TryPush(T&& value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+  bool TryPush(const T& value) {
+    T copy = value;
+    return TryPush(std::move(copy));
+  }
+
+  // Consumer side. Returns nullopt when empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  // Consumer-side peek without consuming.
+  const T* Front() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return nullptr;
+    return &slots_[tail];
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  // Approximate (exact when called from either endpoint's thread).
+  size_t Size() const {
+    const size_t h = head_.load(std::memory_order_acquire);
+    const size_t t = tail_.load(std::memory_order_acquire);
+    return (h - t) & mask_;
+  }
+
+  size_t Capacity() const { return mask_; }
+
+ private:
+  static constexpr size_t kCacheLine = 64;
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<size_t> head_{0};  // producer-owned
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace leed::engine

@@ -1,0 +1,35 @@
+#include "flowctl/flow_control.h"
+
+namespace leed::flowctl {
+
+SsdAccount& TokenView::Account(SsdRef ref) {
+  auto [it, inserted] = accounts_.try_emplace(ref);
+  if (inserted) it->second.tokens = initial_tokens_;
+  return it->second;
+}
+
+const SsdAccount* TokenView::Find(SsdRef ref) const {
+  auto it = accounts_.find(ref);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+void TokenView::OnSend(SsdRef ref, uint32_t token_cost) {
+  SsdAccount& a = Account(ref);
+  a.tokens -= token_cost;
+  if (a.tokens < 0) a.tokens = 0;
+  a.outstanding++;
+}
+
+void TokenView::OnResponse(SsdRef ref, uint32_t available_tokens, SimTime now) {
+  SsdAccount& a = Account(ref);
+  a.tokens = available_tokens;
+  a.last_update = now;
+  if (a.outstanding > 0) a.outstanding--;
+}
+
+void TokenView::OnResponseNoTokens(SsdRef ref) {
+  SsdAccount& a = Account(ref);
+  if (a.outstanding > 0) a.outstanding--;
+}
+
+}  // namespace leed::flowctl

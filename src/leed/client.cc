@@ -1,0 +1,258 @@
+#include "leed/client.h"
+
+#include <algorithm>
+
+#include "replication/chain.h"
+
+namespace leed {
+
+using cluster::VNodeId;
+
+Client::Client(sim::Simulator& simulator, sim::Network& network,
+               sim::EndpointId control_plane,
+               const std::map<uint32_t, sim::EndpointId>* node_endpoints,
+               ClientConfig config)
+    : sim_(simulator),
+      net_(network),
+      cp_endpoint_(control_plane),
+      node_endpoints_(node_endpoints),
+      config_(std::move(config)),
+      token_view_(config_.initial_tokens) {
+  endpoint_ = net_.AddEndpoint(config_.nic);
+  net_.SetReceiver(endpoint_, [this](sim::Message m) { OnMessage(std::move(m)); });
+  scheduler_ = std::make_unique<flowctl::FlowScheduler>(token_view_,
+                                                        config_.flow_control);
+  for (uint32_t i = 0; i < config_.num_tenants; ++i) scheduler_->AddTenant();
+}
+
+Client::~Client() = default;
+
+void Client::AdoptView(cluster::ClusterView view) {
+  if (view.epoch <= view_.epoch) return;
+  view_ = std::move(view);
+  serving_ring_ = view_.ServingRing();
+}
+
+void Client::Get(std::string key, GetCallback callback) {
+  auto op = std::make_shared<Inflight>();
+  op->op = engine::OpType::kGet;
+  op->key = std::move(key);
+  op->get_cb = std::move(callback);
+  StartOp(std::move(op));
+}
+
+void Client::Put(std::string key, std::vector<uint8_t> value, OpCallback callback) {
+  auto op = std::make_shared<Inflight>();
+  op->op = engine::OpType::kPut;
+  op->key = std::move(key);
+  op->value = std::move(value);
+  op->op_cb = std::move(callback);
+  StartOp(std::move(op));
+}
+
+void Client::Del(std::string key, OpCallback callback) {
+  auto op = std::make_shared<Inflight>();
+  op->op = engine::OpType::kDel;
+  op->key = std::move(key);
+  op->op_cb = std::move(callback);
+  StartOp(std::move(op));
+}
+
+void Client::StartOp(std::shared_ptr<Inflight> op) {
+  stats_.issued++;
+  op->first_issued = sim_.Now();
+  op->tenant = tenant_rr_++ % std::max(1u, config_.num_tenants);
+  Issue(std::move(op));
+}
+
+bool Client::Route(const std::string& key, engine::OpType optype,
+                   VNodeId* vnode, uint8_t* hop, flowctl::SsdRef* target) const {
+  const uint64_t pos = cluster::HashRing::KeyPosition(key);
+  auto chain = serving_ring_.ChainOf(pos, view_.replication_factor);
+  if (chain.empty()) return false;
+
+  int idx = 0;
+  if (optype == engine::OpType::kGet) {
+    // Candidate replicas: not filling for this key. CRRS picks the one
+    // advertising the most tokens; baseline CR uses the tail.
+    int best = -1;
+    int64_t best_tokens = INT64_MIN;
+    for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
+      if (view_.IsFilling(chain[i], pos)) continue;
+      const cluster::VNodeInfo* info = view_.Find(chain[i]);
+      if (!info) continue;
+      if (!config_.crrs_reads) {
+        best = i;  // tail-most non-filling member
+        break;
+      }
+      flowctl::SsdRef ref{info->owner_node,
+                          info->local_store / std::max(1u, config_.stores_per_ssd)};
+      const flowctl::SsdAccount* acct = token_view_.Find(ref);
+      int64_t tokens = acct ? acct->tokens : config_.initial_tokens;
+      if (tokens > best_tokens) {
+        best_tokens = tokens;
+        best = i;
+      }
+    }
+    if (best < 0) return false;
+    idx = best;
+  } else {
+    idx = 0;  // writes enter at the head
+  }
+
+  const cluster::VNodeInfo* info = view_.Find(chain[idx]);
+  if (!info) return false;
+  *vnode = chain[idx];
+  *hop = static_cast<uint8_t>(idx);
+  *target = flowctl::SsdRef{info->owner_node,
+                            info->local_store / std::max(1u, config_.stores_per_ssd)};
+  return true;
+}
+
+void Client::Issue(std::shared_ptr<Inflight> op) {
+  VNodeId vnode;
+  uint8_t hop;
+  flowctl::SsdRef target;
+  if (!Route(op->key, op->op, &vnode, &hop, &target)) {
+    // No routable chain yet (bootstrap or transition): retry later.
+    RetryLater(op, config_.retry_delay);
+    return;
+  }
+  const cluster::VNodeInfo* info = view_.Find(vnode);
+  auto ep_it = node_endpoints_->find(info->owner_node);
+  if (ep_it == node_endpoints_->end()) {
+    RetryLater(op, config_.retry_delay);
+    return;
+  }
+  const sim::EndpointId node_ep = ep_it->second;
+
+  const uint64_t req_id = next_req_id_++;
+  op->attempts++;
+  op->last_target = target;
+  inflight_[req_id] = op;
+
+  ClientRequestMsg msg;
+  msg.req_id = req_id;
+  msg.op = op->op;
+  msg.key = op->key;
+  if (op->op == engine::OpType::kPut) msg.value = op->value;
+  msg.vnode = vnode;
+  msg.hop = hop;
+  msg.view_epoch = view_.epoch;
+  msg.tenant = config_.tenant_id;
+  msg.reply_to = endpoint_;
+
+  flowctl::OutRequest out;
+  out.target = target;
+  out.token_cost = engine::TokenCost(config_.token_costs, op->op);
+  out.send = [this, req_id, m = std::move(msg), node_ep]() mutable {
+    stats_.sends++;
+    auto it = inflight_.find(req_id);
+    if (it == inflight_.end()) return;  // timed out while queued
+    it->second->timeout_event = sim_.Schedule(
+        config_.request_timeout, [this, req_id] { OnTimeout(req_id); });
+    net_.Send(endpoint_, node_ep, WireSize(m), std::move(m));
+  };
+  scheduler_->Enqueue(op->tenant, std::move(out));
+}
+
+void Client::OnMessage(sim::Message msg) {
+  if (auto* view = std::any_cast<cluster::ViewUpdateMsg>(&msg.payload)) {
+    AdoptView(std::move(view->view));
+    return;
+  }
+  if (auto* resp = std::any_cast<ResponseMsg>(&msg.payload)) {
+    OnResponse(std::move(*resp));
+    return;
+  }
+}
+
+void Client::OnResponse(ResponseMsg resp) {
+  auto it = inflight_.find(resp.req_id);
+  // Token feedback applies even for stale (post-timeout) responses.
+  flowctl::SsdRef ref{resp.node, resp.ssd};
+  if (resp.has_tokens) {
+    scheduler_->OnResponse(ref, resp.tokens, sim_.Now());
+  } else {
+    scheduler_->OnResponseNoTokens(ref);
+  }
+  if (it == inflight_.end()) return;
+  auto op = it->second;
+  inflight_.erase(it);
+  if (op->timeout_event) {
+    sim_.Cancel(op->timeout_event);
+    op->timeout_event = 0;
+  }
+
+  switch (resp.code) {
+    case StatusCode::kOk:
+      Complete(op, Status::Ok(), std::move(resp.value));
+      return;
+    case StatusCode::kNotFound:
+      Complete(op, Status::NotFound(), {});
+      return;
+    case StatusCode::kWrongView:
+      stats_.nacks++;
+      RequestViewRefresh();
+      RetryLater(op, config_.retry_delay);
+      return;
+    case StatusCode::kOverloaded:
+      stats_.overloads++;
+      RetryLater(op, config_.retry_delay);
+      return;
+    case StatusCode::kUnavailable:
+      RetryLater(op, config_.retry_delay * 4);
+      return;
+    default:
+      Complete(op, Status(resp.code, "server error"), {});
+      return;
+  }
+}
+
+void Client::OnTimeout(uint64_t req_id) {
+  auto it = inflight_.find(req_id);
+  if (it == inflight_.end()) return;
+  auto op = it->second;
+  inflight_.erase(it);
+  op->timeout_event = 0;
+  stats_.timeouts++;
+  // Release the outstanding slot so the Nagle probe can fire again.
+  scheduler_->OnResponseNoTokens(op->last_target);
+  RequestViewRefresh();  // the target may be dead
+  RetryLater(op, config_.retry_delay * 4);
+}
+
+void Client::RetryLater(std::shared_ptr<Inflight> op, SimTime delay) {
+  if (op->attempts >= config_.max_retries) {
+    Complete(op, Status::Unavailable("retries exhausted"), {});
+    return;
+  }
+  stats_.retries++;
+  sim_.Schedule(delay, [this, op] { Issue(op); });
+}
+
+void Client::Complete(std::shared_ptr<Inflight> op, Status st,
+                      std::vector<uint8_t> value) {
+  const SimTime latency = sim_.Now() - op->first_issued;
+  if (st.ok()) {
+    stats_.ok++;
+  } else if (st.IsNotFound()) {
+    stats_.not_found++;
+  } else {
+    stats_.failed++;
+  }
+  stats_.latency_us.Record(ToMicros(latency));
+  if (op->op == engine::OpType::kGet) {
+    op->get_cb(std::move(st), std::move(value), latency);
+  } else {
+    op->op_cb(std::move(st), latency);
+  }
+}
+
+void Client::RequestViewRefresh() {
+  cluster::ViewRequestMsg req;
+  req.reply_to = endpoint_;
+  net_.Send(endpoint_, cp_endpoint_, cluster::kControlHeaderBytes, std::move(req));
+}
+
+}  // namespace leed

@@ -1,0 +1,111 @@
+// ClusterSim: builds a complete simulated deployment — control plane,
+// storage nodes (LEED / FAWN / KVell stacks on their respective platforms),
+// clients — and drives measured workload runs. This is the harness every
+// bench and example uses; it corresponds to the paper's testbed rack.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/control_plane.h"
+#include "common/histogram.h"
+#include "leed/client.h"
+#include "leed/node.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "workload/ycsb.h"
+
+namespace leed {
+
+struct ClusterConfig {
+  uint32_t num_nodes = 3;
+  NodeConfig node;  // template applied to every node
+  uint32_t num_clients = 2;
+  ClientConfig client;
+  cluster::ControlPlaneConfig control_plane;
+  uint64_t seed = 0x1eed;
+};
+
+struct RunResult {
+  uint64_t completed = 0;  // ok + not_found
+  uint64_t errors = 0;
+  double duration_s = 0;
+  double throughput_qps = 0;
+  Histogram latency_us;
+  double cluster_power_w = 0;  // storage nodes only, like the paper's meters
+  double energy_j = 0;
+  double queries_per_joule = 0;
+  // Optional time series (Fig. 9): one entry per bucket, throughput in QPS.
+  std::vector<std::pair<double, double>> timeline;  // (seconds, qps)
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(ClusterConfig config);
+  ~ClusterSim();
+
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  // Create the initial virtual nodes (equally spaced, consecutive arcs on
+  // distinct physical nodes so chains span JBOFs), start everything, and
+  // settle the first view.
+  void Bootstrap();
+
+  // Load keys [0, num_keys) with generator-deterministic values, written
+  // directly to every replica's store (bypassing the network — this stands
+  // in for the hours-long load phase of the real testbed).
+  void Preload(uint64_t num_keys, uint32_t value_size);
+
+  struct DriveOptions {
+    uint32_t concurrency_per_client = 64;  // closed-loop window
+    double open_loop_qps = 0;              // >0: Poisson open loop instead
+    SimTime warmup = 50 * kMillisecond;
+    SimTime duration = 500 * kMillisecond;
+    SimTime timeline_bucket = 0;  // >0: collect throughput buckets (Fig. 9)
+    // Called at measurement start (after warmup) — e.g. to kick a join.
+    std::function<void()> at_measure_start;
+  };
+
+  RunResult Run(workload::YcsbGenerator& generator, const DriveOptions& options);
+
+  // --- membership operations (Fig. 9) ---
+  // Adds a fresh node and joins one vnode per store. Returns node id.
+  uint32_t JoinNode();
+  // Gracefully drains and removes every vnode of `node_id`.
+  void LeaveNode(uint32_t node_id);
+  // Fail-stop the node (heartbeats stop; control plane detects).
+  void KillNode(uint32_t node_id);
+
+  sim::Simulator& simulator() { return *sim_; }
+  sim::Network& network() { return *net_; }
+  cluster::ControlPlane& control_plane() { return *cp_; }
+  Node& node(uint32_t i) { return *nodes_[i]; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  Client& client(uint32_t i) { return *clients_[i]; }
+  uint32_t num_clients() const { return static_cast<uint32_t>(clients_.size()); }
+  const ClusterConfig& config() const { return config_; }
+
+  // Mean power over a window given per-core busy-time deltas.
+  double ClusterPowerWatts(const std::vector<std::vector<SimTime>>& busy_at_start,
+                           SimTime window) const;
+
+ private:
+  std::vector<std::vector<SimTime>> SnapshotBusy() const;
+  void PumpUntilIdleOr(SimTime deadline);
+
+  ClusterConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<cluster::ControlPlane> cp_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::map<uint32_t, sim::EndpointId> node_endpoints_;
+};
+
+}  // namespace leed

@@ -1,0 +1,643 @@
+#include "leed/node.h"
+
+#include <algorithm>
+
+namespace leed {
+
+using cluster::VNodeId;
+using replication::PendingWrite;
+
+Node::Node(sim::Simulator& simulator, sim::Network& network,
+           sim::EndpointId control_plane, NodeConfig config, uint32_t node_id,
+           uint64_t seed)
+    : sim_(simulator),
+      net_(network),
+      cp_endpoint_(control_plane),
+      config_(std::move(config)),
+      node_id_(node_id) {
+  const auto& plat = config_.platform;
+  cpu_ = std::make_unique<sim::CpuModel>(sim_, plat.cores, plat.freq_ghz);
+  endpoint_ = net_.AddEndpoint(plat.nic);
+  net_.SetReceiver(endpoint_, [this](sim::Message m) { OnMessage(std::move(m)); });
+
+  if (config_.stack == StackKind::kLeed) {
+    leed_engine_ = std::make_unique<engine::IoEngine>(sim_, *cpu_, config_.engine,
+                                                      seed ^ 0xeed);
+    storage_ = leed_engine_.get();
+  } else {
+    baseline_ = std::make_unique<baselines::BaselineExecutor>(
+        sim_, *cpu_, config_.baseline, seed ^ 0xba5e);
+    storage_ = baseline_.get();
+  }
+}
+
+Node::~Node() = default;
+
+void Node::Start() {
+  hb_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, config_.heartbeat_period, [this] {
+        if (failed_) return;
+        net_.Send(endpoint_, cp_endpoint_, cluster::kControlHeaderBytes,
+                  cluster::HeartbeatMsg{node_id_});
+      });
+  hb_timer_->Start();
+}
+
+void Node::Fail() {
+  failed_ = true;
+  if (hb_timer_) hb_timer_->Stop();
+}
+
+double Node::PowerWatts(SimTime window_ns) const {
+  return sim::NodePowerWatts(config_.platform.power,
+                             cpu_->MeanUtilization(window_ns));
+}
+
+sim::CpuCore& Node::NetCore() {
+  const uint32_t cores = cpu_->num_cores();
+  if (config_.stack == StackKind::kLeed) {
+    // §3.4 static mapping: storage cores [0, ssd_count), polling cores
+    // [ssd_count, cores-1), control core last.
+    uint32_t first = std::min(config_.engine.ssd_count, cores - 1);
+    uint32_t count = cores > first + 1 ? cores - 1 - first : 1;
+    uint32_t idx = first + (net_core_rr_++ % count);
+    return cpu_->core(std::min(idx, cores - 1));
+  }
+  return cpu_->core(net_core_rr_++ % cores);
+}
+
+template <typename M>
+void Node::SendMsg(sim::EndpointId to, M msg) {
+  if (to == sim::kInvalidEndpoint) return;
+  NetCore().Charge(config_.net_tx_cycles);
+  uint64_t bytes = WireSize(msg);
+  net_.Send(endpoint_, to, bytes, std::move(msg));
+}
+
+// Explicit specialization-free helper for control messages without WireSize.
+template <>
+void Node::SendMsg(sim::EndpointId to, cluster::CopyDoneMsg msg) {
+  if (to == sim::kInvalidEndpoint) return;
+  NetCore().Charge(config_.net_tx_cycles);
+  net_.Send(endpoint_, to, cluster::kControlHeaderBytes, std::move(msg));
+}
+
+std::vector<VNodeId> Node::ChainForKey(std::string_view key) const {
+  return serving_ring_.ChainOf(cluster::HashRing::KeyPosition(key),
+                               view_.replication_factor);
+}
+
+const cluster::VNodeInfo* Node::OwnedVNode(VNodeId id) const {
+  const cluster::VNodeInfo* info = view_.Find(id);
+  if (!info || info->owner_node != node_id_) return nullptr;
+  return info;
+}
+
+void Node::OnMessage(sim::Message msg) {
+  if (failed_) return;  // fail-stop: silently drop
+  NetCore().Run(config_.net_rx_cycles,
+                [this, m = std::move(msg)]() mutable { Dispatch(std::move(m)); });
+}
+
+void Node::Dispatch(sim::Message msg) {
+  if (failed_) return;
+  if (auto* req = std::any_cast<ClientRequestMsg>(&msg.payload)) {
+    HandleClientRequest(std::move(*req));
+    return;
+  }
+  if (auto* w = std::any_cast<ChainWriteMsg>(&msg.payload)) {
+    HandleChainWrite(std::move(*w));
+    return;
+  }
+  if (auto* a = std::any_cast<ChainAckMsg>(&msg.payload)) {
+    HandleChainAck(std::move(*a));
+    return;
+  }
+  if (auto* v = std::any_cast<cluster::ViewUpdateMsg>(&msg.payload)) {
+    HandleViewUpdate(std::move(*v));
+    return;
+  }
+  if (auto* c = std::any_cast<cluster::CopyCommandMsg>(&msg.payload)) {
+    HandleCopyCommand(std::move(*c));
+    return;
+  }
+  if (auto* i = std::any_cast<cluster::CopyItemMsg>(&msg.payload)) {
+    HandleCopyItem(std::move(*i));
+    return;
+  }
+  if (auto* q = std::any_cast<CraqQueryMsg>(&msg.payload)) {
+    HandleCraqQuery(std::move(*q));
+    return;
+  }
+  if (auto* rep = std::any_cast<CraqReplyMsg>(&msg.payload)) {
+    HandleCraqReply(std::move(*rep));
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client requests
+// ---------------------------------------------------------------------------
+
+void Node::HandleClientRequest(ClientRequestMsg req) {
+  stats_.client_requests++;
+  if (req.op == engine::OpType::kGet) {
+    HandleGet(std::move(req));
+    return;
+  }
+  // Writes enter at the head of the chain.
+  const cluster::VNodeInfo* info = OwnedVNode(req.vnode);
+  if (!info) {
+    SendNack(req.reply_to, req.req_id);
+    return;
+  }
+  auto chain = ChainForKey(req.key);
+  if (chain.empty() || chain[0] != req.vnode || req.hop != 0) {
+    SendNack(req.reply_to, req.req_id);
+    return;
+  }
+  stats_.writes_headed++;
+  ChainWriteMsg w;
+  w.write_id = MakeWriteId();
+  w.is_del = (req.op == engine::OpType::kDel);
+  w.key = std::move(req.key);
+  w.value = std::move(req.value);
+  w.vnode = req.vnode;
+  w.hop = 0;
+  w.view_epoch = view_.epoch;
+  w.reply_to = req.reply_to;
+  w.req_id = req.req_id;
+  HandleChainWrite(std::move(w));
+}
+
+void Node::HandleGet(ClientRequestMsg req) {
+  const cluster::VNodeInfo* info = OwnedVNode(req.vnode);
+  if (!info) {
+    SendNack(req.reply_to, req.req_id);
+    return;
+  }
+  auto chain = ChainForKey(req.key);
+  const uint64_t keypos = cluster::HashRing::KeyPosition(req.key);
+  const int idx = replication::IndexIn(chain, req.vnode);
+  if (idx < 0 || (!req.shipped && idx != req.hop)) {
+    stats_.nacks_sent++;
+    SendNack(req.reply_to, req.req_id);
+    return;
+  }
+
+  auto& rep = replicas_[req.vnode];
+  const bool is_tail = (idx == static_cast<int>(chain.size()) - 1);
+  const bool filling = view_.IsFilling(req.vnode, keypos);
+  const bool dirty = rep.IsDirty(req.key);
+  // CRAQ ablation: a dirty (but data-complete) replica resolves the read
+  // with a version query to the tail instead of shipping it.
+  if (config_.crrs && config_.craq_version_query && dirty && !filling &&
+      !req.shipped && !is_tail) {
+    VNodeId tail = chain.back();
+    const cluster::VNodeInfo* tinfo = view_.Find(tail);
+    if (tinfo && node_endpoints_ && node_endpoints_->count(tinfo->owner_node)) {
+      stats_.craq_queries_sent++;
+      uint64_t qid = next_craq_id_++;
+      craq_pending_[qid] = std::move(req);
+      CraqQueryMsg query;
+      query.query_id = qid;
+      query.key = craq_pending_[qid].key;
+      query.tail_vnode = tail;
+      query.reply_to = endpoint_;
+      SendMsg(node_endpoints_->at(tinfo->owner_node), std::move(query));
+      return;
+    }
+  }
+
+  const bool must_ship =
+      !req.shipped &&
+      (filling ||                                        // incomplete data here
+       (config_.crrs && !config_.craq_version_query && dirty) ||  // CRRS ship
+       (!config_.crrs && !is_tail));                     // baseline CR: tail only
+
+  if (must_ship) {
+    // Ship to the tail-most chain member that is not filling for this key
+    // (§3.7: the tail always commits the latest write).
+    VNodeId target = cluster::kInvalidVNode;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (*it == req.vnode) continue;
+      if (view_.IsFilling(*it, keypos)) continue;
+      target = *it;
+      break;
+    }
+    const cluster::VNodeInfo* tinfo = target != cluster::kInvalidVNode
+                                          ? view_.Find(target)
+                                          : nullptr;
+    if (!tinfo || !node_endpoints_ || !node_endpoints_->count(tinfo->owner_node)) {
+      RespondToClient(req.reply_to, req.req_id, StatusCode::kUnavailable, {},
+                      info->local_store, false);
+      return;
+    }
+    stats_.reads_shipped++;
+    ClientRequestMsg shipped = std::move(req);
+    shipped.vnode = target;
+    shipped.shipped = true;
+    SendMsg(node_endpoints_->at(tinfo->owner_node), std::move(shipped));
+    return;
+  }
+
+  ServeGetLocally(std::move(req), info->local_store);
+}
+
+void Node::ServeGetLocally(ClientRequestMsg req, uint32_t local_store) {
+  engine::Request sreq;
+  sreq.type = engine::OpType::kGet;
+  sreq.key = std::move(req.key);
+  sreq.store_id = local_store;
+  sreq.tenant = req.tenant;
+  auto reply_to = req.reply_to;
+  auto req_id = req.req_id;
+  sreq.callback = [this, reply_to, req_id, local_store](
+                      Status st, std::vector<uint8_t> value,
+                      engine::ResponseMeta meta) {
+    stats_.gets_served++;
+    RespondToClient(reply_to, req_id, st.code(), std::move(value), local_store,
+                    true, meta.available_tokens);
+  };
+  storage_->Submit(std::move(sreq));
+}
+
+void Node::HandleCraqQuery(CraqQueryMsg query) {
+  // The tail is the serialization point (§3.7): answering here orders the
+  // read against every committed write.
+  stats_.craq_queries_answered++;
+  CraqReplyMsg reply;
+  reply.query_id = query.query_id;
+  SendMsg(query.reply_to, std::move(reply));
+}
+
+void Node::HandleCraqReply(CraqReplyMsg reply) {
+  auto it = craq_pending_.find(reply.query_id);
+  if (it == craq_pending_.end()) return;
+  ClientRequestMsg req = std::move(it->second);
+  craq_pending_.erase(it);
+  const cluster::VNodeInfo* info = OwnedVNode(req.vnode);
+  if (!info) {
+    SendNack(req.reply_to, req.req_id);
+    return;
+  }
+  // Serve the last *committed* local copy (pending writes have not been
+  // applied to the store yet, so the store read is exactly the committed
+  // version the tail serialized us against).
+  ServeGetLocally(std::move(req), info->local_store);
+}
+
+// ---------------------------------------------------------------------------
+// Chain writes
+// ---------------------------------------------------------------------------
+
+void Node::HandleChainWrite(ChainWriteMsg w) {
+  stats_.chain_writes++;
+  const cluster::VNodeInfo* info = OwnedVNode(w.vnode);
+  if (!info) {
+    SendNack(w.reply_to, w.req_id);
+    return;
+  }
+  auto chain = ChainForKey(w.key);
+  const int idx = replication::IndexIn(chain, w.vnode);
+  if (idx < 0 || idx != w.hop) {
+    stats_.nacks_sent++;
+    SendNack(w.reply_to, w.req_id);
+    return;
+  }
+  auto& rep = replicas_[w.vnode];
+  if (rep.SeenApplied(w.write_id)) return;  // duplicate after re-forward
+  rep.RecordChainWrite(w.key);
+
+  PendingWrite pw;
+  pw.write_id = w.write_id;
+  pw.is_del = w.is_del;
+  pw.key = w.key;
+  pw.value = w.value;
+  pw.reply_to = w.reply_to;
+  pw.req_id = w.req_id;
+  pw.view_epoch = w.view_epoch;
+
+  const bool is_tail = (idx == static_cast<int>(chain.size()) - 1);
+  if (is_tail) {
+    CommitAsTail(w.vnode, std::move(pw), chain);
+    return;
+  }
+  rep.AddPending(std::move(pw));
+  // Forward to the successor.
+  VNodeId next = chain[idx + 1];
+  const cluster::VNodeInfo* ninfo = view_.Find(next);
+  if (!ninfo || !node_endpoints_ || !node_endpoints_->count(ninfo->owner_node)) {
+    return;  // successor unknown; a view update will re-forward
+  }
+  ChainWriteMsg fwd = std::move(w);
+  fwd.vnode = next;
+  fwd.hop = static_cast<uint8_t>(idx + 1);
+  SendMsg(node_endpoints_->at(ninfo->owner_node), std::move(fwd));
+}
+
+void Node::CommitAsTail(VNodeId vnode, PendingWrite w,
+                        const std::vector<VNodeId>& chain) {
+  stats_.commits_as_tail++;
+  auto& rep = replicas_[vnode];
+  rep.RecordChainWrite(w.key);
+  auto shared = std::make_shared<PendingWrite>(std::move(w));
+  ApplyLocal(vnode, shared->is_del, shared->key, shared->value,
+             [this, vnode, shared, chain](Status st) {
+    auto& r = replicas_[vnode];
+    r.MarkApplied(shared->write_id);
+    const cluster::VNodeInfo* info = OwnedVNode(vnode);
+    const uint32_t store = info ? info->local_store : 0;
+    RespondToClient(shared->reply_to, shared->req_id, st.code(), {}, store, true);
+    SendAckBackward(chain, vnode, shared->write_id, shared->key, st.ok());
+  });
+}
+
+void Node::SendAckBackward(const std::vector<VNodeId>& chain, VNodeId self,
+                           uint64_t write_id, const std::string& key,
+                           bool success) {
+  VNodeId prev = replication::PrevIn(chain, self);
+  if (prev == cluster::kInvalidVNode) return;
+  const cluster::VNodeInfo* pinfo = view_.Find(prev);
+  if (!pinfo || !node_endpoints_ || !node_endpoints_->count(pinfo->owner_node))
+    return;
+  ChainAckMsg ack;
+  ack.write_id = write_id;
+  ack.key = key;
+  ack.vnode = prev;
+  ack.success = success;
+  SendMsg(node_endpoints_->at(pinfo->owner_node), std::move(ack));
+}
+
+void Node::HandleChainAck(ChainAckMsg ack) {
+  stats_.chain_acks++;
+  const cluster::VNodeInfo* info = OwnedVNode(ack.vnode);
+  if (!info) return;
+  auto& rep = replicas_[ack.vnode];
+  auto pw = rep.TakePending(ack.write_id);
+  if (!pw) return;
+  auto chain = ChainForKey(ack.key);
+  if (!ack.success) {
+    // Aborted at the tail: roll back by dropping the pending buffer
+    // (§3.8.2's failed-tail old-value semantics) and propagate.
+    SendAckBackward(chain, ack.vnode, ack.write_id, ack.key, false);
+    return;
+  }
+  auto shared = std::make_shared<PendingWrite>(std::move(*pw));
+  ApplyLocal(ack.vnode, shared->is_del, shared->key, shared->value,
+             [this, vnode = ack.vnode, shared, chain](Status) {
+    replicas_[vnode].MarkApplied(shared->write_id);
+    SendAckBackward(chain, vnode, shared->write_id, shared->key, true);
+  });
+}
+
+void Node::ApplyLocal(VNodeId vnode, bool is_del, std::string key,
+                      std::vector<uint8_t> value,
+                      std::function<void(Status)> done) {
+  const cluster::VNodeInfo* info = view_.Find(vnode);
+  if (!info || info->owner_node != node_id_) {
+    done(Status::Unavailable("vnode moved away"));
+    return;
+  }
+  engine::Request req;
+  req.type = is_del ? engine::OpType::kDel : engine::OpType::kPut;
+  req.key = key;
+  req.value = value;
+  req.store_id = info->local_store;
+  req.callback = [this, vnode, is_del, key, value, done](
+                     Status st, std::vector<uint8_t>, engine::ResponseMeta) mutable {
+    if (st.IsOverloaded()) {
+      // Chain obligations cannot be dropped: retry after a short delay.
+      stats_.internal_retries++;
+      sim_.Schedule(config_.internal_retry_delay,
+                    [this, vnode, is_del, k = std::move(key), v = std::move(value),
+                     d = std::move(done)]() mutable {
+                      ApplyLocal(vnode, is_del, std::move(k), std::move(v),
+                                 std::move(d));
+                    });
+      return;
+    }
+    done(std::move(st));
+  };
+  storage_->Submit(std::move(req));
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+void Node::RespondToClient(sim::EndpointId reply_to, uint64_t req_id,
+                           StatusCode code, std::vector<uint8_t> value,
+                           uint32_t local_store, bool with_tokens,
+                           uint32_t tokens_override) {
+  if (reply_to == sim::kInvalidEndpoint) return;
+  ResponseMsg resp;
+  resp.req_id = req_id;
+  resp.code = code;
+  resp.value = std::move(value);
+  resp.node = node_id_;
+  resp.ssd = storage_->ssd_of_store(local_store);
+  if (with_tokens) {
+    resp.tokens = tokens_override != UINT32_MAX
+                      ? tokens_override
+                      : storage_->AvailableTokens(resp.ssd);
+    resp.has_tokens = true;
+  }
+  SendMsg(reply_to, std::move(resp));
+}
+
+void Node::SendNack(sim::EndpointId reply_to, uint64_t req_id) {
+  if (reply_to == sim::kInvalidEndpoint) return;
+  stats_.nacks_sent++;
+  ResponseMsg resp;
+  resp.req_id = req_id;
+  resp.code = StatusCode::kWrongView;
+  resp.node = node_id_;
+  SendMsg(reply_to, std::move(resp));
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+void Node::HandleViewUpdate(cluster::ViewUpdateMsg update) {
+  if (update.view.epoch <= view_.epoch) return;
+  stats_.view_updates++;
+  view_ = std::move(update.view);
+  serving_ring_ = view_.ServingRing();
+  RefreshFillTracking();
+  ReforwardPending();
+}
+
+void Node::RefreshFillTracking() {
+  for (const auto& [id, info] : view_.vnodes) {
+    if (info.owner_node != node_id_) continue;
+    bool filling_any = false;
+    for (const auto& f : view_.filling) {
+      if (f.vnode == id) {
+        filling_any = true;
+        break;
+      }
+    }
+    auto& rep = replicas_[id];
+    if (filling_any && !rep.fill_tracking()) rep.StartFillTracking();
+    if (!filling_any && rep.fill_tracking()) rep.StopFillTracking();
+  }
+}
+
+void Node::ReforwardPending() {
+  for (auto& [vnode, rep] : replicas_) {
+    const cluster::VNodeInfo* info = OwnedVNode(vnode);
+    if (!info) continue;
+    // Snapshot ids first: commits mutate the pending map.
+    std::vector<uint64_t> ids;
+    ids.reserve(rep.pending().size());
+    for (const auto& [id, w] : rep.pending()) {
+      (void)w;
+      ids.push_back(id);
+    }
+    for (uint64_t id : ids) {
+      const auto* w = rep.PeekPending(id);
+      if (!w) continue;
+      auto chain = ChainForKey(w->key);
+      int idx = replication::IndexIn(chain, vnode);
+      if (idx < 0) {
+        // This vnode no longer serves the key: drop the obligation.
+        rep.TakePending(id);
+        continue;
+      }
+      if (idx == static_cast<int>(chain.size()) - 1) {
+        // Promoted to tail: commit now (§3.8.2 penultimate-node rule).
+        auto taken = rep.TakePending(id);
+        if (taken) CommitAsTail(vnode, std::move(*taken), chain);
+        continue;
+      }
+      // Still mid/head: re-forward to the (possibly new) successor.
+      VNodeId next = chain[idx + 1];
+      const cluster::VNodeInfo* ninfo = view_.Find(next);
+      if (!ninfo || !node_endpoints_ || !node_endpoints_->count(ninfo->owner_node))
+        continue;
+      stats_.pending_reforwards++;
+      ChainWriteMsg fwd;
+      fwd.write_id = w->write_id;
+      fwd.is_del = w->is_del;
+      fwd.key = w->key;
+      fwd.value = w->value;
+      fwd.vnode = next;
+      fwd.hop = static_cast<uint8_t>(idx + 1);
+      fwd.view_epoch = view_.epoch;
+      fwd.reply_to = w->reply_to;
+      fwd.req_id = w->req_id;
+      SendMsg(node_endpoints_->at(ninfo->owner_node), std::move(fwd));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// COPY (§3.8)
+// ---------------------------------------------------------------------------
+
+void Node::HandleCopyCommand(cluster::CopyCommandMsg cmd) {
+  const cluster::VNodeInfo* info = OwnedVNode(cmd.src);
+  if (!info || !leed_engine_) {
+    // Baselines do not participate in membership-change benches; complete
+    // the copy trivially so the control plane is not wedged.
+    cluster::CopyDoneMsg done;
+    done.copy_id = cmd.copy_id;
+    done.dst = cmd.dst;
+    SendMsg(cp_endpoint_, std::move(done));
+    return;
+  }
+  auto ds = &leed_engine_->data_store(info->local_store);
+  const uint64_t start = cmd.range_start;
+  const uint64_t end = cmd.range_end;
+  auto want = [start, end](std::string_view key) {
+    const uint64_t pos = cluster::HashRing::KeyPosition(key);
+    if (start == end) return true;
+    if (start < end) return pos > start && pos <= end;
+    return pos > start || pos <= end;
+  };
+  const auto copy_id = cmd.copy_id;
+  const auto dst = cmd.dst;
+  const auto dst_ep = cmd.dst_endpoint;
+  const auto epoch = cmd.transition_epoch;
+  ds->CopyOut(
+      want,
+      [this, copy_id, dst, dst_ep, epoch](std::string key,
+                                          std::vector<uint8_t> value) {
+        stats_.copy_items_sent++;
+        cluster::CopyItemMsg item;
+        item.copy_id = copy_id;
+        item.dst = dst;
+        item.transition_epoch = epoch;
+        item.key = std::move(key);
+        item.value = std::move(value);
+        NetCore().Charge(config_.net_tx_cycles);
+        net_.Send(endpoint_, dst_ep, cluster::WireSize(item), std::move(item));
+      },
+      [this, copy_id, dst, dst_ep, epoch](Status) {
+        cluster::CopyItemMsg last;
+        last.copy_id = copy_id;
+        last.dst = dst;
+        last.transition_epoch = epoch;
+        last.last = true;
+        NetCore().Charge(config_.net_tx_cycles);
+        net_.Send(endpoint_, dst_ep, cluster::WireSize(last), std::move(last));
+      });
+}
+
+void Node::HandleCopyItem(cluster::CopyItemMsg item) {
+  auto& ci = copy_in_[item.copy_id];
+  auto finish_if_done = [this, copy_id = item.copy_id] {
+    auto& c = copy_in_[copy_id];
+    if (c.last_seen && c.outstanding == 0 && !c.done_sent) {
+      c.done_sent = true;
+      cluster::CopyDoneMsg done;
+      done.copy_id = copy_id;
+      SendMsg(cp_endpoint_, std::move(done));
+    }
+  };
+  if (item.last) {
+    ci.last_seen = true;
+    finish_if_done();
+    return;
+  }
+  auto& rep = replicas_[item.dst];
+  if (!rep.fill_tracking()) rep.StartFillTracking();
+  if (rep.WasChainWritten(item.key)) {
+    // The chain already wrote a newer version; the snapshot must not win.
+    stats_.copy_items_skipped++;
+    return;
+  }
+  ci.outstanding++;
+  ApplyLocal(item.dst, /*is_del=*/false, std::move(item.key),
+             std::move(item.value), [this, finish_if_done,
+                                     copy_id = item.copy_id](Status) {
+    auto& c = copy_in_[copy_id];
+    if (c.outstanding > 0) c.outstanding--;
+    stats_.copy_items_applied++;
+    finish_if_done();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Preload
+// ---------------------------------------------------------------------------
+
+void Node::DirectPut(uint32_t local_store, std::string key,
+                     std::vector<uint8_t> value, std::function<void(Status)> done) {
+  if (leed_engine_) {
+    leed_engine_->data_store(local_store).Put(std::move(key), std::move(value),
+                                              std::move(done));
+    return;
+  }
+  if (baseline_->config().kind == baselines::BaselineKind::kFawn) {
+    baseline_->fawn(local_store).Put(std::move(key), std::move(value),
+                                     std::move(done));
+  } else {
+    baseline_->kvell(local_store).Put(std::move(key), std::move(value),
+                                      std::move(done));
+  }
+}
+
+}  // namespace leed

@@ -1,0 +1,195 @@
+// A storage node: the unit the paper deploys per JBOF (or per Raspberry Pi
+// for the FAWN baseline).
+//
+// A Node glues together: a platform (cores, NIC, power), a storage stack
+// (LEED's IoEngine, or a FAWN/KVell BaselineExecutor), the replication
+// protocol (chain replication, optionally with CRRS request shipping), the
+// membership machinery (view cache, hop-counter verification, COPY
+// execution for join/leave/failure), and heartbeats to the control plane.
+//
+// Core mapping follows §3.4: for the LEED stack, cores [0, ssd_count) run
+// the per-SSD data stores and the remaining cores poll the NIC (every
+// received/sent message charges rx/tx cycles on a polling core, round-
+// robin). Baselines charge their network cost on the same cores as their
+// stores (FAWN/KVell use kernel/SPDK stacks without LEED's split).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/executor.h"
+#include "cluster/control_plane.h"
+#include "cluster/membership.h"
+#include "cluster/wire.h"
+#include "engine/io_engine.h"
+#include "engine/storage_service.h"
+#include "leed/wire.h"
+#include "replication/chain.h"
+#include "replication/crrs.h"
+#include "sim/cpu_model.h"
+#include "sim/platform.h"
+
+namespace leed {
+
+enum class StackKind : uint8_t { kLeed, kFawn, kKvell };
+
+struct NodeConfig {
+  sim::PlatformSpec platform;
+  StackKind stack = StackKind::kLeed;
+  engine::EngineConfig engine;          // used when stack == kLeed
+  baselines::BaselineConfig baseline;   // used otherwise
+  bool crrs = true;                     // CRRS read shipping (§3.7)
+  // Ablation: resolve dirty reads with a CRAQ-style version query to the
+  // tail instead of shipping the read (§3.7's rejected alternative).
+  bool craq_version_query = false;
+  // Per-message network-stack cycle costs on the reference core.
+  uint64_t net_rx_cycles = 1200;
+  uint64_t net_tx_cycles = 700;
+  SimTime heartbeat_period = 20 * kMillisecond;
+  SimTime internal_retry_delay = 200 * kMicrosecond;
+};
+
+struct NodeStats {
+  uint64_t client_requests = 0;
+  uint64_t gets_served = 0;
+  uint64_t reads_shipped = 0;       // CRRS dirty-key shipping
+  uint64_t writes_headed = 0;       // writes entering at this head
+  uint64_t chain_writes = 0;        // traversing writes received
+  uint64_t chain_acks = 0;
+  uint64_t commits_as_tail = 0;
+  uint64_t nacks_sent = 0;          // hop-counter / view mismatches
+  uint64_t copy_items_sent = 0;
+  uint64_t copy_items_applied = 0;
+  uint64_t copy_items_skipped = 0;  // chain-write superseded snapshot item
+  uint64_t craq_queries_sent = 0;   // dirty reads resolved via version query
+  uint64_t craq_queries_answered = 0;
+  uint64_t internal_retries = 0;    // local applies deferred by overload
+  uint64_t view_updates = 0;
+  uint64_t pending_reforwards = 0;
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& simulator, sim::Network& network,
+       sim::EndpointId control_plane, NodeConfig config, uint32_t node_id,
+       uint64_t seed);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  sim::EndpointId endpoint() const { return endpoint_; }
+  uint32_t id() const { return node_id_; }
+
+  void Start();
+  // Fail-stop: drop every subsequent message and stop heartbeating. The
+  // control plane declares the node dead after its timeout.
+  void Fail();
+  bool failed() const { return failed_; }
+
+  engine::StorageService& storage() { return *storage_; }
+  engine::IoEngine* leed_engine() { return leed_engine_.get(); }
+  sim::CpuModel& cpu() { return *cpu_; }
+  const cluster::ClusterView& view() const { return view_; }
+  const NodeStats& stats() const { return stats_; }
+  const NodeConfig& config() const { return config_; }
+
+  // Direct store access for preloading (bypasses the network on purpose).
+  void DirectPut(uint32_t local_store, std::string key, std::vector<uint8_t> value,
+                 std::function<void(Status)> done);
+
+  // Mean power draw over [0, window] given this node's platform and CPU
+  // utilization (paper's wall-meter measurement).
+  double PowerWatts(SimTime window_ns) const;
+
+ private:
+  void OnMessage(sim::Message msg);
+  void Dispatch(sim::Message msg);
+
+  void HandleClientRequest(ClientRequestMsg req);
+  void HandleGet(ClientRequestMsg req);
+  void ServeGetLocally(ClientRequestMsg req, uint32_t local_store);
+  void HandleChainWrite(ChainWriteMsg w);
+  void HandleChainAck(ChainAckMsg ack);
+  void HandleCraqQuery(CraqQueryMsg query);
+  void HandleCraqReply(CraqReplyMsg reply);
+  void HandleViewUpdate(cluster::ViewUpdateMsg update);
+  void HandleCopyCommand(cluster::CopyCommandMsg cmd);
+  void HandleCopyItem(cluster::CopyItemMsg item);
+
+  // Apply a committed write to the local store, retrying on overload (a
+  // chain obligation cannot be dropped).
+  void ApplyLocal(cluster::VNodeId vnode, bool is_del, std::string key,
+                  std::vector<uint8_t> value, std::function<void(Status)> done);
+
+  // tokens_override: pass the engine's tenant-weighted allocation through
+  // instead of recomputing the unweighted pool (UINT32_MAX = recompute).
+  void RespondToClient(sim::EndpointId reply_to, uint64_t req_id, StatusCode code,
+                       std::vector<uint8_t> value, uint32_t local_store,
+                       bool with_tokens, uint32_t tokens_override = UINT32_MAX);
+  void SendNack(sim::EndpointId reply_to, uint64_t req_id);
+  void SendAckBackward(const std::vector<cluster::VNodeId>& chain,
+                       cluster::VNodeId self, uint64_t write_id,
+                       const std::string& key, bool success);
+  void CommitAsTail(cluster::VNodeId vnode, replication::PendingWrite w,
+                    const std::vector<cluster::VNodeId>& chain);
+
+  // Send any message to another node/client, charging tx cycles.
+  template <typename M>
+  void SendMsg(sim::EndpointId to, M msg);
+
+  sim::CpuCore& NetCore();
+  std::vector<cluster::VNodeId> ChainForKey(std::string_view key) const;
+  const cluster::VNodeInfo* OwnedVNode(cluster::VNodeId id) const;
+  uint64_t MakeWriteId() { return (static_cast<uint64_t>(node_id_) << 40) | next_write_seq_++; }
+  void RefreshFillTracking();
+  void ReforwardPending();
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  sim::EndpointId cp_endpoint_;
+  NodeConfig config_;
+  uint32_t node_id_;
+  sim::EndpointId endpoint_;
+  bool failed_ = false;
+
+  std::unique_ptr<sim::CpuModel> cpu_;
+  std::unique_ptr<engine::IoEngine> leed_engine_;
+  std::unique_ptr<baselines::BaselineExecutor> baseline_;
+  engine::StorageService* storage_ = nullptr;
+
+  cluster::ClusterView view_;
+  cluster::HashRing serving_ring_;  // cache rebuilt per view update
+  std::map<cluster::VNodeId, replication::ReplicaState> replicas_;
+  // Endpoints of peer nodes, learned from ClusterSim at setup.
+  std::map<uint32_t, sim::EndpointId>* node_endpoints_ = nullptr;
+
+  struct CopyIn {
+    uint32_t outstanding = 0;
+    bool last_seen = false;
+    bool done_sent = false;
+  };
+  std::map<uint64_t, CopyIn> copy_in_;
+  // Reads parked on an outstanding CRAQ version query.
+  std::map<uint64_t, ClientRequestMsg> craq_pending_;
+  uint64_t next_craq_id_ = 1;
+
+  uint32_t net_core_rr_ = 0;
+  uint64_t next_write_seq_ = 1;
+  std::unique_ptr<sim::PeriodicTimer> hb_timer_;
+  NodeStats stats_;
+
+ public:
+  // Wired by ClusterSim after all nodes exist.
+  void set_node_endpoints(std::map<uint32_t, sim::EndpointId>* m) {
+    node_endpoints_ = m;
+  }
+};
+
+}  // namespace leed

@@ -1,0 +1,39 @@
+#include "replication/crrs.h"
+
+namespace leed::replication {
+
+void ReplicaState::AddPending(PendingWrite w) {
+  if (pending_.count(w.write_id)) return;  // duplicate re-forward
+  dirty_[w.key]++;
+  pending_.emplace(w.write_id, std::move(w));
+}
+
+std::optional<PendingWrite> ReplicaState::TakePending(uint64_t write_id) {
+  auto it = pending_.find(write_id);
+  if (it == pending_.end()) return std::nullopt;
+  PendingWrite w = std::move(it->second);
+  pending_.erase(it);
+  auto dit = dirty_.find(w.key);
+  if (dit != dirty_.end()) {
+    if (dit->second <= 1) {
+      dirty_.erase(dit);
+    } else {
+      dit->second--;
+    }
+  }
+  return w;
+}
+
+std::vector<PendingWrite> ReplicaState::TakeAllPending() {
+  std::vector<PendingWrite> out;
+  out.reserve(pending_.size());
+  for (auto& [id, w] : pending_) {
+    (void)id;
+    out.push_back(std::move(w));
+  }
+  pending_.clear();
+  dirty_.clear();
+  return out;
+}
+
+}  // namespace leed::replication

@@ -1,0 +1,81 @@
+#include "sim/block_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace leed::sim {
+
+Status PageStore::CheckRange(uint64_t offset, uint64_t length) const {
+  if (length == 0) return Status::InvalidArgument("zero-length IO");
+  if (offset + length < offset || offset + length > capacity_) {
+    return Status::InvalidArgument("IO beyond device capacity");
+  }
+  return Status::Ok();
+}
+
+void PageStore::Write(uint64_t offset, const std::vector<uint8_t>& data,
+                      uint64_t length) {
+  uint64_t pos = 0;
+  while (pos < length) {
+    uint64_t page_no = (offset + pos) / page_size_;
+    uint64_t in_page = (offset + pos) % page_size_;
+    uint64_t chunk = std::min<uint64_t>(page_size_ - in_page, length - pos);
+    auto& page = pages_[page_no];
+    if (page.empty()) page.assign(page_size_, 0);
+    if (pos < data.size()) {
+      uint64_t copy = std::min<uint64_t>(chunk, data.size() - pos);
+      std::memcpy(page.data() + in_page, data.data() + pos, copy);
+      if (copy < chunk) std::memset(page.data() + in_page + copy, 0, chunk - copy);
+    } else {
+      std::memset(page.data() + in_page, 0, chunk);
+    }
+    pos += chunk;
+  }
+}
+
+std::vector<uint8_t> PageStore::Read(uint64_t offset, uint64_t length) const {
+  std::vector<uint8_t> out(length, 0);
+  uint64_t pos = 0;
+  while (pos < length) {
+    uint64_t page_no = (offset + pos) / page_size_;
+    uint64_t in_page = (offset + pos) % page_size_;
+    uint64_t chunk = std::min<uint64_t>(page_size_ - in_page, length - pos);
+    auto it = pages_.find(page_no);
+    if (it != pages_.end()) {
+      std::memcpy(out.data() + pos, it->second.data() + in_page, chunk);
+    }
+    pos += chunk;
+  }
+  return out;
+}
+
+Status MemBlockDevice::Submit(IoRequest request, IoCallback callback) {
+  uint64_t length = request.length ? request.length : request.data.size();
+  LEED_RETURN_IF_ERROR(store_.CheckRange(request.offset, length));
+  ++inflight_;
+  SimTime submitted = sim_.Now();
+  if (request.type == IoType::kWrite) {
+    store_.Write(request.offset, request.data, length);
+    sim_.Schedule(0, [this, submitted, cb = std::move(callback)]() mutable {
+      --inflight_;
+      IoResult r;
+      r.submitted_at = submitted;
+      r.completed_at = sim_.Now();
+      cb(std::move(r));
+    });
+  } else {
+    auto data = store_.Read(request.offset, length);
+    sim_.Schedule(0, [this, submitted, d = std::move(data),
+                      cb = std::move(callback)]() mutable {
+      --inflight_;
+      IoResult r;
+      r.data = std::move(d);
+      r.submitted_at = submitted;
+      r.completed_at = sim_.Now();
+      cb(std::move(r));
+    });
+  }
+  return Status::Ok();
+}
+
+}  // namespace leed::sim

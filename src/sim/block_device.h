@@ -1,0 +1,114 @@
+// Asynchronous block-device interface and its in-memory functional backing.
+//
+// Every store in this repo (the LEED data store, the FAWN baseline, the
+// KVell baseline) talks to storage only through BlockDevice, mirroring how
+// the paper's prototype talks to NVMe through SPDK queue pairs: submit an
+// IO, get a completion callback later. Devices actually store the bytes —
+// a GET returns exactly what the matching PUT persisted — so the data-path
+// logic above is exercised functionally, not just for timing.
+//
+// The byte store is sparse (page map): simulating a 960 GB SSD does not
+// allocate 960 GB; only written pages exist.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace leed::sim {
+
+enum class IoType : uint8_t { kRead, kWrite };
+
+// Hint used by the SSD service model: sequential writes stream through the
+// write pipe at full bandwidth; random writes pay a page-program penalty.
+enum class IoPattern : uint8_t { kSequential, kRandom };
+
+struct IoRequest {
+  IoType type = IoType::kRead;
+  IoPattern pattern = IoPattern::kRandom;
+  uint64_t offset = 0;  // bytes
+  uint64_t length = 0;  // bytes; for writes, data.size() if data present
+  // For writes: bytes to persist. May be empty for timing-only traffic
+  // (e.g. device-level microbenchmarks), in which case zeros are stored.
+  std::vector<uint8_t> data;
+};
+
+struct IoResult {
+  Status status;
+  std::vector<uint8_t> data;   // for reads
+  SimTime submitted_at = 0;
+  SimTime completed_at = 0;
+  SimTime Latency() const { return completed_at - submitted_at; }
+};
+
+using IoCallback = std::function<void(IoResult)>;
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Submit an asynchronous IO. The callback fires from the simulator event
+  // loop. Returns non-OK (and never invokes the callback) only for
+  // structurally invalid requests (out of range); device overload is
+  // expressed as queueing delay, like real NVMe, not as rejection —
+  // back-pressure is the job of the layers above (paper §3.4).
+  virtual Status Submit(IoRequest request, IoCallback callback) = 0;
+
+  virtual uint64_t capacity_bytes() const = 0;
+  virtual uint32_t block_size() const = 0;
+
+  // Number of IOs submitted but not yet completed.
+  virtual uint32_t inflight() const = 0;
+};
+
+// Sparse in-memory byte store shared by device implementations.
+class PageStore {
+ public:
+  explicit PageStore(uint64_t capacity_bytes, uint32_t page_size = 4096)
+      : capacity_(capacity_bytes), page_size_(page_size) {}
+
+  Status CheckRange(uint64_t offset, uint64_t length) const;
+  void Write(uint64_t offset, const std::vector<uint8_t>& data, uint64_t length);
+  std::vector<uint8_t> Read(uint64_t offset, uint64_t length) const;
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t resident_pages() const { return pages_.size(); }
+  uint64_t resident_bytes() const { return pages_.size() * page_size_; }
+
+ private:
+  uint64_t capacity_;
+  uint32_t page_size_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+};
+
+// Zero-latency synchronous-completion device for unit tests of the log and
+// store logic: Submit() schedules the completion at Now() (still async in
+// program order, so state machines are exercised, but no modeled delay).
+class MemBlockDevice : public BlockDevice {
+ public:
+  MemBlockDevice(Simulator& simulator, uint64_t capacity_bytes,
+                 uint32_t block_size = 4096)
+      : sim_(simulator), store_(capacity_bytes, block_size),
+        block_size_(block_size) {}
+
+  Status Submit(IoRequest request, IoCallback callback) override;
+  uint64_t capacity_bytes() const override { return store_.capacity(); }
+  uint32_t block_size() const override { return block_size_; }
+  uint32_t inflight() const override { return inflight_; }
+
+ private:
+  Simulator& sim_;
+  PageStore store_;
+  uint32_t block_size_;
+  uint32_t inflight_ = 0;
+};
+
+}  // namespace leed::sim

@@ -1,0 +1,41 @@
+#include "sim/cpu_model.h"
+
+#include <algorithm>
+
+namespace leed::sim {
+
+void CpuCore::Run(uint64_t cycles, EventFn fn) {
+  SimTime cost = CyclesToNs(cycles);
+  SimTime start = std::max(sim_.Now(), busy_until_);
+  busy_until_ = start + cost;
+  total_busy_ns_ += cost;
+  sim_.At(busy_until_, std::move(fn));
+}
+
+void CpuCore::Charge(uint64_t cycles) {
+  SimTime cost = CyclesToNs(cycles);
+  SimTime start = std::max(sim_.Now(), busy_until_);
+  busy_until_ = start + cost;
+  total_busy_ns_ += cost;
+}
+
+double CpuCore::Utilization(SimTime window_ns) const {
+  if (window_ns <= 0) return 0.0;
+  return std::clamp(static_cast<double>(total_busy_ns_) /
+                        static_cast<double>(window_ns),
+                    0.0, 1.0);
+}
+
+CpuModel::CpuModel(Simulator& simulator, uint32_t num_cores, double freq_ghz) {
+  cores_.reserve(num_cores);
+  for (uint32_t i = 0; i < num_cores; ++i) cores_.emplace_back(simulator, freq_ghz);
+}
+
+double CpuModel::MeanUtilization(SimTime window_ns) const {
+  if (cores_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& c : cores_) sum += c.Utilization(window_ns);
+  return sum / static_cast<double>(cores_.size());
+}
+
+}  // namespace leed::sim

@@ -1,0 +1,70 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace leed::sim {
+
+EndpointId Network::AddEndpoint(NicSpec spec) {
+  endpoints_.push_back(Endpoint{spec, nullptr, 0, 0, {}});
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void Network::SetReceiver(EndpointId id, Receiver receiver) {
+  endpoints_.at(id).receiver = std::move(receiver);
+}
+
+SimTime Network::IngressBacklog(EndpointId id) const {
+  return std::max<SimTime>(0, endpoints_.at(id).ingress_free_at - sim_.Now());
+}
+
+Status Network::Send(EndpointId src, EndpointId dst, uint64_t wire_bytes,
+                     std::any payload) {
+  if (src >= endpoints_.size() || dst >= endpoints_.size()) {
+    return Status::InvalidArgument("unknown endpoint");
+  }
+  Endpoint& s = endpoints_[src];
+  Endpoint& d = endpoints_[dst];
+
+  const SimTime now = sim_.Now();
+  // Egress serialization at the sender NIC.
+  SimTime tx_time = static_cast<SimTime>(
+      static_cast<double>(wire_bytes) / s.spec.bandwidth_bpns);
+  SimTime tx_start = std::max(now, s.egress_free_at);
+  SimTime tx_end = tx_start + tx_time;
+  s.egress_free_at = tx_end;
+
+  // Propagation + stack cost: the slower of the two stacks dominates
+  // (a Pi talking to a server pays the Pi's USB-ethernet overhead).
+  SimTime base = std::max(s.spec.base_latency_ns, d.spec.base_latency_ns);
+
+  // Ingress serialization at the receiver NIC (incast point).
+  SimTime rx_time = static_cast<SimTime>(
+      static_cast<double>(wire_bytes) / d.spec.bandwidth_bpns);
+  SimTime rx_start = std::max(tx_end + base, d.ingress_free_at);
+  SimTime rx_end = rx_start + rx_time;
+  d.ingress_free_at = rx_end;
+
+  s.stats.messages_sent++;
+  s.stats.bytes_sent += wire_bytes;
+
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.wire_bytes = wire_bytes;
+  msg.sent_at = now;
+  msg.payload = std::move(payload);
+
+  sim_.At(rx_end, [this, dst, m = std::move(msg)]() mutable {
+    Endpoint& e = endpoints_[dst];
+    e.stats.messages_received++;
+    e.stats.bytes_received += m.wire_bytes;
+    if (e.receiver) {
+      e.receiver(std::move(m));
+    } else {
+      ++dropped_;
+    }
+  });
+  return Status::Ok();
+}
+
+}  // namespace leed::sim

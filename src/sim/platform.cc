@@ -1,0 +1,51 @@
+#include "sim/platform.h"
+
+namespace leed::sim {
+
+PlatformSpec StingrayJbof() {
+  PlatformSpec p;
+  p.name = "stingray-ps1100r";
+  p.cores = 8;
+  p.freq_ghz = 3.0;
+  p.ipc_factor = 1.0;  // A72 is the reference core
+  p.dram_bytes = 8 * GiB;
+  p.ssd_count = 4;
+  p.ssd = Dct983Spec();
+  p.nic.bandwidth_bpns = GbpsToBytesPerNs(100.0);
+  p.nic.base_latency_ns = 2 * kMicrosecond;  // RDMA through one ToR hop
+  p.power = PowerSpec{45.0, 52.5, /*polling=*/true};
+  return p;
+}
+
+PlatformSpec ServerJbof() {
+  PlatformSpec p;
+  p.name = "server-jbof-xeon5218";
+  p.cores = 32;  // 2 sockets x 16 HT threads usable for the datastore
+  p.freq_ghz = 2.3;
+  p.ipc_factor = 2.6;  // wide OoO Xeon vs. in-order-ish A72 on pointer-chasing code
+  p.dram_bytes = 96 * GiB;
+  p.ssd_count = 8;
+  p.ssd = Dct983Spec();
+  p.nic.bandwidth_bpns = GbpsToBytesPerNs(100.0);
+  p.nic.base_latency_ns = 2 * kMicrosecond;
+  p.power = PowerSpec{180.0, 252.0, /*polling=*/true};  // SPDK-style KVell deploy
+  return p;
+}
+
+PlatformSpec RaspberryPiNode() {
+  PlatformSpec p;
+  p.name = "raspberry-pi-3bplus";
+  p.cores = 4;
+  p.freq_ghz = 1.4;
+  p.ipc_factor = 0.7;  // A53 in-order
+  p.dram_bytes = 1 * GiB;
+  p.ssd_count = 1;
+  p.ssd = PiSdCardSpec();
+  // 1GbE PHY behind USB 2.0: ~330 Mbit/s effective, kernel stack latency.
+  p.nic.bandwidth_bpns = GbpsToBytesPerNs(0.33);
+  p.nic.base_latency_ns = 120 * kMicrosecond;
+  p.power = PowerSpec{3.6, 4.2, /*polling=*/false};
+  return p;
+}
+
+}  // namespace leed::sim

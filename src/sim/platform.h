@@ -1,0 +1,59 @@
+// Platform presets for the three node types the paper compares (§2.1, §4.1).
+//
+// All numbers are from the paper where stated, else from vendor specs; see
+// DESIGN.md §4 for the calibration discussion.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "sim/network.h"
+#include "sim/power.h"
+#include "sim/ssd_model.h"
+
+namespace leed::sim {
+
+struct PlatformSpec {
+  std::string name;
+  uint32_t cores = 1;
+  double freq_ghz = 1.0;
+  // Relative per-cycle work factor vs. the ARM A72 baseline: a Xeon retires
+  // more work per cycle (wider OoO core, bigger caches). Store cycle costs
+  // are divided by this.
+  double ipc_factor = 1.0;
+  uint64_t dram_bytes = 1 * GiB;
+  uint32_t ssd_count = 1;
+  SsdSpec ssd;
+  NicSpec nic;
+  PowerSpec power;
+
+  uint64_t TotalFlashBytes() const { return ssd_count * ssd.capacity_bytes; }
+  // Challenge C1: flash:DRAM size ratio (Table 1 row 1).
+  double StorageSkew() const {
+    return static_cast<double>(TotalFlashBytes()) / static_cast<double>(dram_bytes);
+  }
+  // Challenge C2: per-core network bandwidth in Gbit/s (Table 1 row 2).
+  double NetworkDensityGbps() const {
+    return nic.bandwidth_bpns * 8.0 / static_cast<double>(cores);
+  }
+  // Challenge C2: per-core 4KB random-read IOPS (Table 1 row 3).
+  double StorageDensityIops() const {
+    return ssd.NominalReadIops() * ssd_count / static_cast<double>(cores);
+  }
+};
+
+// Broadcom Stingray PS1100R JBOF: 8-core ARM A72 @3.0GHz, 8GB DDR4,
+// 4x DCT983, 100GbE, 45W idle / 52.5W polling.
+PlatformSpec StingrayJbof();
+
+// Supermicro 2U server JBOF: 2x Xeon Gold 5218 (32 HT cores), 96GB DRAM,
+// 8x DCT983, 100GbE ConnectX-5, ~252W active.
+PlatformSpec ServerJbof();
+
+// Raspberry Pi 3 Model B+: 4-core A53 @1.4GHz, 1GB, 32GB SD over SDIO,
+// 1GbE over USB2 (~300 Mbit effective), 3.6W idle / 4.2W active.
+PlatformSpec RaspberryPiNode();
+
+}  // namespace leed::sim

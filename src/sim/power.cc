@@ -1,0 +1,23 @@
+#include "sim/power.h"
+
+#include <algorithm>
+
+namespace leed::sim {
+
+double NodePowerWatts(const PowerSpec& spec, double cpu_utilization) {
+  if (spec.polling) return spec.active_w;
+  double u = std::clamp(cpu_utilization, 0.0, 1.0);
+  return spec.idle_w + (spec.active_w - spec.idle_w) * u;
+}
+
+double NodeEnergyJoules(const PowerSpec& spec, double cpu_utilization,
+                        SimTime window_ns) {
+  return NodePowerWatts(spec, cpu_utilization) * ToSeconds(window_ns);
+}
+
+double RequestsPerJoule(uint64_t requests, double joules) {
+  if (joules <= 0.0) return 0.0;
+  return static_cast<double>(requests) / joules;
+}
+
+}  // namespace leed::sim

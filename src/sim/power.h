@@ -1,0 +1,39 @@
+// Power and energy accounting.
+//
+// The paper's headline metric is requests per Joule, measured with wall
+// meters (Watts Up Pro for the JBOFs, HOBO logger for the Pi rack). The
+// published operating points are: Stingray JBOF 45 W idle / 52.5 W with all
+// cores polling; server JBOF ~252 W active (756 W for three, §4.3);
+// Pi 3B+ 3.6 W idle / 4.2 W active.
+//
+// Polling systems (LEED and KVell both run SPDK-style reactors) draw their
+// active power whenever the service is up, independent of offered load —
+// the paper measured only +7.5 W between idle and eight busy-polled cores.
+// Interrupt-driven systems (FAWN's stack on the Pi) scale between idle and
+// active with CPU utilization. NodePowerWatts encodes exactly that.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace leed::sim {
+
+struct PowerSpec {
+  double idle_w = 0.0;
+  double active_w = 0.0;
+  bool polling = true;  // true: draw active_w whenever service is running
+};
+
+// Instantaneous node power given mean CPU utilization in [0,1].
+double NodePowerWatts(const PowerSpec& spec, double cpu_utilization);
+
+// Joules consumed over a window.
+double NodeEnergyJoules(const PowerSpec& spec, double cpu_utilization,
+                        SimTime window_ns);
+
+// Energy-efficiency helper: completed requests per Joule.
+double RequestsPerJoule(uint64_t requests, double joules);
+
+}  // namespace leed::sim

@@ -1,0 +1,91 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace leed::sim {
+
+EventId Simulator::AtImpl(SimTime when, EventFn fn, bool daemon) {
+  if (when < now_) when = now_;
+  EventId id = next_seq_;
+  queue_.push(Event{when, next_seq_, id, daemon, std::move(fn)});
+  ++next_seq_;
+  if (!daemon) ++live_pending_;
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == 0 || id >= next_seq_) return false;
+  // We cannot remove from the middle of a binary heap; record the id and
+  // skip it when popped. live_pending_ is adjusted at dispatch time
+  // (Dispatch knows the event's daemon flag).
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::Dispatch(Event& ev) {
+  auto it = cancelled_.find(ev.id);
+  if (it != cancelled_.end()) {
+    cancelled_.erase(it);
+    if (!ev.daemon && live_pending_ > 0) --live_pending_;
+    return false;
+  }
+  now_ = ev.when;
+  if (!ev.daemon && live_pending_ > 0) --live_pending_;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+SimTime Simulator::Run() {
+  while (!queue_.empty() && live_pending_ > 0) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    Dispatch(ev);
+  }
+  return now_;
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (Dispatch(ev)) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (Dispatch(ev)) return true;
+  }
+  return false;
+}
+
+void PeriodicTimer::Start() {
+  if (running_) return;
+  running_ = true;
+  Arm();
+}
+
+void PeriodicTimer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    sim_.Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicTimer::Arm() {
+  pending_ = sim_.ScheduleDaemon(period_, [this] {
+    pending_ = 0;
+    if (!running_) return;
+    tick_();
+    if (running_) Arm();
+  });
+}
+
+}  // namespace leed::sim

@@ -1,0 +1,127 @@
+// Discrete-event simulation core.
+//
+// Every hardware entity we substitute for the paper's testbed (NVMe SSDs,
+// the RDMA fabric, SmartNIC cores, power meters) is driven by one
+// single-threaded, deterministic event loop. Time is integer nanoseconds.
+// Determinism matters: every bench prints its seed, and a run can be
+// replayed bit-for-bit, which is how we debug scheduling pathologies that
+// on the real testbed would be one-in-a-million races.
+//
+// The execution style deliberately mirrors the paper (§3.3): LEED's own
+// prototype is an event-based asynchronous framework with per-command state
+// machines, so the simulation host and the system-under-test share the same
+// idiom — continuation callbacks scheduled at future instants.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace leed::sim {
+
+using EventFn = std::function<void()>;
+
+// Opaque handle for cancellation. 0 is never a valid id.
+using EventId = uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedule fn to run `delay` ns from now (delay >= 0).
+  EventId Schedule(SimTime delay, EventFn fn) { return At(now_ + delay, std::move(fn)); }
+
+  // Schedule fn at an absolute instant (clamped to now if in the past).
+  EventId At(SimTime when, EventFn fn) { return AtImpl(when, std::move(fn), false); }
+
+  // Daemon events (periodic timers: heartbeats, swap watchdogs) execute
+  // normally but do not keep Run() alive: Run() returns once only daemon
+  // events remain, the way a real process exits when its worker threads
+  // finish even though timers are still armed.
+  EventId ScheduleDaemon(SimTime delay, EventFn fn) {
+    return AtImpl(now_ + delay, std::move(fn), true);
+  }
+
+  // Cancel a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  // Run until the event queue drains. Returns the final time.
+  SimTime Run();
+
+  // Run events with time <= deadline; afterwards Now() == deadline (if any
+  // events remained they stay queued). Returns number of events executed.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Run at most one event. Returns false if the queue is empty.
+  bool Step();
+
+  uint64_t events_executed() const { return executed_; }
+  // Live non-daemon events: the count that keeps Run() going.
+  uint64_t events_pending() const { return live_pending_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // tie-breaker: FIFO among same-instant events
+    EventId id;
+    bool daemon;
+    EventFn fn;
+  };
+
+  EventId AtImpl(SimTime when, EventFn fn, bool daemon);
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool Dispatch(Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Ids of cancelled-but-still-queued events; lazily skipped at pop time.
+  // Hash set: timeout timers are cancelled on nearly every completed
+  // request, so this is consulted on every dispatch.
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t executed_ = 0;
+  uint64_t live_pending_ = 0;
+};
+
+// A periodic timer built on Simulator; used for heartbeats and token
+// replenishment. Stops when the owner destroys it or calls Stop().
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& simulator, SimTime period, EventFn tick)
+      : sim_(simulator), period_(period), tick_(std::move(tick)) {}
+  ~PeriodicTimer() { Stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+ private:
+  void Arm();
+
+  Simulator& sim_;
+  SimTime period_;
+  EventFn tick_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace leed::sim

@@ -1,0 +1,153 @@
+#include "sim/ssd_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leed::sim {
+
+SsdSpec Dct983Spec() {
+  SsdSpec s;
+  s.name = "samsung-dct983-960g";
+  s.capacity_bytes = 960ull * 1000 * 1000 * 1000;
+  s.block_size = 4096;
+  s.read_channels = 20;
+  s.read_base_ns = 50 * kMicrosecond;    // => 400K 4KB rand-read IOPS at QD20
+  s.read_bandwidth_bpns = 3.0;           // 3.0 GB/s seq read
+  s.write_base_ns = 25 * kMicrosecond;
+  s.write_bandwidth_bpns = 1.05;         // 1.05 GB/s seq write
+  s.random_write_penalty = 6.5;          // => ~39K 4KB rand-write IOPS
+  return s;
+}
+
+SsdSpec PiSdCardSpec() {
+  SsdSpec s;
+  s.name = "sandisk-sd-32g";
+  s.capacity_bytes = 32ull * 1000 * 1000 * 1000;
+  s.block_size = 512;
+  s.read_channels = 1;                    // no internal parallelism
+  s.read_base_ns = 350 * kMicrosecond;    // ~2.9K rand-read IOPS
+  s.read_bandwidth_bpns = 0.075;          // 75 MB/s streaming read
+  s.write_base_ns = 600 * kMicrosecond;
+  s.write_bandwidth_bpns = 0.065;         // 65 MB/s streaming write
+  s.random_write_penalty = 24.0;          // SD random writes are dire
+  // SD controllers have no internal write parallelism: each small write
+  // occupies the device for its full program time (~2.9K 4KB-write IOPS),
+  // unlike NVMe where the pipe overlaps with the ack latency.
+  s.write_min_occupancy_ns = 350 * kMicrosecond;
+  s.latency_jitter = 0.2;
+  s.slow_io_prob = 0.01;
+  s.slow_io_factor = 10.0;
+  return s;
+}
+
+double SsdStats::Utilization(SimTime window_ns, uint32_t read_channels) const {
+  if (window_ns <= 0) return 0.0;
+  double read_u = static_cast<double>(read_busy_ns) /
+                  (static_cast<double>(window_ns) * std::max(1u, read_channels));
+  double write_u = static_cast<double>(write_busy_ns) / static_cast<double>(window_ns);
+  return std::clamp(std::max(read_u, write_u), 0.0, 1.0);
+}
+
+SimSsd::SimSsd(Simulator& simulator, SsdSpec spec, uint64_t seed)
+    : sim_(simulator),
+      spec_(std::move(spec)),
+      store_(spec_.capacity_bytes, spec_.block_size),
+      rng_(seed) {}
+
+double SimSsd::JitterFactor() {
+  double f = 1.0 + spec_.latency_jitter * (2.0 * rng_.NextDouble() - 1.0);
+  if (spec_.slow_io_prob > 0 && rng_.NextBool(spec_.slow_io_prob)) {
+    f *= spec_.slow_io_factor;
+  }
+  return f;
+}
+
+SimTime SimSsd::write_pipe_backlog() const {
+  return std::max<SimTime>(0, write_pipe_free_at_ - sim_.Now());
+}
+
+Status SimSsd::Submit(IoRequest request, IoCallback callback) {
+  uint64_t length = request.length ? request.length : request.data.size();
+  LEED_RETURN_IF_ERROR(store_.CheckRange(request.offset, length));
+  request.length = length;
+  ++inflight_;
+  stats_.peak_inflight = std::max(stats_.peak_inflight, inflight_);
+
+  if (request.type == IoType::kWrite) {
+    // Persist immediately in the functional store (the device has the data
+    // from submission time; readers that observe the completion see it).
+    store_.Write(request.offset, request.data, length);
+    stats_.writes++;
+    stats_.write_bytes += length;
+
+    // Occupancy on the program pipe: random writes consume a whole page
+    // program (amplified); sequential appends stream at full bandwidth.
+    double effective_bytes = static_cast<double>(length);
+    if (request.pattern == IoPattern::kRandom) {
+      effective_bytes =
+          std::max<double>(effective_bytes, spec_.block_size) * spec_.random_write_penalty;
+    }
+    SimTime occupancy = static_cast<SimTime>(
+        std::max(effective_bytes / spec_.write_bandwidth_bpns,
+                 static_cast<double>(spec_.write_min_occupancy_ns)) *
+        JitterFactor());
+    SimTime start = std::max(sim_.Now(), write_pipe_free_at_);
+    write_pipe_free_at_ = start + occupancy;
+    stats_.write_busy_ns += occupancy;
+    SimTime done = write_pipe_free_at_ + spec_.write_base_ns;
+    SimTime submitted = sim_.Now();
+    sim_.At(done, [this, submitted, cb = std::move(callback)]() mutable {
+      --inflight_;
+      IoResult r;
+      r.submitted_at = submitted;
+      r.completed_at = sim_.Now();
+      cb(std::move(r));
+    });
+    return Status::Ok();
+  }
+
+  // Read: queue behind the channel servers.
+  read_queue_.push_back(Pending{std::move(request), std::move(callback), sim_.Now()});
+  TryStartReads();
+  return Status::Ok();
+}
+
+void SimSsd::TryStartReads() {
+  while (reads_in_service_ < spec_.read_channels && !read_queue_.empty()) {
+    Pending p = std::move(read_queue_.front());
+    read_queue_.pop_front();
+    StartRead(std::move(p));
+  }
+}
+
+void SimSsd::StartRead(Pending p) {
+  ++reads_in_service_;
+  uint64_t length = p.request.length;
+  // Service: per-IO base (covers up to one block) + streaming time for the
+  // remainder of large IOs.
+  double extra = length > spec_.block_size
+                     ? static_cast<double>(length - spec_.block_size) /
+                           (spec_.read_bandwidth_bpns / spec_.read_channels)
+                     : 0.0;
+  SimTime service = static_cast<SimTime>(
+      (static_cast<double>(spec_.read_base_ns) + extra) * JitterFactor());
+  stats_.read_busy_ns += service;
+  stats_.reads++;
+  stats_.read_bytes += length;
+
+  SimTime submitted = p.submitted_at;
+  uint64_t offset = p.request.offset;
+  sim_.Schedule(service, [this, submitted, offset, length,
+                          cb = std::move(p.callback)]() mutable {
+    --reads_in_service_;
+    --inflight_;
+    IoResult r;
+    r.data = store_.Read(offset, length);
+    r.submitted_at = submitted;
+    r.completed_at = sim_.Now();
+    cb(std::move(r));
+    TryStartReads();
+  });
+}
+
+}  // namespace leed::sim

@@ -1,0 +1,646 @@
+#include "store/compaction.h"
+
+#include <algorithm>
+#include <set>
+
+namespace leed::store {
+
+namespace {
+// Partition `ids` into at most `groups` round-robin slices (none empty).
+template <typename T>
+std::vector<std::vector<T>> Partition(const std::vector<T>& ids, uint32_t groups) {
+  groups = std::max(1u, groups);
+  size_t n = std::min<size_t>(groups, std::max<size_t>(1, ids.size()));
+  std::vector<std::vector<T>> out(n);
+  for (size_t i = 0; i < ids.size(); ++i) out[i % n].push_back(ids[i]);
+  return out;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Triggers
+// ---------------------------------------------------------------------------
+
+bool Compactor::MaybeStart() {
+  bool started = false;
+  const auto& home = s_.home();
+  const double th = s_.config().compaction_threshold;
+  bool swap_pressure = s_.swapped_segments() > 64;
+  if (!key_running_ && (home.key_log->CompactionNeeded(th) || swap_pressure)) {
+    StartKey([](Status) {});
+    started = true;
+  }
+  if (!value_running_ && home.value_log->CompactionNeeded(th)) {
+    StartValue([](Status) {});
+    started = true;
+  }
+  return started;
+}
+
+// ---------------------------------------------------------------------------
+// Chain merge
+// ---------------------------------------------------------------------------
+
+std::vector<KeyItem> Compactor::MergeChain(const std::vector<Bucket>& chain) {
+  std::vector<KeyItem> merged;
+  std::set<std::string> seen;
+  for (const auto& b : chain) {  // newest-first
+    for (const auto& it : b.items) {
+      if (!seen.insert(it.key).second) continue;  // shadowed by newer version
+      if (it.IsTombstone()) continue;             // delete marker: drop
+      merged.push_back(it);
+    }
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Segment collapse (shared by both runs and swap merge-back).
+// done(ok): ok==false means the segment could NOT be relocated (no space /
+// IO error) and still has live data at its old location — the caller must
+// not advance the log head over it.
+// ---------------------------------------------------------------------------
+
+void Compactor::CollapseSegment(uint32_t segment_id, bool relocate_values,
+                                std::function<void(bool)> done) {
+  SegmentTable& tbl = s_.segments();
+  if (tbl.At(segment_id).Empty()) {
+    done(true);
+    return;
+  }
+  if (!tbl.TryLock(segment_id)) {
+    tbl.WaitOnLock(segment_id, [this, segment_id, relocate_values,
+                                d = std::move(done)]() mutable {
+      CollapseSegment(segment_id, relocate_values, std::move(d));
+    });
+    return;
+  }
+  CollapseLocked(segment_id, relocate_values, std::move(done));
+}
+
+void Compactor::CollapseLocked(uint32_t segment_id, bool relocate_values,
+                               std::function<void(bool)> done) {
+  const SegmentEntry& e = s_.segments().At(segment_id);
+  if (e.Empty()) {
+    s_.UnlockAndPump(segment_id);
+    done(true);
+    return;
+  }
+  s_.ReadChain(segment_id, e.ssd, e.offset, e.chain_len,
+               [this, segment_id, relocate_values, d = std::move(done)](
+                   Status st, std::vector<Bucket> chain) mutable {
+    if (!st.ok()) {
+      s_.UnlockAndPump(segment_id);
+      d(false);
+      return;
+    }
+    auto merged = std::make_shared<std::vector<KeyItem>>(MergeChain(chain));
+    uint64_t total_items = 0;
+    for (const auto& b : chain) total_items += b.items.size();
+    s_.stats_.items_dropped += total_items - merged->size();
+    s_.core().Run(
+        s_.Cycles(s_.config().costs.compaction_per_item *
+                  std::max<uint64_t>(1, total_items)),
+        [this, segment_id, relocate_values, merged, d = std::move(d)]() mutable {
+          if (relocate_values) {
+            RelocateValues(segment_id, merged, 0, [this, segment_id, merged,
+                                                   d2 = std::move(d)]() mutable {
+              WriteMergedSegment(segment_id, merged, std::move(d2));
+            });
+          } else {
+            WriteMergedSegment(segment_id, merged, std::move(d));
+          }
+        });
+  });
+}
+
+void Compactor::RelocateValues(uint32_t segment_id,
+                               std::shared_ptr<std::vector<KeyItem>> merged,
+                               size_t index, std::function<void()> done) {
+  const uint8_t home_ssd = s_.home().ssd_id;
+  while (index < merged->size() && (*merged)[index].value_ssd == home_ssd) ++index;
+  if (index >= merged->size()) {
+    done();
+    return;
+  }
+  KeyItem& item = (*merged)[index];
+  if (!s_.HasLogSet(item.value_ssd)) {  // defensive: unknown donor
+    RelocateValues(segment_id, merged, index + 1, std::move(done));
+    return;
+  }
+  const LogSet& donor = s_.log_set(item.value_ssd);
+  uint32_t bytes = ValueEntryBytes(static_cast<uint32_t>(item.key.size()),
+                                   item.value_len);
+  s_.stats_.ssd_reads++;
+  donor.value_log->Read(item.value_offset, bytes,
+                        [this, segment_id, merged, index, home_ssd,
+                         d = std::move(done)](log::ReadResult r) mutable {
+    if (!r.status.ok()) {
+      RelocateValues(segment_id, merged, index + 1, std::move(d));
+      return;
+    }
+    auto entry = DecodeValueEntry(r.data, 0);
+    if (!entry.ok()) {
+      RelocateValues(segment_id, merged, index + 1, std::move(d));
+      return;
+    }
+    const LogSet& home = s_.home();
+    std::vector<uint8_t> encoded = EncodeValueEntry(entry.value());
+    if (encoded.size() > home.value_log->free_space()) {
+      // No room to pull it home yet; leave it on the donor for a later run.
+      RelocateValues(segment_id, merged, index + 1, std::move(d));
+      return;
+    }
+    // Offset reservation and Append happen in the same event — no other
+    // append can interleave in a single-threaded event loop.
+    KeyItem& it = (*merged)[index];
+    it.value_offset = home.value_log->tail();
+    it.value_ssd = home_ssd;
+    s_.stats_.ssd_writes++;
+    home.value_log->Append(std::move(encoded),
+                           [this, segment_id, merged, index,
+                            d2 = std::move(d)](log::AppendResult) mutable {
+      RelocateValues(segment_id, merged, index + 1, std::move(d2));
+    });
+  });
+}
+
+void Compactor::WriteMergedSegment(uint32_t segment_id,
+                                   std::shared_ptr<std::vector<KeyItem>> merged,
+                                   std::function<void(bool)> done) {
+  SegmentTable& tbl = s_.segments();
+  const LogSet& home = s_.home();
+  const uint32_t bucket_size = s_.config().bucket_size;
+
+  if (merged->empty()) {
+    SegmentEntry& e = tbl.At(segment_id);
+    e.offset = 0;
+    e.chain_len = 0;
+    e.ssd = home.ssd_id;
+    s_.swapped_segments_.erase(segment_id);
+    s_.stats_.segments_collapsed++;
+    s_.UnlockAndPump(segment_id);
+    done(true);
+    return;
+  }
+
+  // Pack items into buckets first-fit in order: newest items land in the
+  // head bucket, preserving newest-first traversal.
+  std::vector<Bucket> buckets(1);
+  for (auto& item : *merged) {
+    if (!buckets.back().Upsert(bucket_size, item)) {
+      buckets.emplace_back();
+      bool ok = buckets.back().Upsert(bucket_size, item);
+      (void)ok;
+    }
+  }
+  const uint8_t n = static_cast<uint8_t>(buckets.size());
+  const uint64_t base = home.key_log->tail();
+  std::vector<uint8_t> blob;
+  blob.reserve(static_cast<size_t>(n) * bucket_size);
+  for (uint8_t i = 0; i < n; ++i) {
+    BucketHeader& h = buckets[i].header;
+    h.segment_id = segment_id;
+    h.tag = BucketTag(segment_id);
+    h.chain_len = static_cast<uint8_t>(n - i);
+    h.position = i;
+    h.contiguous = (i + 1 < n) ? 1 : 0;
+    h.prev_offset = (i + 1 < n) ? base + static_cast<uint64_t>(i + 1) * bucket_size : 0;
+    h.prev_ssd = home.ssd_id;
+    h.log_head = static_cast<uint32_t>(home.key_log->head());
+    h.log_tail = static_cast<uint32_t>(home.key_log->tail());
+    auto enc = EncodeBucket(buckets[i], bucket_size);
+    if (!enc.ok()) {
+      s_.UnlockAndPump(segment_id);
+      done(false);
+      return;
+    }
+    blob.insert(blob.end(), enc.value().begin(), enc.value().end());
+  }
+  if (blob.size() > home.key_log->free_space()) {
+    // Cannot relocate right now; the segment stays where it is and this
+    // run must not advance the head over its old buckets.
+    s_.UnlockAndPump(segment_id);
+    done(false);
+    return;
+  }
+  s_.stats_.ssd_writes++;
+  s_.stats_.items_live_moved += merged->size();
+  // The swapped mark may only clear once every value reference is home too
+  // (RelocateValues can skip items when the home value log is tight).
+  bool all_values_home = true;
+  for (const auto& item : *merged) {
+    if (item.value_ssd != home.ssd_id) {
+      all_values_home = false;
+      break;
+    }
+  }
+  home.key_log->Append(std::move(blob), [this, segment_id, base, n, all_values_home,
+                                         d = std::move(done)](log::AppendResult r) mutable {
+    bool ok = r.status.ok();
+    if (ok) {
+      SegmentEntry& e = s_.segments().At(segment_id);
+      e.offset = base;
+      e.chain_len = n;
+      e.ssd = s_.home().ssd_id;
+      if (all_values_home) s_.swapped_segments_.erase(segment_id);
+      s_.stats_.segments_collapsed++;
+    }
+    s_.UnlockAndPump(segment_id);
+    d(ok);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Key-log run
+// ---------------------------------------------------------------------------
+
+struct Compactor::KeyRun {
+  DataStore::OpCallback done;
+  uint64_t region_start = 0;
+  uint64_t region_len = 0;
+  std::vector<std::vector<uint32_t>> groups;
+  size_t groups_pending = 0;
+  bool all_relocated = true;
+};
+
+void Compactor::StartKey(DataStore::OpCallback done) {
+  if (key_running_) {
+    done(Status::Busy("key compaction already running"));
+    return;
+  }
+  const LogSet& home = s_.home();
+  const auto& cfg = s_.config();
+  auto run = std::make_shared<KeyRun>();
+  run->done = std::move(done);
+  run->region_start = home.key_log->head();
+  uint64_t used = home.key_log->used();
+  uint64_t chunk = std::min<uint64_t>(cfg.compaction_chunk, used);
+  chunk -= chunk % cfg.bucket_size;
+  run->region_len = chunk;
+  if (chunk == 0 && s_.swapped_segments() == 0) {
+    run->done(Status::Ok());
+    return;
+  }
+  auto& gate = s_.config().compaction_gate;
+  if (gate && !gate->TryAcquire()) {
+    // Co-scheduling cap reached; a later MaybeStart retries.
+    run->done(Status::Busy("compaction gate full"));
+    return;
+  }
+  key_running_ = true;
+  s_.stats_.key_compactions++;
+
+  if (chunk == 0) {
+    KeyRunWithRegion(run, {});
+    return;
+  }
+  if (key_prefetch_.valid && key_prefetch_.offset == run->region_start &&
+      key_prefetch_.data.size() >= chunk) {
+    s_.stats_.prefetch_hits++;
+    auto data = std::move(key_prefetch_.data);
+    data.resize(chunk);
+    key_prefetch_ = Prefetch{};
+    // Verification pass over prefetched segments still costs cycles.
+    s_.core().Run(s_.Cycles(cfg.costs.compaction_setup),
+                  [this, run, d = std::move(data)]() mutable {
+                    KeyRunWithRegion(run, std::move(d));
+                  });
+    return;
+  }
+  s_.stats_.prefetch_misses++;
+  s_.stats_.ssd_reads++;
+  home.key_log->Read(run->region_start, chunk, [this, run](log::ReadResult r) {
+    if (!r.status.ok()) {
+      key_running_ = false;
+      if (s_.config().compaction_gate) s_.config().compaction_gate->Release();
+      run->done(r.status);
+      return;
+    }
+    KeyRunWithRegion(run, std::move(r.data));
+  });
+}
+
+void Compactor::KeyRunWithRegion(std::shared_ptr<KeyRun> run,
+                                 std::vector<uint8_t> region) {
+  const uint32_t bucket_size = s_.config().bucket_size;
+  std::vector<uint32_t> segs;
+  std::set<uint32_t> uniq;
+  for (size_t at = 0; at + bucket_size <= region.size(); at += bucket_size) {
+    auto b = DecodeBucket(region, at, bucket_size);
+    if (!b.ok()) continue;
+    uint32_t seg = b.value().header.segment_id;
+    if (uniq.insert(seg).second) segs.push_back(seg);
+  }
+  // Swap merge-back: pull up to kSwapMergePerRun parked segments home too.
+  size_t merged_in = 0;
+  for (uint32_t seg : s_.swapped_segments_) {
+    if (merged_in >= kSwapMergePerRun) break;
+    if (uniq.insert(seg).second) {
+      segs.push_back(seg);
+      ++merged_in;
+    }
+  }
+
+  if (segs.empty()) {
+    run->groups_pending = 1;
+    KeyRunJoin(run);
+    return;
+  }
+  run->groups = Partition(segs, s_.config().subcompactions);
+  run->groups_pending = run->groups.size();
+  for (size_t g = 0; g < run->groups.size(); ++g) {
+    s_.core().Run(s_.Cycles(s_.config().costs.compaction_setup),
+                  [this, run, g] { KeyRunGroup(run, g); });
+  }
+}
+
+void Compactor::KeyRunGroup(std::shared_ptr<KeyRun> run, size_t group) {
+  auto& ids = run->groups[group];
+  if (ids.empty()) {
+    KeyRunJoin(run);
+    return;
+  }
+  uint32_t seg = ids.back();
+  ids.pop_back();
+  bool relocate = s_.swapped_segments_.count(seg) > 0;
+  CollapseSegment(seg, relocate, [this, run, group](bool ok) {
+    if (!ok) run->all_relocated = false;
+    KeyRunGroup(run, group);
+  });
+}
+
+void Compactor::KeyRunJoin(std::shared_ptr<KeyRun> run) {
+  if (--run->groups_pending > 0) return;
+  const LogSet& home = s_.home();
+  if (run->region_len > 0 && run->all_relocated) {
+    Status st = home.key_log->AdvanceHead(run->region_start + run->region_len);
+    (void)st;
+  }
+  if (s_.config().prefetch) IssueKeyPrefetch();
+  key_running_ = false;
+  if (s_.config().compaction_gate) s_.config().compaction_gate->Release();
+  run->done(Status::Ok());
+  // Keep draining if still above threshold.
+  MaybeStart();
+}
+
+void Compactor::IssueKeyPrefetch() {
+  const LogSet& home = s_.home();
+  const auto& cfg = s_.config();
+  uint64_t used = home.key_log->used();
+  uint64_t chunk = std::min<uint64_t>(cfg.compaction_chunk, used);
+  chunk -= chunk % cfg.bucket_size;
+  if (chunk == 0) return;
+  uint64_t start = home.key_log->head();
+  s_.stats_.ssd_reads++;
+  home.key_log->Read(start, chunk, [this, start](log::ReadResult r) {
+    if (!r.status.ok()) return;
+    key_prefetch_.valid = true;
+    key_prefetch_.offset = start;
+    key_prefetch_.data = std::move(r.data);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Value-log run
+// ---------------------------------------------------------------------------
+
+struct Compactor::ValueRun {
+  DataStore::OpCallback done;
+  uint64_t region_start = 0;
+  uint64_t region_end = 0;
+  struct RegionEntry {
+    uint64_t offset;
+    ValueEntry entry;
+  };
+  std::map<uint32_t, std::vector<RegionEntry>> by_segment;
+  std::vector<std::vector<uint32_t>> groups;
+  size_t groups_pending = 0;
+  bool all_relocated = true;
+};
+
+void Compactor::StartValue(DataStore::OpCallback done) {
+  if (value_running_) {
+    done(Status::Busy("value compaction already running"));
+    return;
+  }
+  const LogSet& home = s_.home();
+  const auto& cfg = s_.config();
+  auto run = std::make_shared<ValueRun>();
+  run->done = std::move(done);
+  run->region_start = home.value_log->head();
+  uint64_t used = home.value_log->used();
+  if (used == 0) {
+    run->done(Status::Ok());
+    return;
+  }
+  auto& gate = s_.config().compaction_gate;
+  if (gate && !gate->TryAcquire()) {
+    run->done(Status::Busy("compaction gate full"));
+    return;
+  }
+  value_running_ = true;
+  s_.stats_.value_compactions++;
+
+  // Read the chunk plus slack so the last entry straddling the chunk
+  // boundary parses completely.
+  uint64_t want = std::min<uint64_t>(cfg.compaction_chunk + 64 * 1024, used);
+  if (value_prefetch_.valid && value_prefetch_.offset == run->region_start &&
+      value_prefetch_.data.size() >= want) {
+    s_.stats_.prefetch_hits++;
+    auto data = std::move(value_prefetch_.data);
+    value_prefetch_ = Prefetch{};
+    s_.core().Run(s_.Cycles(cfg.costs.compaction_setup),
+                  [this, run, d = std::move(data)]() mutable {
+                    ValueRunWithRegion(run, std::move(d));
+                  });
+    return;
+  }
+  s_.stats_.prefetch_misses++;
+  s_.stats_.ssd_reads++;
+  home.value_log->Read(run->region_start, want, [this, run](log::ReadResult r) {
+    if (!r.status.ok()) {
+      value_running_ = false;
+      if (s_.config().compaction_gate) s_.config().compaction_gate->Release();
+      run->done(r.status);
+      return;
+    }
+    ValueRunWithRegion(run, std::move(r.data));
+  });
+}
+
+void Compactor::ValueRunWithRegion(std::shared_ptr<ValueRun> run,
+                                   std::vector<uint8_t> region) {
+  const auto& cfg = s_.config();
+  const uint64_t chunk_end_target = run->region_start + cfg.compaction_chunk;
+  uint64_t pos = 0;
+  uint64_t logical = run->region_start;
+  while (pos + ValueEntry::kHeaderBytes <= region.size() &&
+         logical < chunk_end_target) {
+    auto entry = DecodeValueEntry(region, pos);
+    if (!entry.ok()) break;  // truncated tail entry: stop before it
+    uint64_t sz = entry.value().EncodedSize();
+    run->by_segment[entry.value().segment_id].push_back(
+        ValueRun::RegionEntry{logical, std::move(entry).value()});
+    pos += sz;
+    logical += sz;
+  }
+  run->region_end = logical;
+  if (run->by_segment.empty()) {
+    value_running_ = false;
+    if (s_.config().compaction_gate) s_.config().compaction_gate->Release();
+    run->done(Status::Ok());
+    return;
+  }
+  std::vector<uint32_t> segs;
+  segs.reserve(run->by_segment.size());
+  for (const auto& [seg, entries] : run->by_segment) {
+    (void)entries;
+    segs.push_back(seg);
+  }
+  run->groups = Partition(segs, cfg.subcompactions);
+  run->groups_pending = run->groups.size();
+  for (size_t g = 0; g < run->groups.size(); ++g) {
+    s_.core().Run(s_.Cycles(cfg.costs.compaction_setup),
+                  [this, run, g] { ValueRunGroup(run, g); });
+  }
+}
+
+void Compactor::ValueRunGroup(std::shared_ptr<ValueRun> run, size_t group) {
+  auto& ids = run->groups[group];
+  if (ids.empty()) {
+    ValueRunJoin(run);
+    return;
+  }
+  uint32_t seg = ids.back();
+  ids.pop_back();
+
+  auto locked = [this, run, group, seg]() {
+    const SegmentEntry& e = s_.segments().At(seg);
+    if (e.Empty()) {
+      // All this segment's region values are dead (segment was emptied).
+      s_.UnlockAndPump(seg);
+      ValueRunGroup(run, group);
+      return;
+    }
+    s_.ReadChain(seg, e.ssd, e.offset, e.chain_len,
+                 [this, run, group, seg](Status st, std::vector<Bucket> chain) {
+      if (!st.ok()) {
+        run->all_relocated = false;
+        s_.UnlockAndPump(seg);
+        ValueRunGroup(run, group);
+        return;
+      }
+      auto merged = std::make_shared<std::vector<KeyItem>>(MergeChain(chain));
+      const auto& region_entries = run->by_segment[seg];
+      const uint8_t home_ssd = s_.home().ssd_id;
+
+      // Liveness: a region value survives iff a merged item still points at
+      // it (same key, same offset, on the home SSD). Collect (item index,
+      // encoded bytes, relative offset in the batch).
+      struct Rewrite {
+        size_t item_index;
+        uint64_t relative;
+      };
+      auto batch = std::make_shared<std::vector<uint8_t>>();
+      auto rewrites = std::make_shared<std::vector<Rewrite>>();
+      for (const auto& re : region_entries) {
+        for (size_t i = 0; i < merged->size(); ++i) {
+          const KeyItem& item = (*merged)[i];
+          if (item.key == re.entry.key && item.value_ssd == home_ssd &&
+              item.value_offset == re.offset) {
+            auto encoded = EncodeValueEntry(re.entry);
+            rewrites->push_back(Rewrite{i, batch->size()});
+            batch->insert(batch->end(), encoded.begin(), encoded.end());
+            break;
+          }
+        }
+      }
+      uint64_t cycles = s_.config().costs.compaction_per_item *
+                        std::max<uint64_t>(1, region_entries.size() + merged->size());
+      s_.core().Run(s_.Cycles(cycles), [this, run, group, seg, merged, batch,
+                                        rewrites]() mutable {
+        const LogSet& home = s_.home();
+        if (batch->empty()) {
+          // Every region value of this segment is dead: nothing to move and
+          // no need to touch the segment.
+          s_.UnlockAndPump(seg);
+          ValueRunGroup(run, group);
+          return;
+        }
+        if (batch->size() > home.value_log->free_space()) {
+          run->all_relocated = false;
+          s_.UnlockAndPump(seg);
+          ValueRunGroup(run, group);
+          return;
+        }
+        // Reserve offsets and append in the same event (no interleaving).
+        const uint64_t base = home.value_log->tail();
+        for (const auto& rw : *rewrites) {
+          (*merged)[rw.item_index].value_offset = base + rw.relative;
+        }
+        s_.stats_.ssd_writes++;
+        home.value_log->Append(std::move(*batch),
+                               [this, run, group, seg, merged](log::AppendResult r) {
+          if (!r.status.ok()) {
+            run->all_relocated = false;
+            s_.UnlockAndPump(seg);
+            ValueRunGroup(run, group);
+            return;
+          }
+          WriteMergedSegment(seg, merged, [this, run, group](bool ok) {
+            if (!ok) run->all_relocated = false;
+            ValueRunGroup(run, group);
+          });
+        });
+      });
+    });
+  };
+
+  if (s_.segments().TryLock(seg)) {
+    locked();
+  } else {
+    s_.segments().WaitOnLock(seg, [this, run, group, seg, locked] {
+      if (s_.segments().TryLock(seg)) {
+        locked();
+      } else {
+        // Lost the wakeup race to another waiter; requeue this segment.
+        run->groups[group].push_back(seg);
+        ValueRunGroup(run, group);
+      }
+    });
+  }
+}
+
+void Compactor::ValueRunJoin(std::shared_ptr<ValueRun> run) {
+  if (--run->groups_pending > 0) return;
+  const LogSet& home = s_.home();
+  if (run->region_end > run->region_start && run->all_relocated) {
+    Status st = home.value_log->AdvanceHead(run->region_end);
+    (void)st;
+  }
+  if (s_.config().prefetch) IssueValuePrefetch();
+  value_running_ = false;
+  if (s_.config().compaction_gate) s_.config().compaction_gate->Release();
+  run->done(Status::Ok());
+  MaybeStart();
+}
+
+void Compactor::IssueValuePrefetch() {
+  const LogSet& home = s_.home();
+  const auto& cfg = s_.config();
+  uint64_t used = home.value_log->used();
+  if (used == 0) return;
+  uint64_t want = std::min<uint64_t>(cfg.compaction_chunk + 64 * 1024, used);
+  uint64_t start = home.value_log->head();
+  s_.stats_.ssd_reads++;
+  home.value_log->Read(start, want, [this, start](log::ReadResult r) {
+    if (!r.status.ok()) return;
+    value_prefetch_.valid = true;
+    value_prefetch_.offset = start;
+    value_prefetch_.data = std::move(r.data);
+  });
+}
+
+}  // namespace leed::store

@@ -1,0 +1,609 @@
+#include "store/data_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "store/compaction.h"
+
+namespace leed::store {
+
+DataStore::DataStore(sim::Simulator& simulator, sim::CpuCore& core, LogSet home,
+                     StoreConfig config)
+    : sim_(simulator),
+      core_(core),
+      config_(std::move(config)),
+      home_(home),
+      segtbl_(config_.num_segments, config_.chain_bits) {
+  log_sets_[home.ssd_id] = home;
+  compactor_ = std::make_unique<Compactor>(*this);
+}
+
+DataStore::~DataStore() = default;
+
+void DataStore::AddLogSet(LogSet set) { log_sets_[set.ssd_id] = set; }
+
+void DataStore::SetSwapTarget(std::optional<uint8_t> ssd_id) {
+  if (ssd_id && !HasLogSet(*ssd_id)) return;  // unknown donor: ignore
+  swap_target_ = ssd_id;
+}
+
+const LogSet& DataStore::TargetLogs() const {
+  if (swap_target_) {
+    const LogSet& swap = log_sets_.at(*swap_target_);
+    // Fall back to home if the donor region cannot absorb a worst-case
+    // bucket + value append.
+    if (swap.key_log->free_space() > 4ull * config_.bucket_size &&
+        swap.value_log->free_space() > 64ull * 1024) {
+      return swap;
+    }
+  }
+  return home_;
+}
+
+void DataStore::UnlockAndPump(uint32_t segment_id) {
+  segtbl_.Unlock(segment_id, [this](std::function<void()> cont) {
+    sim_.Schedule(0, std::move(cont));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// GET
+// ---------------------------------------------------------------------------
+
+struct DataStore::GetOp {
+  std::string key;
+  GetCallback callback;
+  uint32_t segment = 0;
+  uint32_t attempts = 0;
+};
+
+void DataStore::Get(std::string key, GetCallback callback) {
+  auto op = std::make_shared<GetOp>();
+  op->key = std::move(key);
+  op->callback = std::move(callback);
+  stats_.gets++;
+  core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { GetLookup(op); });
+}
+
+void DataStore::GetLookup(std::shared_ptr<GetOp> op) {
+  op->segment = SegmentOf(op->key);
+  const SegmentEntry& e = segtbl_.At(op->segment);
+  if (e.Empty()) {
+    GetFinish(op, Status::NotFound(), {});
+    return;
+  }
+  GetReadBucket(op, e.ssd, e.offset, e.chain_len);
+}
+
+void DataStore::GetReadBucket(std::shared_ptr<GetOp> op, uint8_t ssd,
+                              uint64_t offset, uint8_t remaining_chain) {
+  const LogSet& logs = log_sets_.at(ssd);
+  stats_.ssd_reads++;
+  logs.key_log->Read(offset, config_.bucket_size, [this, op, remaining_chain](
+                                                      log::ReadResult r) {
+    if (!r.status.ok()) {
+      // Compaction may have reclaimed this region between our SegTbl probe
+      // and the device read; the re-lookup sees the relocated chain.
+      GetRetry(op);
+      return;
+    }
+    auto bucket = DecodeBucket(r.data, 0, config_.bucket_size);
+    if (!bucket.ok()) {
+      GetFinish(op, bucket.status(), {});
+      return;
+    }
+    GetSearch(op, std::move(bucket).value(), remaining_chain);
+  });
+}
+
+void DataStore::GetSearch(std::shared_ptr<GetOp> op, Bucket bucket,
+                          uint8_t remaining_chain) {
+  uint64_t scan_cycles =
+      config_.costs.bucket_parse_per_item * std::max<size_t>(1, bucket.items.size());
+  core_.Run(Cycles(scan_cycles), [this, op, b = std::move(bucket),
+                                  remaining_chain]() mutable {
+    if (b.header.segment_id != op->segment) {
+      // Stale read of a reclaimed-and-rewritten region.
+      GetRetry(op);
+      return;
+    }
+    if (auto idx = b.Find(op->key)) {
+      const KeyItem& item = b.items[*idx];
+      if (item.IsTombstone()) {
+        GetFinish(op, Status::NotFound(), {});
+      } else {
+        GetReadValue(op, item);
+      }
+      return;
+    }
+    if (remaining_chain <= 1) {
+      GetFinish(op, Status::NotFound(), {});
+      return;
+    }
+    stats_.get_chain_extra_reads++;
+    if (b.header.contiguous) {
+      GetReadRest(op, b.header.prev_ssd, b.header.prev_offset,
+                  static_cast<uint8_t>(remaining_chain - 1));
+    } else {
+      GetReadBucket(op, b.header.prev_ssd, b.header.prev_offset,
+                    static_cast<uint8_t>(remaining_chain - 1));
+    }
+  });
+}
+
+void DataStore::GetReadRest(std::shared_ptr<GetOp> op, uint8_t ssd,
+                            uint64_t offset, uint8_t count) {
+  const LogSet& logs = log_sets_.at(ssd);
+  stats_.ssd_reads++;
+  uint64_t bytes = static_cast<uint64_t>(count) * config_.bucket_size;
+  logs.key_log->Read(offset, bytes, [this, op, count](log::ReadResult r) {
+    if (!r.status.ok()) {
+      GetRetry(op);
+      return;
+    }
+    // Parse all buckets of the contiguous remainder and search newest-first.
+    std::vector<Bucket> buckets;
+    buckets.reserve(count);
+    for (uint8_t i = 0; i < count; ++i) {
+      auto b = DecodeBucket(r.data, static_cast<size_t>(i) * config_.bucket_size,
+                            config_.bucket_size);
+      if (!b.ok()) {
+        GetFinish(op, b.status(), {});
+        return;
+      }
+      buckets.push_back(std::move(b).value());
+    }
+    uint64_t items = 0;
+    for (const auto& b : buckets) items += b.items.size();
+    core_.Run(Cycles(config_.costs.bucket_parse_per_item * std::max<uint64_t>(1, items)),
+              [this, op, bs = std::move(buckets)] {
+                for (const auto& b : bs) {
+                  if (b.header.segment_id != op->segment) {
+                    GetRetry(op);
+                    return;
+                  }
+                  if (auto idx = b.Find(op->key)) {
+                    const KeyItem& item = b.items[*idx];
+                    if (item.IsTombstone()) {
+                      GetFinish(op, Status::NotFound(), {});
+                    } else {
+                      GetReadValue(op, item);
+                    }
+                    return;
+                  }
+                }
+                GetFinish(op, Status::NotFound(), {});
+              });
+  });
+}
+
+void DataStore::GetReadValue(std::shared_ptr<GetOp> op, const KeyItem& item) {
+  auto it = log_sets_.find(item.value_ssd);
+  if (it == log_sets_.end()) {
+    GetFinish(op, Status::Corruption("item names unknown SSD"), {});
+    return;
+  }
+  uint32_t entry_bytes =
+      ValueEntryBytes(static_cast<uint32_t>(op->key.size()), item.value_len);
+  stats_.ssd_reads++;
+  it->second.value_log->Read(item.value_offset, entry_bytes,
+                             [this, op](log::ReadResult r) {
+    if (!r.status.ok()) {
+      GetRetry(op);
+      return;
+    }
+    auto entry = DecodeValueEntry(r.data, 0);
+    if (!entry.ok()) {
+      GetFinish(op, entry.status(), {});
+      return;
+    }
+    if (entry.value().key != op->key) {
+      // The offset was recycled under us (value-log compaction commit race).
+      GetRetry(op);
+      return;
+    }
+    GetFinish(op, Status::Ok(), std::move(entry).value().value);
+  });
+}
+
+void DataStore::GetRetry(std::shared_ptr<GetOp> op) {
+  if (++op->attempts > config_.max_get_retries) {
+    GetFinish(op, Status::Internal("GET retry budget exhausted"), {});
+    return;
+  }
+  stats_.get_retries++;
+  core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { GetLookup(op); });
+}
+
+void DataStore::GetFinish(std::shared_ptr<GetOp> op, Status status,
+                          std::vector<uint8_t> value) {
+  if (status.IsNotFound()) stats_.get_not_found++;
+  core_.Run(Cycles(config_.costs.op_complete),
+            [op, st = std::move(status), v = std::move(value)]() mutable {
+              op->callback(std::move(st), std::move(v));
+            });
+}
+
+// ---------------------------------------------------------------------------
+// PUT / DEL
+// ---------------------------------------------------------------------------
+
+struct DataStore::PutOp {
+  std::string key;
+  std::vector<uint8_t> value;
+  bool is_del = false;
+  OpCallback callback;
+  uint32_t segment = 0;
+  // Join state across the parallel key-log/value-log appends (§3.3).
+  int pending_appends = 0;
+  Status append_status;
+  uint64_t new_offset = 0;
+  uint8_t new_chain = 0;
+  uint8_t target_ssd = 0;
+};
+
+void DataStore::Put(std::string key, std::vector<uint8_t> value, OpCallback callback) {
+  auto op = std::make_shared<PutOp>();
+  op->key = std::move(key);
+  op->value = std::move(value);
+  op->callback = std::move(callback);
+  stats_.puts++;
+  core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { PutAcquire(op); });
+}
+
+void DataStore::Del(std::string key, OpCallback callback) {
+  auto op = std::make_shared<PutOp>();
+  op->key = std::move(key);
+  op->is_del = true;
+  op->callback = std::move(callback);
+  stats_.dels++;
+  core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { PutAcquire(op); });
+}
+
+void DataStore::PutAcquire(std::shared_ptr<PutOp> op) {
+  op->segment = SegmentOf(op->key);
+  if (!segtbl_.TryLock(op->segment)) {
+    stats_.lock_waits++;
+    segtbl_.WaitOnLock(op->segment, [this, op] { PutAcquire(op); });
+    return;
+  }
+  PutReadHead(op);
+}
+
+void DataStore::PutReadHead(std::shared_ptr<PutOp> op) {
+  const SegmentEntry& e = segtbl_.At(op->segment);
+  if (e.Empty()) {
+    if (op->is_del) {
+      // Deleting from an empty segment: nothing on flash to mark.
+      PutFinish(op, Status::Ok());
+      return;
+    }
+    PutApply(op, std::nullopt);
+    return;
+  }
+  const LogSet& logs = log_sets_.at(e.ssd);
+  stats_.ssd_reads++;
+  logs.key_log->Read(e.offset, config_.bucket_size, [this, op](log::ReadResult r) {
+    if (!r.status.ok()) {
+      PutFinish(op, Status::Corruption("head bucket read failed under lock"));
+      return;
+    }
+    auto bucket = DecodeBucket(r.data, 0, config_.bucket_size);
+    if (!bucket.ok()) {
+      PutFinish(op, bucket.status());
+      return;
+    }
+    PutApply(op, std::move(bucket).value());
+  });
+}
+
+void DataStore::PutApply(std::shared_ptr<PutOp> op, std::optional<Bucket> head) {
+  uint64_t cycles = config_.costs.bucket_build;
+  if (head) cycles += config_.costs.bucket_parse_per_item * std::max<size_t>(1, head->items.size());
+  if (!op->is_del) {
+    cycles += config_.costs.value_build_per_kib * (op->value.size() / 1024 + 1);
+  }
+  core_.Run(Cycles(cycles), [this, op, h = std::move(head)]() mutable {
+    const SegmentEntry& e = segtbl_.At(op->segment);
+    const LogSet& target = TargetLogs();
+    op->target_ssd = target.ssd_id;
+
+    KeyItem item;
+    item.key = op->key;
+    if (!op->is_del) {
+      item.value_len = static_cast<uint32_t>(op->value.size());
+      item.value_ssd = target.ssd_id;
+    }
+
+    // --- Validate everything BEFORE issuing any append, so that a failure
+    // never leaves one half of the parallel write pair in flight. ---
+    const bool in_place = h && h->CanUpsert(config_.bucket_size, item);
+    const uint32_t new_len = in_place ? e.chain_len : (h ? e.chain_len : 0) + 1u;
+    if (new_len > segtbl_.max_chain()) {
+      stats_.puts_failed_full++;
+      PutFinish(op, Status::OutOfSpace("segment chain at max; compaction lagging"));
+      MaybeCompact();
+      return;
+    }
+    const uint64_t value_bytes =
+        op->is_del ? 0
+                   : ValueEntryBytes(static_cast<uint32_t>(op->key.size()),
+                                     static_cast<uint32_t>(op->value.size()));
+    if (value_bytes > target.value_log->free_space()) {
+      stats_.puts_failed_full++;
+      PutFinish(op, Status::OutOfSpace("value log full"));
+      MaybeCompact();
+      return;
+    }
+    if (config_.bucket_size > target.key_log->free_space()) {
+      stats_.puts_failed_full++;
+      PutFinish(op, Status::OutOfSpace("key log full"));
+      MaybeCompact();
+      return;
+    }
+
+    if (target.ssd_id != home_.ssd_id) stats_.swap_puts++;
+
+    // --- Commit point: issue the value append (reserving its offset
+    // synchronously — CircularLog bumps the tail at Append time, which is
+    // what lets the bucket carry the final value offset while both writes
+    // proceed in parallel, §3.3). ---
+    if (!op->is_del) {
+      ValueEntry entry;
+      entry.segment_id = op->segment;
+      entry.key = op->key;
+      entry.value = op->value;
+      item.value_offset = target.value_log->tail();
+      op->pending_appends++;
+      stats_.ssd_writes++;
+      target.value_log->Append(EncodeValueEntry(entry), [this, op](log::AppendResult r) {
+        if (!r.status.ok()) op->append_status = r.status;
+        if (--op->pending_appends == 0) PutCommit(op);
+      });
+    }
+
+    // --- Build the new chain head. ---
+    Bucket nb;
+    if (in_place) {
+      nb = std::move(*h);
+      bool ok = nb.Upsert(config_.bucket_size, item);
+      (void)ok;
+      assert(ok && "CanUpsert validated this");
+      // Re-appended head keeps its chain metadata (incl. contiguity of the
+      // remainder, which still lives at prev_offset).
+    } else {
+      nb.header.tag = BucketTag(HashKey(op->key, 0x5e91e57 + config_.store_id));
+      nb.header.chain_len = static_cast<uint8_t>(new_len);
+      nb.header.position = 0;
+      nb.header.contiguous = 0;
+      if (h) {
+        nb.header.prev_offset = e.offset;
+        nb.header.prev_ssd = e.ssd;
+      }
+      bool ok = nb.Upsert(config_.bucket_size, item);
+      (void)ok;
+      assert(ok && "a single item must fit an empty bucket");
+    }
+    op->new_chain = static_cast<uint8_t>(new_len);
+    nb.header.segment_id = op->segment;
+    nb.header.log_head = static_cast<uint32_t>(target.key_log->head());
+    nb.header.log_tail = static_cast<uint32_t>(target.key_log->tail());
+
+    auto encoded = EncodeBucket(nb, config_.bucket_size);
+    if (!encoded.ok()) {
+      // Unreachable for well-formed items; surface rather than hide.
+      op->append_status = encoded.status();
+      if (op->pending_appends == 0) PutFinish(op, encoded.status());
+      return;
+    }
+    op->new_offset = target.key_log->tail();
+    op->pending_appends++;
+    stats_.ssd_writes++;
+    target.key_log->Append(std::move(encoded).value(), [this, op](log::AppendResult r) {
+      if (!r.status.ok()) op->append_status = r.status;
+      if (--op->pending_appends == 0) PutCommit(op);
+    });
+  });
+}
+
+void DataStore::PutCommit(std::shared_ptr<PutOp> op) {
+  if (!op->append_status.ok()) {
+    PutFinish(op, op->append_status);
+    return;
+  }
+  core_.Run(Cycles(config_.costs.op_complete), [this, op] {
+    SegmentEntry& e = segtbl_.At(op->segment);
+    e.offset = op->new_offset;
+    e.chain_len = op->new_chain;
+    e.ssd = op->target_ssd;
+    // A segment counts as "swapped" until *all* of its data (chain head and
+    // every referenced value) is back on the home SSD; only the compactor's
+    // merge-back clears the mark, so swap-region reclaim stays safe even if
+    // later PUTs land home while old values still sit on the donor.
+    if (op->target_ssd != home_.ssd_id) {
+      swapped_segments_.insert(op->segment);
+    }
+    PutFinish(op, Status::Ok());
+    MaybeCompact();
+  });
+}
+
+void DataStore::PutFinish(std::shared_ptr<PutOp> op, Status status) {
+  UnlockAndPump(op->segment);
+  op->callback(std::move(status));
+}
+
+// ---------------------------------------------------------------------------
+// COPY (§3.8): stream live items out, one segment at a time, under the lock.
+// ---------------------------------------------------------------------------
+
+struct DataStore::CopyOp {
+  std::function<bool(std::string_view)> want;
+  ItemSink sink;
+  OpCallback done;
+  uint32_t next_segment = 0;
+  std::vector<Bucket> chain;
+  std::vector<KeyItem> live;
+  size_t value_index = 0;
+};
+
+void DataStore::CopyOut(std::function<bool(std::string_view)> want, ItemSink sink,
+                        OpCallback done) {
+  auto op = std::make_shared<CopyOp>();
+  op->want = std::move(want);
+  op->sink = std::move(sink);
+  op->done = std::move(done);
+  CopyNextSegment(op);
+}
+
+void DataStore::CopyNextSegment(std::shared_ptr<CopyOp> op) {
+  while (op->next_segment < config_.num_segments &&
+         segtbl_.At(op->next_segment).Empty()) {
+    ++op->next_segment;
+  }
+  if (op->next_segment >= config_.num_segments) {
+    op->done(Status::Ok());
+    return;
+  }
+  uint32_t seg = op->next_segment;
+  if (!segtbl_.TryLock(seg)) {
+    segtbl_.WaitOnLock(seg, [this, op] { CopyNextSegment(op); });
+    return;
+  }
+  const SegmentEntry& e = segtbl_.At(seg);
+  ReadChain(seg, e.ssd, e.offset, e.chain_len,
+            [this, op, seg](Status st, std::vector<Bucket> chain) {
+    if (!st.ok()) {
+      UnlockAndPump(seg);
+      op->done(st);
+      return;
+    }
+    // Newest-wins merge across the chain; keep wanted live items.
+    op->live.clear();
+    std::set<std::string> seen;
+    for (const auto& b : chain) {
+      for (const auto& it : b.items) {
+        if (!seen.insert(it.key).second) continue;
+        if (it.IsTombstone()) continue;
+        if (!op->want(it.key)) continue;
+        op->live.push_back(it);
+      }
+    }
+    op->value_index = 0;
+    CopyEmitValues(op);
+  });
+}
+
+void DataStore::CopyEmitValues(std::shared_ptr<CopyOp> op) {
+  uint32_t seg = op->next_segment;
+  if (op->value_index >= op->live.size()) {
+    UnlockAndPump(seg);
+    ++op->next_segment;
+    // Yield to the event loop between segments so COPY does not monopolize.
+    sim_.Schedule(0, [this, op] { CopyNextSegment(op); });
+    return;
+  }
+  const KeyItem& item = op->live[op->value_index];
+  const LogSet& logs = log_sets_.at(item.value_ssd);
+  uint32_t bytes = ValueEntryBytes(static_cast<uint32_t>(item.key.size()),
+                                   item.value_len);
+  stats_.ssd_reads++;
+  logs.value_log->Read(item.value_offset, bytes, [this, op](log::ReadResult r) {
+    if (r.status.ok()) {
+      auto entry = DecodeValueEntry(r.data, 0);
+      if (entry.ok()) {
+        op->sink(entry.value().key, std::move(entry).value().value);
+      }
+    }
+    ++op->value_index;
+    CopyEmitValues(op);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Chain reader shared with the compactor.
+// ---------------------------------------------------------------------------
+
+void DataStore::ReadChain(uint32_t segment_id, uint8_t ssd, uint64_t offset,
+                          uint8_t chain_len,
+                          std::function<void(Status, std::vector<Bucket>)> cb) {
+  if (chain_len == 0) {
+    cb(Status::Ok(), {});
+    return;
+  }
+  auto acc = std::make_shared<std::vector<Bucket>>();
+  auto step = std::make_shared<std::function<void(uint8_t, uint64_t, uint8_t)>>();
+  *step = [this, segment_id, acc, step, cb](uint8_t cur_ssd, uint64_t cur_off,
+                                            uint8_t remaining) {
+    const LogSet& logs = log_sets_.at(cur_ssd);
+    stats_.ssd_reads++;
+    logs.key_log->Read(cur_off, config_.bucket_size,
+                       [this, segment_id, acc, step, cb, remaining](log::ReadResult r) {
+      if (!r.status.ok()) {
+        cb(r.status, {});
+        return;
+      }
+      auto b = DecodeBucket(r.data, 0, config_.bucket_size);
+      if (!b.ok()) {
+        cb(b.status(), {});
+        return;
+      }
+      Bucket bucket = std::move(b).value();
+      if (bucket.header.segment_id != segment_id) {
+        cb(Status::Corruption("chain walk hit foreign bucket"), {});
+        return;
+      }
+      BucketHeader hdr = bucket.header;
+      acc->push_back(std::move(bucket));
+      if (remaining <= 1) {
+        cb(Status::Ok(), std::move(*acc));
+        return;
+      }
+      if (hdr.contiguous) {
+        // One IO for the whole remainder.
+        const LogSet& rest_logs = log_sets_.at(hdr.prev_ssd);
+        uint64_t bytes = static_cast<uint64_t>(remaining - 1) * config_.bucket_size;
+        stats_.ssd_reads++;
+        rest_logs.key_log->Read(hdr.prev_offset, bytes,
+                                [this, segment_id, acc, cb, remaining](log::ReadResult rr) {
+          if (!rr.status.ok()) {
+            cb(rr.status, {});
+            return;
+          }
+          for (uint8_t i = 0; i + 1 < remaining; ++i) {
+            auto bb = DecodeBucket(rr.data, static_cast<size_t>(i) * config_.bucket_size,
+                                   config_.bucket_size);
+            if (!bb.ok()) {
+              cb(bb.status(), {});
+              return;
+            }
+            if (bb.value().header.segment_id != segment_id) {
+              cb(Status::Corruption("contiguous remainder hit foreign bucket"), {});
+              return;
+            }
+            acc->push_back(std::move(bb).value());
+          }
+          cb(Status::Ok(), std::move(*acc));
+        });
+      } else {
+        (*step)(hdr.prev_ssd, hdr.prev_offset, static_cast<uint8_t>(remaining - 1));
+      }
+    });
+  };
+  (*step)(ssd, offset, chain_len);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction entry points (implementation in compaction.cc).
+// ---------------------------------------------------------------------------
+
+bool DataStore::MaybeCompact() { return compactor_->MaybeStart(); }
+bool DataStore::compaction_running() const { return compactor_->running(); }
+void DataStore::ForceKeyCompaction(OpCallback done) {
+  compactor_->StartKey(std::move(done));
+}
+void DataStore::ForceValueCompaction(OpCallback done) {
+  compactor_->StartValue(std::move(done));
+}
+
+}  // namespace leed::store

@@ -1,0 +1,231 @@
+// The LEED data store (paper §3.2, §3.3): one instance per (virtual) node /
+// SSD partition.
+//
+// Execution model mirrors the prototype's event-based asynchronous
+// framework: every GET/PUT/DEL is a state machine that charges CPU cycles
+// on its owning core (the core statically mapped to its SSD, §3.4) and
+// issues asynchronous IOs against the circular key/value logs; nothing ever
+// blocks or busy-polls. NVMe access counts per op are the paper's 2/3/2
+// (GET/PUT/DEL) in the common case.
+//
+// Concurrency: the single lock bit per segment (SegTbl) serializes writers
+// (PUT/DEL/COPY/value-log compaction) per segment; GETs never take the
+// lock — log immutability protects them — and transparently retry from the
+// SegTbl lookup if a compaction reclaimed the region under their feet
+// (bounded retries; the re-lookup sees the relocated offsets).
+//
+// Data swapping (§3.6): SetSwapTarget(ssd) redirects new PUT appends (both
+// the head bucket and the value) to a donor SSD's log pair; every item and
+// SegTbl entry carries the SSD identifier, so GETs follow naturally, and
+// the home compaction merges swapped segments back.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "log/circular_log.h"
+#include "sim/cpu_model.h"
+#include "sim/simulator.h"
+#include "store/format.h"
+#include "store/segment_table.h"
+
+namespace leed::store {
+
+// Cycle costs on the reference core (ARM A72 @3 GHz); divided by the
+// platform ipc_factor. Calibration constants — see DESIGN.md §4.
+struct CpuCosts {
+  uint64_t op_dispatch = 900;          // parse request, hash, SegTbl probe
+  uint64_t bucket_parse_per_item = 12; // chain search per item scanned
+  uint64_t bucket_build = 1100;        // upsert + serialize updated bucket
+  uint64_t value_build_per_kib = 700;  // copy/format value payload
+  uint64_t op_complete = 600;          // response formatting / bookkeeping
+  uint64_t compaction_per_item = 70;   // dedupe/copy per live item
+  uint64_t compaction_setup = 2500;    // per sub-compaction dispatch
+};
+
+// Caps how many compaction runs may execute concurrently across the stores
+// sharing it (the inter-parallelism knob of Fig. 13b). max == 0 means
+// unlimited.
+struct CompactionGate {
+  uint32_t max = 0;
+  uint32_t active = 0;
+
+  bool TryAcquire() {
+    if (max != 0 && active >= max) return false;
+    ++active;
+    return true;
+  }
+  void Release() {
+    if (active > 0) --active;
+  }
+};
+
+struct StoreConfig {
+  uint32_t store_id = 0;
+  uint8_t home_ssd = 0;
+  uint32_t num_segments = 4096;
+  uint32_t bucket_size = 4096;
+  uint32_t chain_bits = 4;             // K: max chain length 2^K - 1
+  double compaction_threshold = 0.70;  // trigger on used fraction
+  uint64_t compaction_chunk = 256 * 1024;  // bytes of log head per run
+  uint32_t subcompactions = 8;         // S-way intra-parallelism (Fig 13a)
+  bool prefetch = true;                // prefetch run N+1's chunk during N
+  uint32_t max_get_retries = 4;
+  CpuCosts costs;
+  double ipc_factor = 1.0;
+  // Optional shared limit on co-scheduled compactions (Fig. 13b).
+  std::shared_ptr<CompactionGate> compaction_gate;
+};
+
+// A key/value circular-log pair living on one SSD.
+struct LogSet {
+  uint8_t ssd_id = 0;
+  log::CircularLog* key_log = nullptr;
+  log::CircularLog* value_log = nullptr;
+};
+
+struct StoreStats {
+  uint64_t gets = 0, puts = 0, dels = 0;
+  uint64_t get_not_found = 0;
+  uint64_t ssd_reads = 0, ssd_writes = 0;
+  uint64_t get_chain_extra_reads = 0;  // chain walks beyond the head bucket
+  uint64_t get_retries = 0;            // compaction-induced re-lookups
+  uint64_t key_compactions = 0, value_compactions = 0;
+  uint64_t segments_collapsed = 0;
+  uint64_t items_live_moved = 0, items_dropped = 0;
+  uint64_t swap_puts = 0;              // PUTs redirected to a donor SSD
+  uint64_t prefetch_hits = 0, prefetch_misses = 0;
+  uint64_t lock_waits = 0;
+  uint64_t puts_failed_full = 0;
+};
+
+class Compactor;  // store/compaction.h
+
+class DataStore {
+ public:
+  using GetCallback = std::function<void(Status, std::vector<uint8_t>)>;
+  using OpCallback = std::function<void(Status)>;
+  // CopyOut sink: called once per live item, then the done callback.
+  using ItemSink = std::function<void(std::string key, std::vector<uint8_t> value)>;
+
+  DataStore(sim::Simulator& simulator, sim::CpuCore& core, LogSet home,
+            StoreConfig config);
+  ~DataStore();
+
+  DataStore(const DataStore&) = delete;
+  DataStore& operator=(const DataStore&) = delete;
+
+  // Register a donor SSD's log pair (required before SetSwapTarget(ssd)).
+  void AddLogSet(LogSet set);
+
+  // Redirect subsequent PUT appends to the donor SSD (nullopt = home).
+  void SetSwapTarget(std::optional<uint8_t> ssd_id);
+  std::optional<uint8_t> swap_target() const { return swap_target_; }
+
+  void Get(std::string key, GetCallback callback);
+  void Put(std::string key, std::vector<uint8_t> value, OpCallback callback);
+  void Del(std::string key, OpCallback callback);
+
+  // Stream all live items whose key satisfies `want` (used by COPY, §3.8).
+  // Locks one segment at a time; mutually exclusive with PUT/DEL on that
+  // segment, as the paper requires.
+  void CopyOut(std::function<bool(std::string_view)> want, ItemSink sink,
+               OpCallback done);
+
+  // Kick compaction if a log crossed its threshold and none is running.
+  // Returns true if a run started.
+  bool MaybeCompact();
+  bool compaction_running() const;
+  // Force a compaction pass (benches; Fig 13).
+  void ForceKeyCompaction(OpCallback done);
+  void ForceValueCompaction(OpCallback done);
+
+  const StoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StoreStats{}; }
+  const StoreConfig& config() const { return config_; }
+  const SegmentTable& segments() const { return segtbl_; }
+  SegmentTable& segments() { return segtbl_; }
+  const LogSet& home() const { return home_; }
+  const LogSet& log_set(uint8_t ssd_id) const { return log_sets_.at(ssd_id); }
+  bool HasLogSet(uint8_t ssd_id) const { return log_sets_.count(ssd_id) != 0; }
+
+  // Number of segments whose chain head currently lives off-home.
+  size_t swapped_segments() const { return swapped_segments_.size(); }
+
+  uint32_t SegmentOf(std::string_view key) const {
+    return static_cast<uint32_t>(HashKey(key, 0x5e91e57 + config_.store_id) %
+                                 config_.num_segments);
+  }
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::CpuCore& core() { return core_; }
+
+ private:
+  friend class Compactor;
+
+  uint64_t Cycles(uint64_t c) const {
+    double scaled = static_cast<double>(c) / config_.ipc_factor;
+    return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+  }
+
+  const LogSet& TargetLogs() const;
+
+  // --- GET machine ---
+  struct GetOp;
+  void GetLookup(std::shared_ptr<GetOp> op);
+  void GetReadBucket(std::shared_ptr<GetOp> op, uint8_t ssd, uint64_t offset,
+                     uint8_t remaining_chain);
+  void GetSearch(std::shared_ptr<GetOp> op, Bucket bucket, uint8_t remaining_chain);
+  void GetReadRest(std::shared_ptr<GetOp> op, uint8_t ssd, uint64_t offset,
+                   uint8_t count);
+  void GetReadValue(std::shared_ptr<GetOp> op, const KeyItem& item);
+  void GetRetry(std::shared_ptr<GetOp> op);
+  void GetFinish(std::shared_ptr<GetOp> op, Status status,
+                 std::vector<uint8_t> value);
+
+  // --- PUT/DEL machine (shared; DEL is a PUT of a tombstone) ---
+  struct PutOp;
+  void PutAcquire(std::shared_ptr<PutOp> op);
+  void PutReadHead(std::shared_ptr<PutOp> op);
+  void PutApply(std::shared_ptr<PutOp> op, std::optional<Bucket> head);
+  void PutCommit(std::shared_ptr<PutOp> op);
+  void PutFinish(std::shared_ptr<PutOp> op, Status status);
+
+  // --- COPY machine ---
+  struct CopyOp;
+  void CopyNextSegment(std::shared_ptr<CopyOp> op);
+  void CopyReadChain(std::shared_ptr<CopyOp> op, uint8_t ssd, uint64_t offset,
+                     uint8_t remaining);
+  void CopyEmitValues(std::shared_ptr<CopyOp> op);
+
+  // Chain read helper shared with the compactor: reads the full chain of a
+  // segment into buckets (newest-first). Must be called with seg locked or
+  // from a context that tolerates relocation retries.
+  void ReadChain(uint32_t segment_id, uint8_t ssd, uint64_t offset,
+                 uint8_t chain_len,
+                 std::function<void(Status, std::vector<Bucket>)> cb);
+
+  void UnlockAndPump(uint32_t segment_id);
+
+  sim::Simulator& sim_;
+  sim::CpuCore& core_;
+  StoreConfig config_;
+  LogSet home_;
+  std::map<uint8_t, LogSet> log_sets_;
+  std::optional<uint8_t> swap_target_;
+  SegmentTable segtbl_;
+  StoreStats stats_;
+  std::set<uint32_t> swapped_segments_;
+  std::unique_ptr<Compactor> compactor_;
+};
+
+}  // namespace leed::store

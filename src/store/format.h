@@ -1,0 +1,121 @@
+// On-flash format of the LEED data store (paper §3.2.2, §3.2.3).
+//
+// Layout recap: a (virtual) node's key space is split into *segments*; a
+// segment is a chain of up to M *buckets*; a bucket holds up to N key
+// items plus metadata and is limited to the SSD block size. Buckets are
+// appended whole to the circular *key log*; values (prefixed by their key,
+// as in WiscKey's vLog, so that value-log compaction can verify liveness)
+// are appended to the circular *value log*.
+//
+// Chain discipline: SegTbl points at the newest bucket of a segment's
+// chain. A PUT appends a new copy of the head bucket (or a fresh bucket
+// when the head is full) whose `prev_offset` links to the rest of the
+// chain. Newest-first traversal means a GET takes the first match it sees,
+// so stale versions need no eager invalidation — compaction collapses the
+// chain, deduplicates (newest wins), drops tombstones, and rewrites the
+// segment as one *contiguous array* of buckets ("the data structure of a
+// segment is changed to an array of buckets when writing to the SSD"),
+// after which a chain miss in the head bucket costs a single extra IO for
+// the whole remainder.
+//
+// A key item's value location carries an SSD identifier — the one-field
+// format extension (§3.6) that makes intra-JBOF data swapping possible.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace leed::store {
+
+// A deletion is an item whose value_len is zero (paper §3.3: "updating the
+// corresponding value length field to zero as a deletion marker").
+struct KeyItem {
+  std::string key;
+  uint32_t value_len = 0;
+  uint64_t value_offset = 0;  // logical offset into the value log
+  uint8_t value_ssd = 0;      // SSD identifier of the value log (swap support)
+
+  bool IsTombstone() const { return value_len == 0; }
+
+  // On-flash footprint: key_len(2) + value_len(4) + value_offset(6) +
+  // value_ssd(1) + key bytes.
+  static constexpr uint32_t kFixedBytes = 2 + 4 + 6 + 1;
+  uint32_t EncodedSize() const {
+    return kFixedBytes + static_cast<uint32_t>(key.size());
+  }
+};
+
+struct BucketHeader {
+  uint32_t segment_id = 0;   // owning segment (for compaction liveness)
+  uint32_t tag = 0;          // 4B bucket index: hash tag for fast matching
+  uint8_t chain_len = 0;     // chain length *at and below* this bucket
+  uint8_t position = 0;      // position of this bucket within the chain
+  uint8_t contiguous = 0;    // 1 if the rest of the chain follows on-flash
+  uint8_t value_ssd_hint = 0;
+  uint64_t prev_offset = 0;  // key-log offset of the next-older bucket
+  uint8_t prev_ssd = 0;      // SSD holding prev bucket (swap support)
+  // Recovery fields (§3.2.3): snapshot of the key log head/tail at append
+  // time; a scan after a crash can rebuild SegTbl from these.
+  uint32_t log_head = 0;
+  uint32_t log_tail = 0;
+  uint16_t item_count = 0;
+
+  static constexpr uint32_t kEncodedSize = 4 + 4 + 1 + 1 + 1 + 1 + 8 + 1 + 4 + 4 + 2 + 1 /*pad*/;
+};
+
+// An in-memory bucket: header + items, serialized to exactly
+// `bucket_size` bytes (zero-padded). Items are stored newest-first.
+struct Bucket {
+  BucketHeader header;
+  std::vector<KeyItem> items;
+
+  uint32_t PayloadBytes() const;
+  bool Fits(uint32_t bucket_size, const KeyItem& extra) const;
+
+  // Find newest item for key. Returns index or nullopt.
+  std::optional<size_t> Find(std::string_view key) const;
+
+  // Insert-or-replace within this bucket (newest wins; replaces in place if
+  // the key already lives in this bucket, else prepends).
+  // Returns false if the item would not fit.
+  bool Upsert(uint32_t bucket_size, KeyItem item);
+
+  // Would Upsert succeed? (No mutation — used to decide in-place update vs.
+  // chain extension before any IO is issued.)
+  bool CanUpsert(uint32_t bucket_size, const KeyItem& item) const;
+};
+
+// Serialize to exactly bucket_size bytes. Dies (Status) if oversized.
+Result<std::vector<uint8_t>> EncodeBucket(const Bucket& bucket, uint32_t bucket_size);
+
+// Parse one bucket from `data` at byte offset `at` (bucket_size bytes).
+Result<Bucket> DecodeBucket(const std::vector<uint8_t>& data, size_t at,
+                            uint32_t bucket_size);
+
+// ---- value log entries ----------------------------------------------------
+
+struct ValueEntry {
+  uint32_t segment_id = 0;
+  std::string key;
+  std::vector<uint8_t> value;
+
+  static constexpr uint32_t kHeaderBytes = 4 + 2 + 4;  // seg(4) klen(2) vlen(4)
+  uint32_t EncodedSize() const {
+    return kHeaderBytes + static_cast<uint32_t>(key.size() + value.size());
+  }
+};
+
+std::vector<uint8_t> EncodeValueEntry(const ValueEntry& entry);
+Result<ValueEntry> DecodeValueEntry(const std::vector<uint8_t>& data, size_t at);
+
+// Size of the value-log entry for a key/value pair — what a GET must read.
+inline uint32_t ValueEntryBytes(uint32_t key_len, uint32_t value_len) {
+  return ValueEntry::kHeaderBytes + key_len + value_len;
+}
+
+}  // namespace leed::store

@@ -1,0 +1,124 @@
+#include "store/recovery.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "store/format.h"
+
+namespace leed::store {
+
+RecoveryCheckpoint Checkpoint(const DataStore& store) {
+  RecoveryCheckpoint cp;
+  auto add = [&cp](const LogSet& logs) {
+    RecoveryCheckpoint::LogPointers p;
+    p.ssd = logs.ssd_id;
+    p.key_head = logs.key_log->head();
+    p.key_tail = logs.key_log->tail();
+    p.value_head = logs.value_log->head();
+    p.value_tail = logs.value_log->tail();
+    cp.logs.push_back(p);
+  };
+  add(store.home());
+  // Donors in ssd-id order, skipping home.
+  for (uint8_t ssd = 0; ssd < 255; ++ssd) {
+    if (ssd == store.home().ssd_id || !store.HasLogSet(ssd)) continue;
+    add(store.log_set(ssd));
+  }
+  return cp;
+}
+
+namespace {
+
+struct RecoveryRun {
+  DataStore* store;
+  RecoveryCheckpoint checkpoint;
+  std::function<void(Status, RecoveryStats)> done;
+  RecoveryStats stats;
+  size_t log_index = 0;
+  uint64_t cursor = 0;  // logical offset within the current key log
+};
+
+void ScanNextRegion(std::shared_ptr<RecoveryRun> run);
+
+void ScanLog(std::shared_ptr<RecoveryRun> run) {
+  if (run->log_index >= run->checkpoint.logs.size()) {
+    run->done(Status::Ok(), run->stats);
+    return;
+  }
+  run->cursor = run->checkpoint.logs[run->log_index].key_head;
+  ScanNextRegion(run);
+}
+
+void ScanNextRegion(std::shared_ptr<RecoveryRun> run) {
+  const auto& lp = run->checkpoint.logs[run->log_index];
+  DataStore& ds = *run->store;
+  const uint32_t bucket_size = ds.config().bucket_size;
+  if (run->cursor + bucket_size > lp.key_tail) {
+    // This log is done; anything between cursor and tail is a torn append.
+    if (run->cursor < lp.key_tail) run->stats.torn_buckets_ignored++;
+    run->log_index++;
+    ScanLog(run);
+    return;
+  }
+  if (!ds.HasLogSet(lp.ssd)) {  // defensive: donor vanished
+    run->log_index++;
+    ScanLog(run);
+    return;
+  }
+  const LogSet& logs = ds.log_set(lp.ssd);
+  // Read a chunk of buckets at a time (sequential recovery scan).
+  const uint64_t chunk = std::min<uint64_t>(
+      lp.key_tail - run->cursor,
+      std::max<uint64_t>(bucket_size, 64ull * bucket_size));
+  const uint64_t aligned = chunk - chunk % bucket_size;
+  const uint64_t start = run->cursor;
+  logs.key_log->Read(start, aligned, [run, start, aligned, bucket_size,
+                                      ssd = lp.ssd](log::ReadResult r) {
+    DataStore& store = *run->store;
+    if (!r.status.ok()) {
+      run->done(r.status, run->stats);
+      return;
+    }
+    for (uint64_t at = 0; at + bucket_size <= r.data.size(); at += bucket_size) {
+      auto decoded = DecodeBucket(r.data, at, bucket_size);
+      if (!decoded.ok()) {
+        run->stats.torn_buckets_ignored++;
+        continue;
+      }
+      const Bucket& b = decoded.value();
+      run->stats.buckets_scanned++;
+      // Only chain heads re-point the SegTbl; mid-chain buckets of a
+      // collapsed array carry position > 0 and are reachable via the head.
+      if (b.header.position != 0) {
+        run->stats.stale_copies_skipped++;
+        continue;
+      }
+      if (b.header.segment_id >= store.config().num_segments) {
+        run->stats.torn_buckets_ignored++;
+        continue;
+      }
+      SegmentEntry& e = store.segments().At(b.header.segment_id);
+      if (e.Empty()) run->stats.segments_recovered++;
+      else run->stats.stale_copies_skipped++;
+      e.offset = start + at;
+      e.chain_len = b.header.chain_len;
+      e.ssd = ssd;
+      e.locked = false;
+    }
+    run->cursor = start + aligned;
+    ScanNextRegion(run);
+  });
+}
+
+}  // namespace
+
+void RecoverSegTbl(DataStore& store, const RecoveryCheckpoint& checkpoint,
+                   std::function<void(Status, RecoveryStats)> done) {
+  auto run = std::make_shared<RecoveryRun>();
+  run->store = &store;
+  run->checkpoint = checkpoint;
+  run->done = std::move(done);
+  ScanLog(run);
+}
+
+}  // namespace leed::store

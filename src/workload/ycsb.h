@@ -1,0 +1,65 @@
+// YCSB workload generation (Cooper et al., as used in paper §4.1).
+//
+// The paper evaluates six mixes: A (50/50 read/update), B (95/5),
+// C (read-only), D (95/5 read/insert with "latest" request distribution),
+// F (50/50 read/read-modify-write), and WR (write-only — the paper's
+// "YCSB-WR"). Key choice is uniform or scrambled-Zipf with configurable
+// skewness theta (YCSB default 0.99); values are 256 B or 1 KB.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rand.h"
+#include "common/zipf.h"
+
+namespace leed::workload {
+
+enum class Mix : uint8_t { kA, kB, kC, kD, kF, kWriteOnly };
+
+const char* MixName(Mix mix);
+
+enum class OpKind : uint8_t { kRead, kUpdate, kInsert, kReadModifyWrite };
+
+struct Op {
+  OpKind kind = OpKind::kRead;
+  uint64_t key_id = 0;
+};
+
+struct YcsbConfig {
+  Mix mix = Mix::kB;
+  uint64_t num_keys = 1'000'000;  // preloaded key population
+  uint32_t value_size = 1024;
+  double zipf_theta = 0.99;  // <= 0 means uniform
+  uint64_t seed = 42;
+};
+
+class YcsbGenerator {
+ public:
+  explicit YcsbGenerator(YcsbConfig config);
+
+  Op Next();
+
+  // Canonical key name for an id ("user" + zero-padded digits, YCSB-style).
+  static std::string KeyName(uint64_t id);
+
+  // Deterministic value payload for a key (verifiable content: the bytes
+  // are a function of key id and version, so tests can check GET results).
+  std::vector<uint8_t> MakeValue(uint64_t key_id, uint32_t version = 0) const;
+
+  double ReadFraction() const;
+  const YcsbConfig& config() const { return config_; }
+  uint64_t population() const { return population_; }
+
+ private:
+  uint64_t SampleKey();
+
+  YcsbConfig config_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  uint64_t population_;  // grows with inserts (workload D)
+};
+
+}  // namespace leed::workload

@@ -1,0 +1,259 @@
+// Unit tests for the front-end client library against a scripted fake
+// node: routing (head for writes, token-richest replica for CRRS reads),
+// NACK-triggered view refresh and retry, overload backoff, and timeout
+// recovery.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cluster/wire.h"
+#include "leed/client.h"
+#include "leed/wire.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace leed {
+namespace {
+
+class FakeNode {
+ public:
+  FakeNode(sim::Simulator& simulator, sim::Network& net, uint32_t id)
+      : sim_(simulator), net_(net), id_(id) {
+    endpoint_ = net_.AddEndpoint(sim::NicSpec{});
+    net_.SetReceiver(endpoint_, [this](sim::Message m) {
+      if (auto* req = std::any_cast<ClientRequestMsg>(&m.payload)) {
+        requests.push_back(*req);
+        if (!respond) return;  // scripted silence (timeout tests)
+        ResponseMsg resp;
+        resp.req_id = req->req_id;
+        resp.code = next_code;
+        resp.node = id_;
+        resp.ssd = 0;
+        resp.tokens = advertise_tokens;
+        resp.has_tokens = true;
+        if (next_code == StatusCode::kOk && req->op == engine::OpType::kGet) {
+          resp.value = {1, 2, 3};
+        }
+        net_.Send(endpoint_, req->reply_to, WireSize(resp), std::move(resp));
+        next_code = StatusCode::kOk;  // one-shot scripting
+      }
+    });
+  }
+
+  sim::EndpointId endpoint() const { return endpoint_; }
+
+  std::vector<ClientRequestMsg> requests;
+  bool respond = true;
+  StatusCode next_code = StatusCode::kOk;
+  uint32_t advertise_tokens = 64;
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  uint32_t id_;
+  sim::EndpointId endpoint_;
+};
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : net_(sim_) {
+    cp_endpoint_ = net_.AddEndpoint(sim::NicSpec{});
+    net_.SetReceiver(cp_endpoint_, [this](sim::Message m) {
+      if (std::any_cast<cluster::ViewRequestMsg>(&m.payload)) {
+        ++view_requests_;
+        cluster::ViewUpdateMsg upd{view_};
+        net_.Send(cp_endpoint_, m.src, 64, std::move(upd));
+      }
+    });
+    for (uint32_t i = 0; i < 3; ++i) {
+      nodes_.push_back(std::make_unique<FakeNode>(sim_, net_, i));
+      endpoints_[i] = nodes_[i]->endpoint();
+    }
+    // Three vnodes, one per node, equally spaced; R=3 -> every chain is
+    // {a, b, c} in ring order from the key position.
+    view_.epoch = 1;
+    view_.replication_factor = 3;
+    for (uint32_t i = 0; i < 3; ++i) {
+      view_.vnodes[i] = cluster::VNodeInfo{
+          i, i, 0, static_cast<uint64_t>(i) * (UINT64_MAX / 3),
+          cluster::VNodeState::kRunning};
+    }
+  }
+
+  std::unique_ptr<Client> MakeClient(ClientConfig cfg = {}) {
+    cfg.stores_per_ssd = 1;
+    auto c = std::make_unique<Client>(sim_, net_, cp_endpoint_, &endpoints_, cfg);
+    c->AdoptView(view_);
+    return c;
+  }
+
+  uint32_t HeadOwner(const std::string& key) {
+    auto chain = view_.ChainForKey(key);
+    return view_.Find(chain[0])->owner_node;
+  }
+  uint32_t TailOwner(const std::string& key) {
+    auto chain = view_.ChainForKey(key);
+    return view_.Find(chain.back())->owner_node;
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  sim::EndpointId cp_endpoint_;
+  std::vector<std::unique_ptr<FakeNode>> nodes_;
+  std::map<uint32_t, sim::EndpointId> endpoints_;
+  cluster::ClusterView view_;
+  int view_requests_ = 0;
+};
+
+TEST_F(ClientTest, WritesGoToChainHead) {
+  auto client = MakeClient();
+  bool done = false;
+  client->Put("key1", {9}, [&](Status st, SimTime) {
+    EXPECT_TRUE(st.ok());
+    done = true;
+  });
+  testutil::RunUntilFlag(sim_, done);
+  uint32_t head = HeadOwner("key1");
+  ASSERT_EQ(nodes_[head]->requests.size(), 1u);
+  EXPECT_EQ(nodes_[head]->requests[0].hop, 0);
+  EXPECT_EQ(nodes_[head]->requests[0].op, engine::OpType::kPut);
+}
+
+TEST_F(ClientTest, BaselineReadsGoToTail) {
+  ClientConfig cfg;
+  cfg.crrs_reads = false;
+  auto client = MakeClient(cfg);
+  bool done = false;
+  client->Get("key1", [&](Status, std::vector<uint8_t>, SimTime) { done = true; });
+  testutil::RunUntilFlag(sim_, done);
+  uint32_t tail = TailOwner("key1");
+  ASSERT_EQ(nodes_[tail]->requests.size(), 1u);
+  EXPECT_EQ(nodes_[tail]->requests[0].hop, 2);
+}
+
+TEST_F(ClientTest, CrrsReadsPickTokenRichestReplica) {
+  ClientConfig cfg;
+  cfg.crrs_reads = true;
+  auto client = MakeClient(cfg);
+  // Teach the client that node 1's SSD is rich and the others are poor, by
+  // issuing one probe round first.
+  for (uint32_t i = 0; i < 3; ++i) nodes_[i]->advertise_tokens = (i == 1) ? 200 : 1;
+  for (int r = 0; r < 3; ++r) {
+    bool done = false;
+    client->Get("probe" + std::to_string(r),
+                [&](Status, std::vector<uint8_t>, SimTime) { done = true; });
+    testutil::RunUntilFlag(sim_, done);
+  }
+  for (auto& n : nodes_) n->requests.clear();
+  // Now reads should concentrate on node 1 (most tokens), regardless of key.
+  int to_node1 = 0;
+  for (int r = 0; r < 8; ++r) {
+    bool done = false;
+    client->Get("key" + std::to_string(r),
+                [&](Status, std::vector<uint8_t>, SimTime) { done = true; });
+    testutil::RunUntilFlag(sim_, done);
+  }
+  to_node1 = static_cast<int>(nodes_[1]->requests.size());
+  EXPECT_GT(to_node1, 4);
+}
+
+TEST_F(ClientTest, NackTriggersViewRefreshAndRetry) {
+  auto client = MakeClient();
+  uint32_t head = HeadOwner("kx");
+  nodes_[head]->next_code = StatusCode::kWrongView;  // first attempt NACKs
+  bool done = false;
+  Status final = Status::Internal("pending");
+  client->Put("kx", {1}, [&](Status st, SimTime) {
+    final = std::move(st);
+    done = true;
+  });
+  testutil::RunUntilFlag(sim_, done);
+  EXPECT_TRUE(final.ok());  // retry succeeded
+  EXPECT_GE(nodes_[head]->requests.size(), 2u);
+  EXPECT_GE(view_requests_, 1);
+  EXPECT_EQ(client->stats().nacks, 1u);
+  EXPECT_GE(client->stats().retries, 1u);
+}
+
+TEST_F(ClientTest, OverloadBacksOffAndRetries) {
+  auto client = MakeClient();
+  uint32_t head = HeadOwner("ko");
+  nodes_[head]->next_code = StatusCode::kOverloaded;
+  bool done = false;
+  client->Put("ko", {1}, [&](Status st, SimTime) {
+    EXPECT_TRUE(st.ok());
+    done = true;
+  });
+  testutil::RunUntilFlag(sim_, done);
+  EXPECT_EQ(client->stats().overloads, 1u);
+  EXPECT_GE(client->stats().retries, 1u);
+}
+
+TEST_F(ClientTest, TimeoutRetriesAndEventuallyFails) {
+  ClientConfig cfg;
+  cfg.request_timeout = 2 * kMillisecond;
+  cfg.max_retries = 3;
+  auto client = MakeClient(cfg);
+  for (auto& n : nodes_) n->respond = false;  // dead silence
+  bool done = false;
+  Status final = Status::Ok();
+  client->Get("gone", [&](Status st, std::vector<uint8_t>, SimTime) {
+    final = std::move(st);
+    done = true;
+  });
+  testutil::RunUntilFlag(sim_, done);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(final.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client->stats().timeouts, 3u);  // all three attempts timed out
+  EXPECT_GE(view_requests_, 1);             // timeout suspects a dead node
+}
+
+TEST_F(ClientTest, LatencySpansRetries) {
+  ClientConfig cfg;
+  cfg.request_timeout = 2 * kMillisecond;
+  auto client = MakeClient(cfg);
+  uint32_t head = HeadOwner("kr");
+  nodes_[head]->respond = false;
+  // Re-enable after the first timeout so the retry lands.
+  sim_.Schedule(3 * kMillisecond, [&] { nodes_[head]->respond = true; });
+  SimTime latency = 0;
+  bool done = false;
+  client->Put("kr", {1}, [&](Status st, SimTime lat) {
+    EXPECT_TRUE(st.ok());
+    latency = lat;
+    done = true;
+  });
+  testutil::RunUntilFlag(sim_, done);
+  EXPECT_GT(latency, 2 * kMillisecond);  // includes the timed-out attempt
+}
+
+TEST_F(ClientTest, FillingReplicaAvoidedForReads) {
+  ClientConfig cfg;
+  cfg.crrs_reads = false;  // tail reads
+  // Mark the tail of "key1" as filling for the whole ring.
+  auto chain = view_.ChainForKey("key1");
+  view_.filling.push_back(cluster::FillingRange{chain.back(), 0, 0, 1});
+  auto client = MakeClient(cfg);
+  bool done = false;
+  client->Get("key1", [&](Status, std::vector<uint8_t>, SimTime) { done = true; });
+  testutil::RunUntilFlag(sim_, done);
+  // The read went to the penultimate member instead.
+  uint32_t penult_owner = view_.Find(chain[chain.size() - 2])->owner_node;
+  EXPECT_EQ(nodes_[penult_owner]->requests.size(), 1u);
+  uint32_t tail_owner = view_.Find(chain.back())->owner_node;
+  EXPECT_TRUE(nodes_[tail_owner]->requests.empty());
+}
+
+TEST_F(ClientTest, StaleViewUpdateIgnored) {
+  auto client = MakeClient();
+  cluster::ClusterView old = view_;
+  old.epoch = 0;
+  client->AdoptView(old);
+  EXPECT_EQ(client->view().epoch, 1u);
+}
+
+}  // namespace
+}  // namespace leed

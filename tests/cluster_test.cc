@@ -1,0 +1,350 @@
+// Tests for the consistent-hash ring, membership views, and the control
+// plane's transition machinery (join/leave/failure with COPY commissions).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/control_plane.h"
+#include "cluster/hash_ring.h"
+#include "cluster/membership.h"
+#include "cluster/wire.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace leed::cluster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HashRing
+// ---------------------------------------------------------------------------
+
+TEST(HashRingTest, PrimaryIsClockwise) {
+  HashRing ring;
+  ring.Insert(1, 100);
+  ring.Insert(2, 200);
+  ring.Insert(3, 300);
+  EXPECT_EQ(ring.PrimaryOf(50), 1u);
+  EXPECT_EQ(ring.PrimaryOf(100), 1u);  // at-or-after
+  EXPECT_EQ(ring.PrimaryOf(150), 2u);
+  EXPECT_EQ(ring.PrimaryOf(301), 1u);  // wraps
+}
+
+TEST(HashRingTest, ChainIsConsecutiveDistinct) {
+  HashRing ring;
+  for (VNodeId i = 0; i < 5; ++i) ring.Insert(i, i * 1000);
+  auto chain = ring.ChainOf(1500, 3);
+  EXPECT_EQ(chain, (std::vector<VNodeId>{2, 3, 4}));
+  auto wrap = ring.ChainOf(4500, 3);
+  EXPECT_EQ(wrap, (std::vector<VNodeId>{0, 1, 2}));
+}
+
+TEST(HashRingTest, ChainClampsToRingSize) {
+  HashRing ring;
+  ring.Insert(7, 10);
+  ring.Insert(8, 20);
+  auto chain = ring.ChainOf(0, 5);
+  EXPECT_EQ(chain.size(), 2u);
+}
+
+TEST(HashRingTest, ArcAndMembershipChecks) {
+  HashRing ring;
+  ring.Insert(1, 100);
+  ring.Insert(2, 200);
+  auto arc2 = ring.ArcOf(2);
+  EXPECT_EQ(arc2.first, 100u);
+  EXPECT_EQ(arc2.second, 200u);
+  EXPECT_TRUE(ring.InArcOf(2, 150));
+  EXPECT_FALSE(ring.InArcOf(2, 100));  // exclusive start
+  EXPECT_TRUE(ring.InArcOf(2, 200));   // inclusive end
+  // Wrapping arc of node 1: (200, 100].
+  EXPECT_TRUE(ring.InArcOf(1, 50));
+  EXPECT_TRUE(ring.InArcOf(1, 300));
+  EXPECT_FALSE(ring.InArcOf(1, 150));
+}
+
+TEST(HashRingTest, SuccessorWraps) {
+  HashRing ring;
+  ring.Insert(1, 100);
+  ring.Insert(2, 200);
+  EXPECT_EQ(ring.SuccessorOf(1), 2u);
+  EXPECT_EQ(ring.SuccessorOf(2), 1u);
+  HashRing solo;
+  solo.Insert(9, 5);
+  EXPECT_EQ(solo.SuccessorOf(9), kInvalidVNode);
+}
+
+TEST(HashRingTest, WidestArcMidpointHalvesBiggestGap) {
+  // Positions clustered low: the widest arc is the wrapping one
+  // (10000, 1000], width ~2^64; its midpoint is 10000 + width/2.
+  HashRing ring;
+  ring.Insert(1, 1000);
+  ring.Insert(2, 2000);
+  ring.Insert(3, 10000);
+  uint64_t wrap_width = 1000 - 10000;  // modular arithmetic
+  EXPECT_EQ(ring.WidestArcMidpoint(), 10000 + wrap_width / 2);
+
+  // Spread positions: the widest arc is the wrap from the last position
+  // back to the first; verify the midpoint lands exactly halfway along it.
+  HashRing spread;
+  const uint64_t a = UINT64_MAX / 4, b = UINT64_MAX / 2, c = UINT64_MAX / 2 + 1000;
+  spread.Insert(1, a);
+  spread.Insert(2, b);
+  spread.Insert(3, c);
+  const uint64_t widest = a - c;  // modular width of (c, a]
+  EXPECT_EQ(spread.WidestArcMidpoint(), c + widest / 2);
+}
+
+TEST(HashRingTest, RemoveRestoresCoverage) {
+  HashRing ring;
+  ring.Insert(1, 100);
+  ring.Insert(2, 200);
+  EXPECT_TRUE(ring.Remove(2));
+  EXPECT_FALSE(ring.Remove(2));
+  EXPECT_EQ(ring.PrimaryOf(150), 1u);
+}
+
+TEST(HashRingTest, DuplicateInsertRejected) {
+  HashRing ring;
+  EXPECT_TRUE(ring.Insert(1, 100));
+  EXPECT_FALSE(ring.Insert(1, 200));  // id reuse
+  EXPECT_FALSE(ring.Insert(2, 100));  // position collision
+}
+
+// ---------------------------------------------------------------------------
+// ClusterView
+// ---------------------------------------------------------------------------
+
+ClusterView MakeView(int n, uint32_t r = 3) {
+  ClusterView v;
+  v.epoch = 1;
+  v.replication_factor = r;
+  for (int i = 0; i < n; ++i) {
+    VNodeInfo info;
+    info.id = i;
+    info.owner_node = i % 3;
+    info.local_store = i / 3;
+    info.position = static_cast<uint64_t>(i) * (UINT64_MAX / n);
+    info.state = VNodeState::kRunning;
+    v.vnodes[i] = info;
+  }
+  return v;
+}
+
+TEST(ClusterViewTest, ChainSpansDistinctVnodes) {
+  ClusterView v = MakeView(6);
+  auto chain = v.ChainForKey("somekey");
+  EXPECT_EQ(chain.size(), 3u);
+  std::set<VNodeId> uniq(chain.begin(), chain.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(ClusterViewTest, LeavingExcludedJoiningIncluded) {
+  ClusterView v = MakeView(4);
+  v.vnodes[0].state = VNodeState::kLeaving;
+  v.vnodes[1].state = VNodeState::kJoining;
+  HashRing serving = v.ServingRing();
+  EXPECT_FALSE(serving.Contains(0));
+  EXPECT_TRUE(serving.Contains(1));
+  HashRing running = v.RunningRing();
+  EXPECT_FALSE(running.Contains(1));
+}
+
+TEST(ClusterViewTest, FillingRangeLookup) {
+  ClusterView v = MakeView(3);
+  v.filling.push_back(FillingRange{1, 100, 200, 1});
+  EXPECT_TRUE(v.IsFilling(1, 150));
+  EXPECT_FALSE(v.IsFilling(1, 250));
+  EXPECT_FALSE(v.IsFilling(2, 150));
+  // Wrapping range.
+  v.filling.push_back(FillingRange{2, 5000, 50, 1});
+  EXPECT_TRUE(v.IsFilling(2, 6000));
+  EXPECT_TRUE(v.IsFilling(2, 20));
+  EXPECT_FALSE(v.IsFilling(2, 3000));
+}
+
+// ---------------------------------------------------------------------------
+// ControlPlane
+// ---------------------------------------------------------------------------
+
+class ControlPlaneTest : public ::testing::Test {
+ protected:
+  struct FakeNode {
+    sim::EndpointId ep;
+    std::vector<ClusterView> views;
+    std::vector<CopyCommandMsg> copies;
+  };
+
+  ControlPlaneTest() : net_(sim_) {}
+
+  void Setup(int nodes, uint32_t r = 3, uint32_t stores = 2) {
+    ControlPlaneConfig cfg;
+    cfg.replication_factor = r;
+    cfg.monitor_heartbeats = false;
+    cp_ = std::make_unique<ControlPlane>(sim_, net_, cfg);
+    for (int i = 0; i < nodes; ++i) {
+      auto node = std::make_unique<FakeNode>();
+      node->ep = net_.AddEndpoint(sim::NicSpec{});
+      FakeNode* raw = node.get();
+      net_.SetReceiver(node->ep, [this, raw](sim::Message m) {
+        if (auto* v = std::any_cast<ViewUpdateMsg>(&m.payload)) {
+          raw->views.push_back(v->view);
+        } else if (auto* c = std::any_cast<CopyCommandMsg>(&m.payload)) {
+          raw->copies.push_back(*c);
+          // Fake an instant copy: report done immediately.
+          CopyDoneMsg done;
+          done.copy_id = c->copy_id;
+          done.dst = c->dst;
+          net_.Send(raw->ep, cp_->endpoint(), 64, done);
+        }
+      });
+      cp_->RegisterNode(i, node->ep);
+      nodes_.push_back(std::move(node));
+    }
+    uint64_t total = static_cast<uint64_t>(nodes) * stores;
+    for (uint64_t k = 0; k < total; ++k) {
+      cp_->Bootstrap(static_cast<uint32_t>(k % nodes),
+                     static_cast<uint32_t>(k / nodes), k * (UINT64_MAX / total));
+    }
+    cp_->Start();
+    sim_.Run();
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::unique_ptr<ControlPlane> cp_;
+  std::vector<std::unique_ptr<FakeNode>> nodes_;
+};
+
+TEST_F(ControlPlaneTest, BootstrapBroadcastsInitialView) {
+  Setup(3);
+  for (auto& n : nodes_) {
+    ASSERT_FALSE(n->views.empty());
+    EXPECT_EQ(n->views.back().vnodes.size(), 6u);
+    EXPECT_EQ(n->views.back().epoch, 1u);
+  }
+}
+
+TEST_F(ControlPlaneTest, JoinCommissionsRCopiesThenRuns) {
+  Setup(3, /*r=*/3);
+  VNodeId v = cp_->StartJoin(/*owner=*/0, /*store=*/7);
+  sim_.Run();
+  // The transition finished (fake nodes ack copies instantly).
+  EXPECT_FALSE(cp_->TransitionInProgress());
+  const VNodeInfo* info = cp_->view().Find(v);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->state, VNodeState::kRunning);
+  EXPECT_TRUE(cp_->view().filling.empty());
+  // R chains were affected -> R copies commissioned.
+  EXPECT_EQ(cp_->stats().copies_commissioned, 3u);
+  EXPECT_EQ(cp_->stats().joins_completed, 1u);
+  // Mid-transition view reached nodes: some view carried JOINING + filling.
+  bool saw_joining = false;
+  for (auto& n : nodes_) {
+    for (auto& view : n->views) {
+      const VNodeInfo* vi = view.Find(v);
+      if (vi && vi->state == VNodeState::kJoining && !view.filling.empty()) {
+        saw_joining = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_joining);
+}
+
+TEST_F(ControlPlaneTest, LeaveDrainsThenDeletes) {
+  Setup(3, 3);
+  VNodeId victim = 0;
+  uint64_t epoch_before = cp_->view().epoch;
+  cp_->StartLeave(victim);
+  sim_.Run();
+  EXPECT_EQ(cp_->view().Find(victim), nullptr);
+  EXPECT_GT(cp_->view().epoch, epoch_before);
+  EXPECT_EQ(cp_->stats().leaves_completed, 1u);
+  EXPECT_GT(cp_->stats().copies_commissioned, 0u);
+  EXPECT_TRUE(cp_->view().filling.empty());
+}
+
+TEST_F(ControlPlaneTest, FailNodeRemovesAllItsVnodes) {
+  Setup(3, 3);
+  cp_->FailNode(1);
+  sim_.Run();
+  for (const auto& [id, info] : cp_->view().vnodes) {
+    EXPECT_NE(info.owner_node, 1u) << "vnode " << id << " survived on dead node";
+  }
+  EXPECT_GT(cp_->stats().copies_commissioned, 0u);
+}
+
+TEST_F(ControlPlaneTest, CopySourcesNeverOnDeadNode) {
+  Setup(3, 3);
+  cp_->FailNode(2);
+  sim_.Run();
+  for (auto& n : nodes_) {
+    for (auto& c : n->copies) {
+      const VNodeInfo* src = nullptr;
+      // Look up the source in any view we received (it may be gone now).
+      for (auto& view : n->views) {
+        if (const VNodeInfo* i = view.Find(c.src)) src = i;
+      }
+      if (src) EXPECT_NE(src->owner_node, 2u);
+    }
+  }
+}
+
+TEST_F(ControlPlaneTest, HeartbeatTimeoutTriggersFailure) {
+  ControlPlaneConfig cfg;
+  cfg.replication_factor = 2;
+  cfg.monitor_heartbeats = true;
+  cfg.heartbeat_period = 10 * kMillisecond;
+  cfg.failure_timeout = 30 * kMillisecond;
+  cp_ = std::make_unique<ControlPlane>(sim_, net_, cfg);
+  // Two fake nodes; only node 0 heartbeats.
+  for (int i = 0; i < 2; ++i) {
+    auto node = std::make_unique<FakeNode>();
+    node->ep = net_.AddEndpoint(sim::NicSpec{});
+    FakeNode* raw = node.get();
+    net_.SetReceiver(node->ep, [this, raw](sim::Message m) {
+      if (auto* c = std::any_cast<CopyCommandMsg>(&m.payload)) {
+        CopyDoneMsg done;
+        done.copy_id = c->copy_id;
+        done.dst = c->dst;
+        net_.Send(raw->ep, cp_->endpoint(), 64, done);
+      }
+    });
+    cp_->RegisterNode(i, node->ep);
+    nodes_.push_back(std::move(node));
+  }
+  for (uint64_t k = 0; k < 4; ++k) {
+    cp_->Bootstrap(static_cast<uint32_t>(k % 2), static_cast<uint32_t>(k / 2),
+                   k * (UINT64_MAX / 4));
+  }
+  cp_->Start();
+  sim::PeriodicTimer hb(sim_, 10 * kMillisecond, [&] {
+    net_.Send(nodes_[0]->ep, cp_->endpoint(), 32, HeartbeatMsg{0});
+  });
+  hb.Start();
+  sim_.RunUntil(200 * kMillisecond);
+  EXPECT_GE(cp_->stats().failures_detected, 1u);
+  for (const auto& [id, info] : cp_->view().vnodes) {
+    (void)id;
+    EXPECT_EQ(info.owner_node, 0u);
+  }
+  hb.Stop();
+}
+
+TEST_F(ControlPlaneTest, ViewRequestGetsReply) {
+  Setup(2, 2);
+  sim::EndpointId client = net_.AddEndpoint(sim::NicSpec{});
+  bool got = false;
+  net_.SetReceiver(client, [&](sim::Message m) {
+    if (std::any_cast<ViewUpdateMsg>(&m.payload)) got = true;
+  });
+  ViewRequestMsg req;
+  req.reply_to = client;
+  net_.Send(client, cp_->endpoint(), 32, req);
+  sim_.Run();
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
+}  // namespace leed::cluster

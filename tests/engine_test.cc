@@ -1,0 +1,417 @@
+// Tests for the intra-JBOF engine: the lock-free SPSC ring (including a
+// real multi-threaded stress test), the adaptive token pool, and the
+// IoEngine's admission / queueing / data-swap behaviour.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "engine/io_engine.h"
+#include "engine/spsc_ring.h"
+#include "engine/token_bucket.h"
+#include "sim/cpu_model.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace leed::engine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SPSC ring
+// ---------------------------------------------------------------------------
+
+TEST(SpscRingTest, FifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.TryPush(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, FullAndEmptyBoundaries) {
+  SpscRing<int> ring(4);  // rounds to capacity >= 4
+  size_t pushed = 0;
+  while (ring.TryPush(static_cast<int>(pushed))) ++pushed;
+  EXPECT_GE(pushed, 4u);
+  EXPECT_EQ(ring.Size(), pushed);
+  while (ring.TryPop().has_value()) {
+  }
+  EXPECT_TRUE(ring.Empty());
+  // Reusable after wrap.
+  EXPECT_TRUE(ring.TryPush(42));
+  EXPECT_EQ(*ring.TryPop(), 42);
+}
+
+TEST(SpscRingTest, FrontPeeksWithoutConsuming) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.Front(), nullptr);
+  ring.TryPush(9);
+  ASSERT_NE(ring.Front(), nullptr);
+  EXPECT_EQ(*ring.Front(), 9);
+  EXPECT_EQ(ring.Size(), 1u);
+}
+
+TEST(SpscRingTest, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(5)));
+  auto v = ring.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+TEST(SpscRingTest, TwoThreadStress) {
+  // Real concurrency: one producer, one consumer, 1M items, values must
+  // arrive exactly once and in order.
+  constexpr uint64_t kItems = 1'000'000;
+  SpscRing<uint64_t> ring(1024);
+  std::atomic<bool> fail{false};
+
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    uint64_t expected = 0;
+    while (expected < kItems) {
+      auto v = ring.TryPop();
+      if (!v) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (*v != expected) {
+        fail = true;
+        break;
+      }
+      ++expected;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(fail.load());
+  EXPECT_TRUE(ring.Empty());
+}
+
+// ---------------------------------------------------------------------------
+// Token pool
+// ---------------------------------------------------------------------------
+
+TEST(TokenPoolTest, TakeAndRefund) {
+  TokenConfig cfg;
+  cfg.base_tokens = 10;
+  TokenPool pool(cfg);
+  EXPECT_EQ(pool.available(), 10u);
+  EXPECT_TRUE(pool.TryTake(3));
+  EXPECT_EQ(pool.available(), 7u);
+  EXPECT_FALSE(pool.TryTake(8));
+  pool.Refund(3);
+  EXPECT_EQ(pool.available(), 10u);
+}
+
+TEST(TokenPoolTest, SlowDeviceShrinksCapacity) {
+  TokenConfig cfg;
+  cfg.base_tokens = 100;
+  cfg.reference_latency_ns = 60 * kMicrosecond;
+  cfg.ewma_alpha = 0.5;  // fast adaptation for the test
+  TokenPool pool(cfg);
+  for (int i = 0; i < 20; ++i) pool.OnIoCompleted(600 * kMicrosecond);  // 10x slow
+  EXPECT_LT(pool.capacity(), 20u);
+  EXPECT_GE(pool.capacity(), cfg.min_tokens);
+  // Recovery when the device speeds back up.
+  for (int i = 0; i < 40; ++i) pool.OnIoCompleted(60 * kMicrosecond);
+  EXPECT_GT(pool.capacity(), 80u);
+  EXPECT_LE(pool.capacity(), cfg.max_tokens);
+}
+
+TEST(TokenPoolTest, RescaleRespectsOutstanding) {
+  TokenConfig cfg;
+  cfg.base_tokens = 100;
+  cfg.ewma_alpha = 1.0;
+  TokenPool pool(cfg);
+  ASSERT_TRUE(pool.TryTake(60));
+  pool.OnIoCompleted(cfg.reference_latency_ns * 2);  // capacity halves to 50
+  EXPECT_EQ(pool.capacity(), 50u);
+  EXPECT_EQ(pool.available(), 0u);  // 60 outstanding > 50 capacity
+  pool.Refund(60);
+  EXPECT_EQ(pool.available(), 50u);
+}
+
+TEST(TokenPoolTest, CostsMatchAccessCounts) {
+  TokenConfig cfg;
+  EXPECT_EQ(TokenCost(cfg, OpType::kGet), 2u);
+  EXPECT_EQ(TokenCost(cfg, OpType::kPut), 3u);
+  EXPECT_EQ(TokenCost(cfg, OpType::kDel), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// IoEngine
+// ---------------------------------------------------------------------------
+
+class IoEngineTest : public ::testing::Test {
+ protected:
+  EngineConfig SmallEngine(uint32_t ssds = 2) {
+    EngineConfig cfg;
+    cfg.ssd_count = ssds;
+    cfg.stores_per_ssd = 2;
+    cfg.ssd = sim::Dct983Spec();
+    cfg.ssd.capacity_bytes = 1ull << 30;  // 1 GB keeps the page store small
+    cfg.ssd.latency_jitter = 0;
+    cfg.ssd.slow_io_prob = 0;
+    cfg.store_template.num_segments = 256;
+    cfg.store_template.bucket_size = 512;
+    cfg.wait_queue_capacity = 64;
+    cfg.swap_check_period = 100 * kMicrosecond;
+    cfg.swap_gap_threshold = 8;
+    return cfg;
+  }
+
+  Status SyncOp(IoEngine& engine, OpType type, const std::string& key,
+                std::vector<uint8_t> value, uint32_t store,
+                std::vector<uint8_t>* out = nullptr) {
+    Status result = Status::Internal("no callback");
+    bool done = false;
+    Request req;
+    req.type = type;
+    req.key = key;
+    req.value = std::move(value);
+    req.store_id = store;
+    req.callback = [&](Status st, std::vector<uint8_t> v, ResponseMeta) {
+      result = std::move(st);
+      if (out) *out = std::move(v);
+      done = true;
+    };
+    engine.Submit(std::move(req));
+    testutil::RunUntilFlag(sim_, done);
+    EXPECT_TRUE(done);
+    return result;
+  }
+
+  sim::Simulator sim_;
+};
+
+TEST_F(IoEngineTest, EndToEndPutGet) {
+  sim::CpuModel cpu(sim_, 8, 3.0);
+  IoEngine engine(sim_, cpu, SmallEngine(), 1);
+  EXPECT_EQ(engine.num_stores(), 4u);
+  auto value = testutil::TestValue(5, 256);
+  ASSERT_TRUE(SyncOp(engine, OpType::kPut, "k1", value, 3).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(SyncOp(engine, OpType::kGet, "k1", {}, 3, &out).ok());
+  EXPECT_EQ(out, value);
+  ASSERT_TRUE(SyncOp(engine, OpType::kDel, "k1", {}, 3).ok());
+  EXPECT_TRUE(SyncOp(engine, OpType::kGet, "k1", {}, 3).IsNotFound());
+  EXPECT_EQ(engine.stats().completed, 4u);
+}
+
+TEST_F(IoEngineTest, StoresAreIndependent) {
+  sim::CpuModel cpu(sim_, 8, 3.0);
+  IoEngine engine(sim_, cpu, SmallEngine(), 1);
+  ASSERT_TRUE(SyncOp(engine, OpType::kPut, "same-key", testutil::TestValue(1, 32), 0).ok());
+  ASSERT_TRUE(SyncOp(engine, OpType::kPut, "same-key", testutil::TestValue(2, 32), 1).ok());
+  std::vector<uint8_t> a, b;
+  ASSERT_TRUE(SyncOp(engine, OpType::kGet, "same-key", {}, 0, &a).ok());
+  ASSERT_TRUE(SyncOp(engine, OpType::kGet, "same-key", {}, 1, &b).ok());
+  EXPECT_EQ(a, testutil::TestValue(1, 32));
+  EXPECT_EQ(b, testutil::TestValue(2, 32));
+}
+
+TEST_F(IoEngineTest, AdmissionQueuesBeyondTokens) {
+  sim::CpuModel cpu(sim_, 8, 3.0);
+  EngineConfig cfg = SmallEngine(1);
+  cfg.tokens.base_tokens = 6;  // 3 concurrent GETs
+  cfg.tokens.min_tokens = 6;
+  cfg.tokens.max_tokens = 6;
+  IoEngine engine(sim_, cpu, cfg, 1);
+  // Preload one key.
+  ASSERT_TRUE(SyncOp(engine, OpType::kPut, "k", testutil::TestValue(1, 32), 0).ok());
+
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    Request req;
+    req.type = OpType::kGet;
+    req.key = "k";
+    req.store_id = 0;
+    req.callback = [&](Status st, std::vector<uint8_t>, ResponseMeta) {
+      EXPECT_TRUE(st.ok());
+      ++completed;
+    };
+    engine.Submit(std::move(req));
+  }
+  EXPECT_GT(engine.WaitQueueDepth(0), 0u);  // waiting queue absorbed overflow
+  sim_.Run();
+  EXPECT_EQ(completed, 20);
+  EXPECT_GT(engine.stats().waited, 0u);
+}
+
+TEST_F(IoEngineTest, FullWaitingQueueRejectsOverloaded) {
+  sim::CpuModel cpu(sim_, 8, 3.0);
+  EngineConfig cfg = SmallEngine(1);
+  cfg.tokens.base_tokens = 2;
+  cfg.tokens.min_tokens = 2;
+  cfg.tokens.max_tokens = 2;
+  cfg.wait_queue_capacity = 4;
+  IoEngine engine(sim_, cpu, cfg, 1);
+  int overloaded = 0, accepted = 0;
+  for (int i = 0; i < 40; ++i) {
+    Request req;
+    req.type = OpType::kGet;
+    req.key = "missing";
+    req.store_id = 0;
+    req.callback = [&](Status st, std::vector<uint8_t>, ResponseMeta meta) {
+      if (st.IsOverloaded()) {
+        ++overloaded;
+        EXPECT_EQ(meta.ssd, 0u);
+      } else {
+        ++accepted;
+      }
+    };
+    engine.Submit(std::move(req));
+  }
+  sim_.Run();
+  EXPECT_GT(overloaded, 0);
+  EXPECT_GT(accepted, 0);
+  EXPECT_EQ(engine.stats().rejected_overloaded, static_cast<uint64_t>(overloaded));
+}
+
+TEST_F(IoEngineTest, TokensPropagateInResponseMeta) {
+  sim::CpuModel cpu(sim_, 8, 3.0);
+  IoEngine engine(sim_, cpu, SmallEngine(1), 1);
+  uint32_t seen_tokens = 0;
+  Request req;
+  req.type = OpType::kGet;
+  req.key = "nothing";
+  req.store_id = 0;
+  req.callback = [&](Status, std::vector<uint8_t>, ResponseMeta meta) {
+    seen_tokens = meta.available_tokens;
+  };
+  engine.Submit(std::move(req));
+  sim_.Run();
+  EXPECT_GT(seen_tokens, 0u);
+}
+
+TEST_F(IoEngineTest, DataSwapActivatesUnderImbalance) {
+  sim::CpuModel cpu(sim_, 8, 3.0);
+  EngineConfig cfg = SmallEngine(2);
+  cfg.tokens.base_tokens = 4;  // SSD 0 backs up fast
+  cfg.tokens.min_tokens = 4;
+  cfg.tokens.max_tokens = 4;
+  cfg.wait_queue_capacity = 128;
+  IoEngine engine(sim_, cpu, cfg, 1);
+
+  int done = 0;
+  for (int i = 0; i < 120; ++i) {
+    Request req;
+    req.type = OpType::kPut;
+    req.key = "key" + std::to_string(i);
+    req.value = testutil::TestValue(i, 128);
+    req.store_id = 0;  // all writes hammer SSD 0
+    req.callback = [&](Status, std::vector<uint8_t>, ResponseMeta) { ++done; };
+    engine.Submit(std::move(req));
+  }
+  sim_.Run();
+  EXPECT_EQ(done, 120);
+  EXPECT_GT(engine.stats().swap_activations, 0u);
+  // Values written during the overload are readable afterwards.
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(SyncOp(engine, OpType::kGet, "key100", {}, 0, &out).ok());
+  EXPECT_EQ(out, testutil::TestValue(100, 128));
+}
+
+TEST_F(IoEngineTest, SwappedWritesAdmitAgainstDonorPool) {
+  sim::CpuModel cpu(sim_, 8, 3.0);
+  EngineConfig cfg = SmallEngine(2);
+  cfg.enable_data_swap = true;
+  IoEngine engine(sim_, cpu, cfg, 1);
+  // Force a swap target directly (bypassing the watchdog) and verify a PUT
+  // consumes the DONOR's tokens — §3.6's "another one's active queue".
+  engine.data_store(0).SetSwapTarget(1);
+  ASSERT_TRUE(engine.SwapTargetOf(0).has_value());
+
+  uint32_t home_before = engine.AvailableTokens(0);
+  uint32_t donor_before = engine.AvailableTokens(1);
+  Request req;
+  req.type = OpType::kPut;
+  req.key = "swap-admit";
+  req.value = testutil::TestValue(1, 64);
+  req.store_id = 0;
+  bool done = false;
+  req.callback = [&](Status st, std::vector<uint8_t>, ResponseMeta meta) {
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(meta.ssd, 1u);  // admitted against the donor
+    done = true;
+  };
+  engine.Submit(std::move(req));
+  // Tokens were taken from the donor pool, not the home pool.
+  EXPECT_EQ(engine.AvailableTokens(0), home_before);
+  EXPECT_LT(engine.AvailableTokens(1), donor_before);
+  sim_.Run();
+  EXPECT_TRUE(done);
+  // GETs still admit against the home SSD.
+  uint32_t donor_mid = engine.AvailableTokens(1);
+  Request get;
+  get.type = OpType::kGet;
+  get.key = "swap-admit";
+  get.store_id = 0;
+  bool got = false;
+  get.callback = [&](Status st, std::vector<uint8_t> v, ResponseMeta meta) {
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(v, testutil::TestValue(1, 64));
+    EXPECT_EQ(meta.ssd, 0u);
+    got = true;
+  };
+  engine.Submit(std::move(get));
+  EXPECT_EQ(engine.AvailableTokens(1), donor_mid);
+  sim_.Run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(IoEngineTest, SwapDisabledNeverActivates) {
+  sim::CpuModel cpu(sim_, 8, 3.0);
+  EngineConfig cfg = SmallEngine(2);
+  cfg.enable_data_swap = false;
+  cfg.tokens.base_tokens = 4;
+  cfg.tokens.min_tokens = 4;
+  cfg.tokens.max_tokens = 4;
+  IoEngine engine(sim_, cpu, cfg, 1);
+  int done = 0;
+  for (int i = 0; i < 60; ++i) {
+    Request req;
+    req.type = OpType::kPut;
+    req.key = "key" + std::to_string(i);
+    req.value = testutil::TestValue(i, 128);
+    req.store_id = 0;
+    req.callback = [&](Status, std::vector<uint8_t>, ResponseMeta) { ++done; };
+    engine.Submit(std::move(req));
+  }
+  sim_.Run();
+  EXPECT_EQ(engine.stats().swap_activations, 0u);
+}
+
+TEST_F(IoEngineTest, AdmissionControlOffIsFcfs) {
+  sim::CpuModel cpu(sim_, 8, 3.0);
+  EngineConfig cfg = SmallEngine(1);
+  cfg.tokens.base_tokens = 2;
+  IoEngine engine(sim_, cpu, cfg, 1);
+  engine.set_admission_control(false);
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    Request req;
+    req.type = OpType::kGet;
+    req.key = "x";
+    req.store_id = 0;
+    req.callback = [&](Status, std::vector<uint8_t>, ResponseMeta) { ++done; };
+    engine.Submit(std::move(req));
+  }
+  sim_.Run();
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(engine.stats().rejected_overloaded, 0u);
+  EXPECT_EQ(engine.stats().waited, 0u);  // everything fired immediately
+}
+
+}  // namespace
+}  // namespace leed::engine

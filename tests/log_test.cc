@@ -1,0 +1,177 @@
+// Unit tests for the circular log (paper §3.2.1): append/read/compact
+// pointer discipline, wraparound behaviour, space accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "log/circular_log.h"
+#include "sim/block_device.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace leed::log {
+namespace {
+
+class CircularLogTest : public ::testing::Test {
+ protected:
+  CircularLogTest() : device_(sim_, 1 << 20, 512) {}
+
+  AppendResult SyncAppend(CircularLog& log, std::vector<uint8_t> data) {
+    AppendResult out;
+    bool done = false;
+    log.Append(std::move(data), [&](AppendResult r) {
+      out = std::move(r);
+      done = true;
+    });
+    testutil::RunUntilFlag(sim_, done);
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  ReadResult SyncRead(CircularLog& log, uint64_t offset, uint64_t length) {
+    ReadResult out;
+    bool done = false;
+    log.Read(offset, length, [&](ReadResult r) {
+      out = std::move(r);
+      done = true;
+    });
+    testutil::RunUntilFlag(sim_, done);
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  sim::Simulator sim_;
+  sim::MemBlockDevice device_;
+};
+
+TEST_F(CircularLogTest, AppendAssignsMonotonicOffsets) {
+  CircularLog log(device_, 0, 4096);
+  auto a = SyncAppend(log, testutil::TestValue(1, 100));
+  auto b = SyncAppend(log, testutil::TestValue(2, 50));
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(b.offset, 100u);
+  EXPECT_EQ(log.tail(), 150u);
+  EXPECT_EQ(log.used(), 150u);
+}
+
+TEST_F(CircularLogTest, ReadReturnsExactBytes) {
+  CircularLog log(device_, 0, 4096);
+  auto payload = testutil::TestValue(9, 333);
+  auto a = SyncAppend(log, payload);
+  ASSERT_TRUE(a.status.ok());
+  auto r = SyncRead(log, a.offset, payload.size());
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.data, payload);
+}
+
+TEST_F(CircularLogTest, RejectsBadAppends) {
+  CircularLog log(device_, 0, 1024);
+  auto empty = SyncAppend(log, {});
+  EXPECT_EQ(empty.status.code(), StatusCode::kInvalidArgument);
+  auto oversized = SyncAppend(log, testutil::TestValue(1, 2048));
+  EXPECT_EQ(oversized.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CircularLogTest, FullLogRejectsUntilHeadAdvances) {
+  CircularLog log(device_, 0, 1000);
+  ASSERT_TRUE(SyncAppend(log, testutil::TestValue(1, 600)).status.ok());
+  ASSERT_TRUE(SyncAppend(log, testutil::TestValue(2, 400)).status.ok());
+  EXPECT_EQ(log.free_space(), 0u);
+  auto full = SyncAppend(log, testutil::TestValue(3, 1));
+  EXPECT_EQ(full.status.code(), StatusCode::kOutOfSpace);
+
+  ASSERT_TRUE(log.AdvanceHead(600).ok());
+  EXPECT_EQ(log.free_space(), 600u);
+  EXPECT_TRUE(SyncAppend(log, testutil::TestValue(4, 500)).status.ok());
+}
+
+TEST_F(CircularLogTest, WrappingEntryRoundTrips) {
+  CircularLog log(device_, 0, 1000);
+  ASSERT_TRUE(SyncAppend(log, testutil::TestValue(1, 900)).status.ok());
+  ASSERT_TRUE(log.AdvanceHead(900).ok());
+  // This entry starts at physical 900 and wraps to the region start.
+  auto payload = testutil::TestValue(2, 300);
+  auto a = SyncAppend(log, payload);
+  ASSERT_TRUE(a.status.ok());
+  EXPECT_EQ(a.offset, 900u);
+  auto r = SyncRead(log, 900, 300);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.data, payload);
+}
+
+TEST_F(CircularLogTest, ManyWrapsPreserveData) {
+  CircularLog log(device_, 4096, 1024);  // non-zero base exercises mapping
+  uint64_t head = 0;
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> window;
+  for (int i = 0; i < 200; ++i) {
+    auto payload = testutil::TestValue(i, 100 + (i % 37));
+    if (log.free_space() < payload.size()) {
+      // Reclaim the oldest two entries.
+      head = window[2].first;
+      ASSERT_TRUE(log.AdvanceHead(head).ok());
+      window.erase(window.begin(), window.begin() + 2);
+    }
+    auto a = SyncAppend(log, payload);
+    ASSERT_TRUE(a.status.ok());
+    window.emplace_back(a.offset, payload);
+  }
+  for (auto& [offset, payload] : window) {
+    auto r = SyncRead(log, offset, payload.size());
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.data, payload) << "offset " << offset;
+  }
+}
+
+TEST_F(CircularLogTest, ReadOutsideValidRangeFails) {
+  CircularLog log(device_, 0, 4096);
+  ASSERT_TRUE(SyncAppend(log, testutil::TestValue(1, 100)).status.ok());
+  ASSERT_TRUE(SyncAppend(log, testutil::TestValue(2, 100)).status.ok());
+  ASSERT_TRUE(log.AdvanceHead(100).ok());
+  // Reclaimed prefix.
+  EXPECT_FALSE(SyncRead(log, 0, 100).status.ok());
+  // Beyond the tail.
+  EXPECT_FALSE(SyncRead(log, 150, 100).status.ok());
+  // Valid region still works.
+  EXPECT_TRUE(SyncRead(log, 100, 100).status.ok());
+}
+
+TEST_F(CircularLogTest, AdvanceHeadValidatesRange) {
+  CircularLog log(device_, 0, 4096);
+  ASSERT_TRUE(SyncAppend(log, testutil::TestValue(1, 100)).status.ok());
+  EXPECT_FALSE(log.AdvanceHead(200).ok());  // beyond tail
+  ASSERT_TRUE(log.AdvanceHead(50).ok());
+  EXPECT_FALSE(log.AdvanceHead(20).ok());  // backwards
+}
+
+TEST_F(CircularLogTest, CompactionNeededThreshold) {
+  CircularLog log(device_, 0, 1000);
+  EXPECT_FALSE(log.CompactionNeeded(0.5));
+  ASSERT_TRUE(SyncAppend(log, testutil::TestValue(1, 600)).status.ok());
+  EXPECT_TRUE(log.CompactionNeeded(0.5));
+  EXPECT_FALSE(log.CompactionNeeded(0.7));
+}
+
+TEST_F(CircularLogTest, ResetDiscardsContents) {
+  CircularLog log(device_, 0, 1000);
+  ASSERT_TRUE(SyncAppend(log, testutil::TestValue(1, 500)).status.ok());
+  log.Reset();
+  EXPECT_EQ(log.used(), 0u);
+  EXPECT_EQ(log.free_space(), 1000u);
+  // Stale offsets now fail loudly instead of returning recycled bytes.
+  EXPECT_FALSE(SyncRead(log, 0, 100).status.ok());
+}
+
+TEST_F(CircularLogTest, CountsOps) {
+  CircularLog log(device_, 0, 4096);
+  SyncAppend(log, testutil::TestValue(1, 10));
+  SyncAppend(log, testutil::TestValue(2, 10));
+  SyncRead(log, 0, 10);
+  EXPECT_EQ(log.appends(), 2u);
+  EXPECT_EQ(log.reads(), 1u);
+}
+
+}  // namespace
+}  // namespace leed::log

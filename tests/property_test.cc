@@ -1,0 +1,280 @@
+// Property-style parameterized sweeps (TEST_P): invariants that must hold
+// across the configuration space, not just at hand-picked points.
+//
+//  * DataStore: read-your-writes + newest-wins + compaction preserves data,
+//    across bucket sizes, value sizes, and segment counts.
+//  * CircularLog: contents survive arbitrary wrap patterns across region
+//    and entry-size combinations.
+//  * Histogram: percentile monotonicity and bounds across distributions.
+//  * SpscRing: FIFO + exactly-once across capacities.
+//  * Zipf: samples in range and monotone concentration across theta.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/histogram.h"
+#include "common/rand.h"
+#include "common/zipf.h"
+#include "engine/spsc_ring.h"
+#include "log/circular_log.h"
+#include "sim/block_device.h"
+#include "sim/cpu_model.h"
+#include "sim/simulator.h"
+#include "store/data_store.h"
+#include "test_util.h"
+
+namespace leed {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DataStore sweep: (bucket_size, value_size, num_segments)
+// ---------------------------------------------------------------------------
+
+using StoreParam = std::tuple<uint32_t, uint32_t, uint32_t>;
+
+class StoreSweep : public ::testing::TestWithParam<StoreParam> {
+ protected:
+  StoreSweep() : device_(sim_, 128ull << 20, 512), core_(sim_, 3.0) {}
+
+  sim::Simulator sim_;
+  sim::MemBlockDevice device_;
+  sim::CpuCore core_;
+};
+
+TEST_P(StoreSweep, ReadYourWritesAndCompactionPreserves) {
+  auto [bucket_size, value_size, num_segments] = GetParam();
+  log::CircularLog key_log(device_, 0, 32ull << 20);
+  log::CircularLog value_log(device_, 32ull << 20, 32ull << 20);
+  store::StoreConfig cfg;
+  cfg.bucket_size = bucket_size;
+  cfg.num_segments = num_segments;
+  cfg.chain_bits = 5;
+  cfg.compaction_threshold = 1.1;  // manual
+  store::DataStore ds(sim_, core_, store::LogSet{0, &key_log, &value_log}, cfg);
+
+  const int kKeys = 120;
+  std::map<std::string, std::vector<uint8_t>> truth;
+  Rng rng(bucket_size * 31 + value_size);
+  // Two rounds of writes (second round overwrites half) + some deletes.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kKeys; ++i) {
+      if (round == 1 && i % 2 == 0) continue;  // half keep round-0 values
+      std::string key = "k" + std::to_string(i);
+      auto value = testutil::TestValue(round * 1000 + i, value_size);
+      ASSERT_TRUE(testutil::SyncPut(sim_, ds, key, value).ok())
+          << key << " bucket=" << bucket_size;
+      truth[key] = value;
+    }
+  }
+  for (int i = 0; i < kKeys; i += 7) {
+    std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(testutil::SyncDel(sim_, ds, key).ok());
+    truth.erase(key);
+  }
+
+  auto verify = [&](const char* when) {
+    for (int i = 0; i < kKeys; ++i) {
+      std::string key = "k" + std::to_string(i);
+      std::vector<uint8_t> out;
+      Status st = testutil::SyncGet(sim_, ds, key, &out);
+      auto it = truth.find(key);
+      if (it == truth.end()) {
+        EXPECT_TRUE(st.IsNotFound()) << when << " " << key;
+      } else {
+        ASSERT_TRUE(st.ok()) << when << " " << key << ": " << st.ToString();
+        EXPECT_EQ(out, it->second) << when << " " << key;
+      }
+    }
+  };
+  verify("before compaction");
+
+  for (int pass = 0; pass < 3; ++pass) {
+    bool kd = false, vd = false;
+    ds.ForceKeyCompaction([&](Status) { kd = true; });
+    testutil::RunUntilFlag(sim_, kd);
+    ds.ForceValueCompaction([&](Status) { vd = true; });
+    testutil::RunUntilFlag(sim_, vd);
+  }
+  verify("after compaction");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, StoreSweep,
+    ::testing::Combine(::testing::Values(256u, 512u, 4096u),   // bucket size
+                       ::testing::Values(16u, 256u, 1024u),    // value size
+                       ::testing::Values(1u, 16u, 256u)),      // segments
+    [](const ::testing::TestParamInfo<StoreParam>& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "_v" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// CircularLog sweep: (region_size, max_entry)
+// ---------------------------------------------------------------------------
+
+using LogParam = std::tuple<uint64_t, uint64_t>;
+
+class LogSweep : public ::testing::TestWithParam<LogParam> {
+ protected:
+  LogSweep() : device_(sim_, 8 << 20, 512) {}
+  sim::Simulator sim_;
+  sim::MemBlockDevice device_;
+};
+
+TEST_P(LogSweep, SurvivesArbitraryWraps) {
+  auto [region, max_entry] = GetParam();
+  log::CircularLog log(device_, 1024, region);
+  Rng rng(region ^ max_entry);
+  std::deque<std::pair<uint64_t, std::vector<uint8_t>>> window;
+  for (int i = 0; i < 300; ++i) {
+    // An entry can never exceed the region itself.
+    uint64_t size = 1 + rng.NextBounded(std::min(max_entry, region - 1));
+    auto payload = testutil::TestValue(i, size);
+    while (log.free_space() < size) {
+      ASSERT_FALSE(window.empty());
+      // Reclaim the oldest entry.
+      uint64_t new_head = window.front().first + window.front().second.size();
+      window.pop_front();
+      ASSERT_TRUE(log.AdvanceHead(new_head).ok());
+    }
+    bool done = false;
+    log::AppendResult res;
+    log.Append(payload, [&](log::AppendResult r) {
+      res = std::move(r);
+      done = true;
+    });
+    testutil::RunUntilFlag(sim_, done);
+    ASSERT_TRUE(res.status.ok());
+    window.emplace_back(res.offset, std::move(payload));
+  }
+  for (auto& [offset, payload] : window) {
+    bool done = false;
+    log::ReadResult r;
+    log.Read(offset, payload.size(), [&](log::ReadResult rr) {
+      r = std::move(rr);
+      done = true;
+    });
+    testutil::RunUntilFlag(sim_, done);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.data, payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LogSweep,
+    ::testing::Combine(::testing::Values(4096ull, 65536ull, 1048576ull),
+                       ::testing::Values(100ull, 700ull, 5000ull)),
+    [](const ::testing::TestParamInfo<LogParam>& info) {
+      return "r" + std::to_string(std::get<0>(info.param)) + "_e" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Histogram percentile properties across distributions
+// ---------------------------------------------------------------------------
+
+class HistogramSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramSweep, PercentilesMonotoneAndBounded) {
+  Histogram h;
+  Rng rng(GetParam());
+  double lo = 1e18, hi = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = 0;
+    switch (GetParam()) {
+      case 0:
+        v = 1.0 + static_cast<double>(rng.NextBounded(1000));  // uniform
+        break;
+      case 1:
+        v = rng.NextExponential(250.0) + 0.1;  // heavy tail
+        break;
+      case 2:
+        v = (i % 100 == 0) ? 1e6 : 50.0;  // bimodal with outliers
+        break;
+      default:
+        v = 42.0;  // constant
+        break;
+    }
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    h.Record(v);
+  }
+  double prev = 0;
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    double p = h.Percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    EXPECT_GE(p, lo * 0.99);
+    EXPECT_LE(p, hi * 1.01);
+    prev = p;
+  }
+  EXPECT_GE(h.Mean(), h.min());
+  EXPECT_LE(h.Mean(), h.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, HistogramSweep, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// SpscRing exactly-once FIFO across capacities
+// ---------------------------------------------------------------------------
+
+class RingSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RingSweep, ExactlyOnceFifoUnderChurn) {
+  engine::SpscRing<uint64_t> ring(GetParam());
+  Rng rng(GetParam());
+  uint64_t pushed = 0, popped = 0;
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.NextBool(0.55)) {
+      if (ring.TryPush(pushed + 0)) ++pushed;
+    } else {
+      auto v = ring.TryPop();
+      if (v) {
+        ASSERT_EQ(*v, popped);
+        ++popped;
+      }
+    }
+    ASSERT_LE(ring.Size(), ring.Capacity());
+  }
+  while (auto v = ring.TryPop()) {
+    ASSERT_EQ(*v, popped);
+    ++popped;
+  }
+  EXPECT_EQ(pushed, popped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingSweep,
+                         ::testing::Values(1, 2, 3, 8, 64, 1000));
+
+// ---------------------------------------------------------------------------
+// Zipf concentration monotone in theta
+// ---------------------------------------------------------------------------
+
+class ZipfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweep, SamplesInRangeAndTopShareMatchesZeta) {
+  const double theta = GetParam();
+  constexpr uint64_t kN = 50'000;
+  ZipfGenerator gen(kN, theta, /*scramble=*/false);
+  Rng rng(777);
+  uint64_t top = 0;
+  constexpr int kSamples = 120'000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t v = gen.Next(rng);
+    ASSERT_LT(v, kN);
+    if (v == 0) ++top;
+  }
+  if (theta > 0) {
+    double expected = gen.TopItemProbability();
+    EXPECT_NEAR(static_cast<double>(top) / kSamples, expected,
+                std::max(0.002, expected * 0.15));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSweep,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 0.99));
+
+}  // namespace
+}  // namespace leed

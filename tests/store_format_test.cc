@@ -1,0 +1,268 @@
+// Unit tests for the on-flash format (buckets, key items, value entries)
+// and the SegTbl.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "store/segment_table.h"
+
+namespace leed::store {
+namespace {
+
+KeyItem MakeItem(const std::string& key, uint32_t vlen, uint64_t voff,
+                 uint8_t ssd = 0) {
+  KeyItem it;
+  it.key = key;
+  it.value_len = vlen;
+  it.value_offset = voff;
+  it.value_ssd = ssd;
+  return it;
+}
+
+// ---------------------------------------------------------------------------
+// Bucket encode/decode
+// ---------------------------------------------------------------------------
+
+TEST(BucketFormatTest, RoundTripsHeaderAndItems) {
+  Bucket b;
+  b.header.segment_id = 77;
+  b.header.tag = 0xdeadbeef;
+  b.header.chain_len = 3;
+  b.header.position = 1;
+  b.header.contiguous = 1;
+  b.header.prev_offset = 0x123456789aULL;
+  b.header.prev_ssd = 2;
+  b.header.log_head = 111;
+  b.header.log_tail = 222;
+  b.items.push_back(MakeItem("alpha", 100, 5000, 1));
+  b.items.push_back(MakeItem("beta", 0, 0));  // tombstone
+  b.header.item_count = 2;
+
+  auto encoded = EncodeBucket(b, 512);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value().size(), 512u);
+
+  auto decoded = DecodeBucket(encoded.value(), 0, 512);
+  ASSERT_TRUE(decoded.ok());
+  const Bucket& d = decoded.value();
+  EXPECT_EQ(d.header.segment_id, 77u);
+  EXPECT_EQ(d.header.tag, 0xdeadbeefu);
+  EXPECT_EQ(d.header.chain_len, 3);
+  EXPECT_EQ(d.header.position, 1);
+  EXPECT_EQ(d.header.contiguous, 1);
+  EXPECT_EQ(d.header.prev_offset, 0x123456789aULL);
+  EXPECT_EQ(d.header.prev_ssd, 2);
+  EXPECT_EQ(d.header.log_head, 111u);
+  EXPECT_EQ(d.header.log_tail, 222u);
+  ASSERT_EQ(d.items.size(), 2u);
+  EXPECT_EQ(d.items[0].key, "alpha");
+  EXPECT_EQ(d.items[0].value_len, 100u);
+  EXPECT_EQ(d.items[0].value_offset, 5000u);
+  EXPECT_EQ(d.items[0].value_ssd, 1);
+  EXPECT_TRUE(d.items[1].IsTombstone());
+}
+
+TEST(BucketFormatTest, ValueOffset48BitRoundTrip) {
+  Bucket b;
+  b.items.push_back(MakeItem("k", 1, (1ULL << 48) - 1));
+  auto enc = EncodeBucket(b, 512);
+  ASSERT_TRUE(enc.ok());
+  auto dec = DecodeBucket(enc.value(), 0, 512);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.value().items[0].value_offset, (1ULL << 48) - 1);
+}
+
+TEST(BucketFormatTest, OversizedBucketRejected) {
+  Bucket b;
+  for (int i = 0; i < 100; ++i) {
+    b.items.push_back(MakeItem("key-" + std::to_string(i), 10, i));
+  }
+  auto enc = EncodeBucket(b, 512);
+  EXPECT_FALSE(enc.ok());
+}
+
+TEST(BucketFormatTest, ShortBufferIsCorruption) {
+  std::vector<uint8_t> tiny(100, 0);
+  EXPECT_FALSE(DecodeBucket(tiny, 0, 512).ok());
+  std::vector<uint8_t> misaligned(1000, 0);
+  EXPECT_FALSE(DecodeBucket(misaligned, 600, 512).ok());
+}
+
+TEST(BucketFormatTest, DecodeAtOffsetWithinArray) {
+  Bucket b1, b2;
+  b1.header.segment_id = 1;
+  b1.items.push_back(MakeItem("one", 1, 10));
+  b2.header.segment_id = 2;
+  b2.items.push_back(MakeItem("two", 2, 20));
+  auto e1 = EncodeBucket(b1, 256);
+  auto e2 = EncodeBucket(b2, 256);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  std::vector<uint8_t> blob = e1.value();
+  blob.insert(blob.end(), e2.value().begin(), e2.value().end());
+
+  auto d2 = DecodeBucket(blob, 256, 256);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2.value().header.segment_id, 2u);
+  EXPECT_EQ(d2.value().items[0].key, "two");
+}
+
+// ---------------------------------------------------------------------------
+// Bucket mutation helpers
+// ---------------------------------------------------------------------------
+
+TEST(BucketUpsertTest, InsertsNewestFirst) {
+  Bucket b;
+  EXPECT_TRUE(b.Upsert(512, MakeItem("a", 1, 1)));
+  EXPECT_TRUE(b.Upsert(512, MakeItem("b", 2, 2)));
+  ASSERT_EQ(b.items.size(), 2u);
+  EXPECT_EQ(b.items[0].key, "b");  // newest first
+  EXPECT_EQ(b.items[1].key, "a");
+}
+
+TEST(BucketUpsertTest, ReplacesInPlace) {
+  Bucket b;
+  EXPECT_TRUE(b.Upsert(512, MakeItem("a", 1, 1)));
+  EXPECT_TRUE(b.Upsert(512, MakeItem("a", 9, 99)));
+  ASSERT_EQ(b.items.size(), 1u);
+  EXPECT_EQ(b.items[0].value_offset, 99u);
+}
+
+TEST(BucketUpsertTest, RespectsCapacity) {
+  Bucket b;
+  // Item size = 13 fixed + 8 key = 21 bytes; header 32. In 128 bytes:
+  // (128-32)/21 = 4 items.
+  int inserted = 0;
+  while (b.Upsert(128, MakeItem("key-" + std::to_string(inserted) + "xx", 1,
+                                inserted))) {
+    ++inserted;
+  }
+  EXPECT_EQ(inserted, 4);
+  EXPECT_TRUE(b.CanUpsert(128, MakeItem("key-0xx", 5, 5)));  // replace fits
+  EXPECT_FALSE(b.CanUpsert(128, MakeItem("brand-new", 5, 5)));
+}
+
+TEST(BucketUpsertTest, FindReturnsNewest) {
+  Bucket b;
+  b.Upsert(512, MakeItem("x", 1, 1));
+  auto idx = b.Find("x");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(b.items[*idx].value_offset, 1u);
+  EXPECT_FALSE(b.Find("missing").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Value entries
+// ---------------------------------------------------------------------------
+
+TEST(ValueEntryTest, RoundTrip) {
+  ValueEntry e;
+  e.segment_id = 42;
+  e.key = "user123";
+  e.value = {9, 8, 7, 6};
+  auto bytes = EncodeValueEntry(e);
+  EXPECT_EQ(bytes.size(), e.EncodedSize());
+  auto d = DecodeValueEntry(bytes, 0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().segment_id, 42u);
+  EXPECT_EQ(d.value().key, "user123");
+  EXPECT_EQ(d.value().value, (std::vector<uint8_t>{9, 8, 7, 6}));
+}
+
+TEST(ValueEntryTest, SequentialParse) {
+  ValueEntry a, b;
+  a.segment_id = 1;
+  a.key = "k1";
+  a.value = std::vector<uint8_t>(100, 1);
+  b.segment_id = 2;
+  b.key = "key-two";
+  b.value = std::vector<uint8_t>(37, 2);
+  auto blob = EncodeValueEntry(a);
+  auto bb = EncodeValueEntry(b);
+  blob.insert(blob.end(), bb.begin(), bb.end());
+
+  auto d1 = DecodeValueEntry(blob, 0);
+  ASSERT_TRUE(d1.ok());
+  auto d2 = DecodeValueEntry(blob, d1.value().EncodedSize());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2.value().key, "key-two");
+  EXPECT_EQ(d2.value().value.size(), 37u);
+}
+
+TEST(ValueEntryTest, TruncatedIsCorruption) {
+  ValueEntry e;
+  e.key = "k";
+  e.value = std::vector<uint8_t>(100, 3);
+  auto bytes = EncodeValueEntry(e);
+  bytes.resize(bytes.size() - 10);
+  EXPECT_FALSE(DecodeValueEntry(bytes, 0).ok());
+  std::vector<uint8_t> tiny(4, 0);
+  EXPECT_FALSE(DecodeValueEntry(tiny, 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SegmentTable
+// ---------------------------------------------------------------------------
+
+TEST(SegmentTableTest, LockBitBasics) {
+  SegmentTable tbl(16);
+  EXPECT_TRUE(tbl.TryLock(3));
+  EXPECT_FALSE(tbl.TryLock(3));
+  EXPECT_TRUE(tbl.IsLocked(3));
+  int resumed = 0;
+  tbl.Unlock(3, [&](std::function<void()> fn) {
+    resumed++;
+    fn();
+  });
+  EXPECT_FALSE(tbl.IsLocked(3));
+  EXPECT_EQ(resumed, 0);  // no waiters
+}
+
+TEST(SegmentTableTest, WaitersResumeFifoOnePerUnlock) {
+  SegmentTable tbl(4);
+  ASSERT_TRUE(tbl.TryLock(1));
+  std::vector<int> order;
+  tbl.WaitOnLock(1, [&] { order.push_back(1); });
+  tbl.WaitOnLock(1, [&] { order.push_back(2); });
+  EXPECT_EQ(tbl.waiters(1), 2u);
+
+  auto run_now = [](std::function<void()> fn) { fn(); };
+  tbl.Unlock(1, run_now);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(tbl.waiters(1), 1u);
+  ASSERT_TRUE(tbl.TryLock(1));
+  tbl.Unlock(1, run_now);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SegmentTableTest, MaxChainFromBits) {
+  SegmentTable tbl(4, 4);
+  EXPECT_EQ(tbl.max_chain(), 15u);
+  SegmentTable tbl3(4, 3);
+  EXPECT_EQ(tbl3.max_chain(), 7u);
+}
+
+TEST(SegmentTableTest, PaperDramAccountingUnderHalfByte) {
+  // Challenge C1: a Stingray-scale config must index 256B objects at well
+  // under 0.5 B/object. 4KB buckets hold ~140 items; one entry per segment.
+  constexpr uint64_t kObjects = 1'000'000;
+  constexpr uint32_t kItemsPerBucket = 140;
+  SegmentTable tbl(kObjects / kItemsPerBucket, 4);
+  double bpo = tbl.PaperBytesPerObject(kObjects);
+  EXPECT_LT(bpo, 0.1);
+  EXPECT_GT(bpo, 0.0);
+  // And FAWN's 6 B/object is two orders of magnitude worse.
+  EXPECT_LT(bpo * 60, 6.0);
+}
+
+TEST(SegmentTableTest, EmptyEntryDetection) {
+  SegmentTable tbl(2);
+  EXPECT_TRUE(tbl.At(0).Empty());
+  tbl.At(0).chain_len = 1;
+  EXPECT_FALSE(tbl.At(0).Empty());
+}
+
+}  // namespace
+}  // namespace leed::store

@@ -1,0 +1,85 @@
+// Shared helpers for driving the event loop inside tests: synchronous
+// wrappers that issue an async store op and run the simulator until its
+// callback fires.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace leed::testutil {
+
+// Run the simulator until `done` is true or the event queue drains.
+// Returns true if `done` became true.
+inline bool RunUntilFlag(sim::Simulator& simulator, const bool& done,
+                         SimTime max_time = 0) {
+  while (!done) {
+    if (max_time > 0 && simulator.Now() > max_time) return false;
+    // Stop once only daemon events (periodic timers) remain — they would
+    // tick forever without ever setting the flag.
+    if (simulator.events_pending() == 0) break;
+    if (!simulator.Step()) break;
+  }
+  return done;
+}
+
+// Synchronous wrappers over callback-style KV interfaces. `Store` must
+// expose Get/Put/Del with the leed::store::DataStore signatures.
+template <typename Store>
+Status SyncPut(sim::Simulator& simulator, Store& store, const std::string& key,
+               std::vector<uint8_t> value) {
+  Status result = Status::Internal("callback never ran");
+  bool done = false;
+  store.Put(key, std::move(value), [&](Status st) {
+    result = std::move(st);
+    done = true;
+  });
+  RunUntilFlag(simulator, done);
+  EXPECT_TRUE(done) << "PUT callback did not fire";
+  return result;
+}
+
+template <typename Store>
+Status SyncDel(sim::Simulator& simulator, Store& store, const std::string& key) {
+  Status result = Status::Internal("callback never ran");
+  bool done = false;
+  store.Del(key, [&](Status st) {
+    result = std::move(st);
+    done = true;
+  });
+  RunUntilFlag(simulator, done);
+  EXPECT_TRUE(done) << "DEL callback did not fire";
+  return result;
+}
+
+template <typename Store>
+Status SyncGet(sim::Simulator& simulator, Store& store, const std::string& key,
+               std::vector<uint8_t>* value_out = nullptr) {
+  Status result = Status::Internal("callback never ran");
+  bool done = false;
+  store.Get(key, [&](Status st, std::vector<uint8_t> value) {
+    result = std::move(st);
+    if (value_out) *value_out = std::move(value);
+    done = true;
+  });
+  RunUntilFlag(simulator, done);
+  EXPECT_TRUE(done) << "GET callback did not fire";
+  return result;
+}
+
+// A deterministic value whose bytes depend on (tag, size).
+inline std::vector<uint8_t> TestValue(uint64_t tag, size_t size) {
+  std::vector<uint8_t> v(size);
+  for (size_t i = 0; i < size; ++i) {
+    v[i] = static_cast<uint8_t>((tag * 131 + i * 17 + 7) & 0xff);
+  }
+  return v;
+}
+
+}  // namespace leed::testutil

@@ -1,0 +1,193 @@
+// leedsim — command-line driver for the LEED cluster simulator.
+//
+// Lets a user run a configurable experiment without writing C++:
+//
+//   leedsim --system=leed --nodes=3 --mix=B --value-size=1024 \
+//           --keys=20000 --skew=0.99 --concurrency=64 --duration-ms=500
+//
+//   leedsim --system=fawn --nodes=10 --mix=C --rate-kqps=20   (open loop)
+//
+// Prints throughput, latency percentiles, power, and requests/Joule in the
+// paper's units, plus per-node counters with --verbose.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "leed/cluster_sim.h"
+
+using namespace leed;
+
+namespace {
+
+struct Options {
+  std::string system = "leed";  // leed | kvell | fawn
+  uint32_t nodes = 3;
+  std::string mix = "B";        // A B C D F WR
+  uint32_t value_size = 1024;
+  uint64_t keys = 20'000;
+  double skew = 0.99;
+  uint32_t concurrency = 64;    // closed loop (per client)
+  double rate_kqps = 0;         // >0: open loop instead
+  uint64_t duration_ms = 500;
+  uint64_t seed = 0x1eed;
+  bool crrs = true;
+  bool flow_control = true;
+  bool data_swap = true;
+  bool verbose = false;
+};
+
+void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --system=leed|kvell|fawn   storage stack + platform (default leed)\n"
+      "  --nodes=N                  back-end node count (default 3)\n"
+      "  --mix=A|B|C|D|F|WR         YCSB mix (default B)\n"
+      "  --value-size=BYTES         object size (default 1024)\n"
+      "  --keys=N                   preloaded key count (default 20000)\n"
+      "  --skew=THETA               Zipf skewness, 0=uniform (default 0.99)\n"
+      "  --concurrency=N            closed-loop window per client (default 64)\n"
+      "  --rate-kqps=R              open-loop Poisson rate (overrides closed loop)\n"
+      "  --duration-ms=MS           measured window (default 500)\n"
+      "  --seed=N                   RNG seed (default 0x1eed)\n"
+      "  --no-crrs                  disable CRRS read shipping\n"
+      "  --no-flow-control          disable Algorithm-1 client scheduling\n"
+      "  --no-data-swap             disable intra-JBOF write swapping\n"
+      "  --verbose                  per-node counters\n",
+      argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+workload::Mix ParseMix(const std::string& m) {
+  if (m == "A") return workload::Mix::kA;
+  if (m == "B") return workload::Mix::kB;
+  if (m == "C") return workload::Mix::kC;
+  if (m == "D") return workload::Mix::kD;
+  if (m == "F") return workload::Mix::kF;
+  if (m == "WR") return workload::Mix::kWriteOnly;
+  std::fprintf(stderr, "unknown mix '%s'\n", m.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--system", &v)) opt.system = v;
+    else if (ParseFlag(argv[i], "--nodes", &v)) opt.nodes = std::stoul(v);
+    else if (ParseFlag(argv[i], "--mix", &v)) opt.mix = v;
+    else if (ParseFlag(argv[i], "--value-size", &v)) opt.value_size = std::stoul(v);
+    else if (ParseFlag(argv[i], "--keys", &v)) opt.keys = std::stoull(v);
+    else if (ParseFlag(argv[i], "--skew", &v)) opt.skew = std::stod(v);
+    else if (ParseFlag(argv[i], "--concurrency", &v)) opt.concurrency = std::stoul(v);
+    else if (ParseFlag(argv[i], "--rate-kqps", &v)) opt.rate_kqps = std::stod(v);
+    else if (ParseFlag(argv[i], "--duration-ms", &v)) opt.duration_ms = std::stoull(v);
+    else if (ParseFlag(argv[i], "--seed", &v)) opt.seed = std::stoull(v, nullptr, 0);
+    else if (std::strcmp(argv[i], "--no-crrs") == 0) opt.crrs = false;
+    else if (std::strcmp(argv[i], "--no-flow-control") == 0) opt.flow_control = false;
+    else if (std::strcmp(argv[i], "--no-data-swap") == 0) opt.data_swap = false;
+    else if (std::strcmp(argv[i], "--verbose") == 0) opt.verbose = true;
+    else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  ClusterConfig cfg;
+  if (opt.system == "leed") {
+    cfg = bench::LeedCluster(opt.nodes, opt.value_size, opt.seed);
+    cfg.node.crrs = opt.crrs;
+    cfg.client.crrs_reads = opt.crrs;
+    cfg.node.engine.enable_data_swap = opt.data_swap;
+  } else if (opt.system == "kvell") {
+    cfg = bench::KvellCluster(opt.nodes, opt.value_size, opt.seed);
+  } else if (opt.system == "fawn") {
+    cfg = bench::FawnCluster(opt.nodes, opt.value_size, opt.seed);
+  } else {
+    std::fprintf(stderr, "unknown system '%s'\n", opt.system.c_str());
+    return 2;
+  }
+  cfg.client.flow_control = opt.flow_control;
+
+  std::printf("leedsim: %s x%u, %s, %uB values, %llu keys, skew %.2f, %s\n",
+              opt.system.c_str(), opt.nodes, ("YCSB-" + opt.mix).c_str(),
+              opt.value_size, static_cast<unsigned long long>(opt.keys),
+              opt.skew,
+              opt.rate_kqps > 0
+                  ? (std::to_string(opt.rate_kqps) + " KQPS open loop").c_str()
+                  : (std::to_string(opt.concurrency) + "-deep closed loop").c_str());
+
+  ClusterSim cluster(std::move(cfg));
+  cluster.Bootstrap();
+  std::printf("preloading...\n");
+  cluster.Preload(opt.keys, opt.value_size);
+
+  workload::YcsbConfig wc;
+  wc.mix = ParseMix(opt.mix);
+  wc.num_keys = opt.keys;
+  wc.value_size = opt.value_size;
+  wc.zipf_theta = opt.skew;
+  wc.seed = opt.seed ^ 0x5eed;
+  workload::YcsbGenerator gen(wc);
+
+  ClusterSim::DriveOptions drive;
+  drive.concurrency_per_client = opt.concurrency;
+  drive.open_loop_qps = opt.rate_kqps * 1e3;
+  drive.warmup = 50 * kMillisecond;
+  drive.duration = static_cast<SimTime>(opt.duration_ms) * kMillisecond;
+  RunResult r = cluster.Run(gen, drive);
+
+  std::printf("\nresults (%.0f ms measured):\n", opt.duration_ms * 1.0);
+  std::printf("  throughput      : %.1f KQPS (%llu ops, %llu errors)\n",
+              r.throughput_qps / 1e3,
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.errors));
+  std::printf("  latency         : %s\n", r.latency_us.Summary("us").c_str());
+  std::printf("  cluster power   : %.1f W\n", r.cluster_power_w);
+  std::printf("  energy efficiency: %.2f KQueries/Joule\n",
+              r.queries_per_joule / 1e3);
+
+  if (opt.verbose) {
+    std::printf("\nper-node counters:\n");
+    for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+      const NodeStats& s = cluster.node(n).stats();
+      std::printf(
+          "  node %u: reqs=%llu gets=%llu shipped=%llu chain_writes=%llu "
+          "commits=%llu nacks=%llu\n",
+          n, static_cast<unsigned long long>(s.client_requests),
+          static_cast<unsigned long long>(s.gets_served),
+          static_cast<unsigned long long>(s.reads_shipped),
+          static_cast<unsigned long long>(s.chain_writes),
+          static_cast<unsigned long long>(s.commits_as_tail),
+          static_cast<unsigned long long>(s.nacks_sent));
+      if (auto* eng = cluster.node(n).leed_engine()) {
+        std::printf(
+          "          engine: executed=%llu waited=%llu rejected=%llu "
+          "swaps=%llu queue=%s\n",
+          static_cast<unsigned long long>(eng->stats().executed),
+          static_cast<unsigned long long>(eng->stats().waited),
+          static_cast<unsigned long long>(eng->stats().rejected_overloaded),
+          static_cast<unsigned long long>(eng->stats().swap_activations),
+          eng->stats().queue_us.Summary("us").c_str());
+      }
+    }
+  }
+  return 0;
+}
