@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_crrs_vs_craq.dir/bench_ablation_crrs_vs_craq.cc.o"
+  "CMakeFiles/bench_ablation_crrs_vs_craq.dir/bench_ablation_crrs_vs_craq.cc.o.d"
+  "bench_ablation_crrs_vs_craq"
+  "bench_ablation_crrs_vs_craq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crrs_vs_craq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_crrs_vs_craq.
+# This may be replaced when dependencies are built.

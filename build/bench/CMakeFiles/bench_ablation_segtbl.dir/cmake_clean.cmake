@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_segtbl.dir/bench_ablation_segtbl.cc.o"
+  "CMakeFiles/bench_ablation_segtbl.dir/bench_ablation_segtbl.cc.o.d"
+  "bench_ablation_segtbl"
+  "bench_ablation_segtbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_segtbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_data_swap.dir/bench_fig10_data_swap.cc.o"
+  "CMakeFiles/bench_fig10_data_swap.dir/bench_fig10_data_swap.cc.o.d"
+  "bench_fig10_data_swap"
+  "bench_fig10_data_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_data_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

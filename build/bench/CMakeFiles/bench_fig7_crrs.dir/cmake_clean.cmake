@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_crrs.dir/bench_fig7_crrs.cc.o"
+  "CMakeFiles/bench_fig7_crrs.dir/bench_fig7_crrs.cc.o.d"
+  "bench_fig7_crrs"
+  "bench_fig7_crrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_crrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_load_aware_sched.dir/bench_fig8_load_aware_sched.cc.o"
+  "CMakeFiles/bench_fig8_load_aware_sched.dir/bench_fig8_load_aware_sched.cc.o.d"
+  "bench_fig8_load_aware_sched"
+  "bench_fig8_load_aware_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_load_aware_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

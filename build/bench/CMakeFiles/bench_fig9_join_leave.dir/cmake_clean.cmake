@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_join_leave.dir/bench_fig9_join_leave.cc.o"
+  "CMakeFiles/bench_fig9_join_leave.dir/bench_fig9_join_leave.cc.o.d"
+  "bench_fig9_join_leave"
+  "bench_fig9_join_leave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_join_leave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_join_leave.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_store.dir/photo_store.cpp.o"
+  "CMakeFiles/photo_store.dir/photo_store.cpp.o.d"
+  "photo_store"
+  "photo_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/balls_into_bins.cc" "src/CMakeFiles/leed_analysis.dir/analysis/balls_into_bins.cc.o" "gcc" "src/CMakeFiles/leed_analysis.dir/analysis/balls_into_bins.cc.o.d"
+  "/root/repo/src/analysis/index_memory.cc" "src/CMakeFiles/leed_analysis.dir/analysis/index_memory.cc.o" "gcc" "src/CMakeFiles/leed_analysis.dir/analysis/index_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_analysis.dir/analysis/balls_into_bins.cc.o"
+  "CMakeFiles/leed_analysis.dir/analysis/balls_into_bins.cc.o.d"
+  "CMakeFiles/leed_analysis.dir/analysis/index_memory.cc.o"
+  "CMakeFiles/leed_analysis.dir/analysis/index_memory.cc.o.d"
+  "libleed_analysis.a"
+  "libleed_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/btree_index.cc" "src/CMakeFiles/leed_baselines.dir/baselines/btree_index.cc.o" "gcc" "src/CMakeFiles/leed_baselines.dir/baselines/btree_index.cc.o.d"
+  "/root/repo/src/baselines/executor.cc" "src/CMakeFiles/leed_baselines.dir/baselines/executor.cc.o" "gcc" "src/CMakeFiles/leed_baselines.dir/baselines/executor.cc.o.d"
+  "/root/repo/src/baselines/fawn_store.cc" "src/CMakeFiles/leed_baselines.dir/baselines/fawn_store.cc.o" "gcc" "src/CMakeFiles/leed_baselines.dir/baselines/fawn_store.cc.o.d"
+  "/root/repo/src/baselines/kvell_store.cc" "src/CMakeFiles/leed_baselines.dir/baselines/kvell_store.cc.o" "gcc" "src/CMakeFiles/leed_baselines.dir/baselines/kvell_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leed_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

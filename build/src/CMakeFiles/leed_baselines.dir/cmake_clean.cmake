@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_baselines.dir/baselines/btree_index.cc.o"
+  "CMakeFiles/leed_baselines.dir/baselines/btree_index.cc.o.d"
+  "CMakeFiles/leed_baselines.dir/baselines/executor.cc.o"
+  "CMakeFiles/leed_baselines.dir/baselines/executor.cc.o.d"
+  "CMakeFiles/leed_baselines.dir/baselines/fawn_store.cc.o"
+  "CMakeFiles/leed_baselines.dir/baselines/fawn_store.cc.o.d"
+  "CMakeFiles/leed_baselines.dir/baselines/kvell_store.cc.o"
+  "CMakeFiles/leed_baselines.dir/baselines/kvell_store.cc.o.d"
+  "libleed_baselines.a"
+  "libleed_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/control_plane.cc" "src/CMakeFiles/leed_cluster.dir/cluster/control_plane.cc.o" "gcc" "src/CMakeFiles/leed_cluster.dir/cluster/control_plane.cc.o.d"
+  "/root/repo/src/cluster/hash_ring.cc" "src/CMakeFiles/leed_cluster.dir/cluster/hash_ring.cc.o" "gcc" "src/CMakeFiles/leed_cluster.dir/cluster/hash_ring.cc.o.d"
+  "/root/repo/src/cluster/membership.cc" "src/CMakeFiles/leed_cluster.dir/cluster/membership.cc.o" "gcc" "src/CMakeFiles/leed_cluster.dir/cluster/membership.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_cluster.dir/cluster/control_plane.cc.o"
+  "CMakeFiles/leed_cluster.dir/cluster/control_plane.cc.o.d"
+  "CMakeFiles/leed_cluster.dir/cluster/hash_ring.cc.o"
+  "CMakeFiles/leed_cluster.dir/cluster/hash_ring.cc.o.d"
+  "CMakeFiles/leed_cluster.dir/cluster/membership.cc.o"
+  "CMakeFiles/leed_cluster.dir/cluster/membership.cc.o.d"
+  "libleed_cluster.a"
+  "libleed_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

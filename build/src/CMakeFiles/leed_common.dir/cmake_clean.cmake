@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_common.dir/common/hash.cc.o"
+  "CMakeFiles/leed_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/leed_common.dir/common/histogram.cc.o"
+  "CMakeFiles/leed_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/leed_common.dir/common/rand.cc.o"
+  "CMakeFiles/leed_common.dir/common/rand.cc.o.d"
+  "CMakeFiles/leed_common.dir/common/status.cc.o"
+  "CMakeFiles/leed_common.dir/common/status.cc.o.d"
+  "CMakeFiles/leed_common.dir/common/zipf.cc.o"
+  "CMakeFiles/leed_common.dir/common/zipf.cc.o.d"
+  "libleed_common.a"
+  "libleed_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleed_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_engine.dir/engine/io_engine.cc.o"
+  "CMakeFiles/leed_engine.dir/engine/io_engine.cc.o.d"
+  "CMakeFiles/leed_engine.dir/engine/token_bucket.cc.o"
+  "CMakeFiles/leed_engine.dir/engine/token_bucket.cc.o.d"
+  "libleed_engine.a"
+  "libleed_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_flowctl.dir/flowctl/flow_control.cc.o"
+  "CMakeFiles/leed_flowctl.dir/flowctl/flow_control.cc.o.d"
+  "CMakeFiles/leed_flowctl.dir/flowctl/scheduler.cc.o"
+  "CMakeFiles/leed_flowctl.dir/flowctl/scheduler.cc.o.d"
+  "libleed_flowctl.a"
+  "libleed_flowctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_flowctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

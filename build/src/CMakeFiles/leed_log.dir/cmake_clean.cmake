@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_log.dir/log/circular_log.cc.o"
+  "CMakeFiles/leed_log.dir/log/circular_log.cc.o.d"
+  "libleed_log.a"
+  "libleed_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

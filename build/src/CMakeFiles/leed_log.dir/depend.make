@@ -1,0 +1,2 @@
+# Empty dependencies file for leed_log.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_replication.dir/replication/chain.cc.o"
+  "CMakeFiles/leed_replication.dir/replication/chain.cc.o.d"
+  "CMakeFiles/leed_replication.dir/replication/crrs.cc.o"
+  "CMakeFiles/leed_replication.dir/replication/crrs.cc.o.d"
+  "libleed_replication.a"
+  "libleed_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

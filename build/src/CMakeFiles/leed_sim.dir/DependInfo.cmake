@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block_device.cc" "src/CMakeFiles/leed_sim.dir/sim/block_device.cc.o" "gcc" "src/CMakeFiles/leed_sim.dir/sim/block_device.cc.o.d"
+  "/root/repo/src/sim/cpu_model.cc" "src/CMakeFiles/leed_sim.dir/sim/cpu_model.cc.o" "gcc" "src/CMakeFiles/leed_sim.dir/sim/cpu_model.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/leed_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/leed_sim.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/platform.cc" "src/CMakeFiles/leed_sim.dir/sim/platform.cc.o" "gcc" "src/CMakeFiles/leed_sim.dir/sim/platform.cc.o.d"
+  "/root/repo/src/sim/power.cc" "src/CMakeFiles/leed_sim.dir/sim/power.cc.o" "gcc" "src/CMakeFiles/leed_sim.dir/sim/power.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/leed_sim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/leed_sim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/ssd_model.cc" "src/CMakeFiles/leed_sim.dir/sim/ssd_model.cc.o" "gcc" "src/CMakeFiles/leed_sim.dir/sim/ssd_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_sim.dir/sim/block_device.cc.o"
+  "CMakeFiles/leed_sim.dir/sim/block_device.cc.o.d"
+  "CMakeFiles/leed_sim.dir/sim/cpu_model.cc.o"
+  "CMakeFiles/leed_sim.dir/sim/cpu_model.cc.o.d"
+  "CMakeFiles/leed_sim.dir/sim/network.cc.o"
+  "CMakeFiles/leed_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/leed_sim.dir/sim/platform.cc.o"
+  "CMakeFiles/leed_sim.dir/sim/platform.cc.o.d"
+  "CMakeFiles/leed_sim.dir/sim/power.cc.o"
+  "CMakeFiles/leed_sim.dir/sim/power.cc.o.d"
+  "CMakeFiles/leed_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/leed_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/leed_sim.dir/sim/ssd_model.cc.o"
+  "CMakeFiles/leed_sim.dir/sim/ssd_model.cc.o.d"
+  "libleed_sim.a"
+  "libleed_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

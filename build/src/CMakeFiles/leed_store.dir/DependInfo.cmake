@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/bucket.cc" "src/CMakeFiles/leed_store.dir/store/bucket.cc.o" "gcc" "src/CMakeFiles/leed_store.dir/store/bucket.cc.o.d"
+  "/root/repo/src/store/compaction.cc" "src/CMakeFiles/leed_store.dir/store/compaction.cc.o" "gcc" "src/CMakeFiles/leed_store.dir/store/compaction.cc.o.d"
+  "/root/repo/src/store/data_store.cc" "src/CMakeFiles/leed_store.dir/store/data_store.cc.o" "gcc" "src/CMakeFiles/leed_store.dir/store/data_store.cc.o.d"
+  "/root/repo/src/store/recovery.cc" "src/CMakeFiles/leed_store.dir/store/recovery.cc.o" "gcc" "src/CMakeFiles/leed_store.dir/store/recovery.cc.o.d"
+  "/root/repo/src/store/segment_table.cc" "src/CMakeFiles/leed_store.dir/store/segment_table.cc.o" "gcc" "src/CMakeFiles/leed_store.dir/store/segment_table.cc.o.d"
+  "/root/repo/src/store/superblock.cc" "src/CMakeFiles/leed_store.dir/store/superblock.cc.o" "gcc" "src/CMakeFiles/leed_store.dir/store/superblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leed_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

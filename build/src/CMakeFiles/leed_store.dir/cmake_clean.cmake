@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_store.dir/store/bucket.cc.o"
+  "CMakeFiles/leed_store.dir/store/bucket.cc.o.d"
+  "CMakeFiles/leed_store.dir/store/compaction.cc.o"
+  "CMakeFiles/leed_store.dir/store/compaction.cc.o.d"
+  "CMakeFiles/leed_store.dir/store/data_store.cc.o"
+  "CMakeFiles/leed_store.dir/store/data_store.cc.o.d"
+  "CMakeFiles/leed_store.dir/store/recovery.cc.o"
+  "CMakeFiles/leed_store.dir/store/recovery.cc.o.d"
+  "CMakeFiles/leed_store.dir/store/segment_table.cc.o"
+  "CMakeFiles/leed_store.dir/store/segment_table.cc.o.d"
+  "CMakeFiles/leed_store.dir/store/superblock.cc.o"
+  "CMakeFiles/leed_store.dir/store/superblock.cc.o.d"
+  "libleed_store.a"
+  "libleed_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

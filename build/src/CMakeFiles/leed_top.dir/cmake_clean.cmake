@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_top.dir/leed/client.cc.o"
+  "CMakeFiles/leed_top.dir/leed/client.cc.o.d"
+  "CMakeFiles/leed_top.dir/leed/cluster_sim.cc.o"
+  "CMakeFiles/leed_top.dir/leed/cluster_sim.cc.o.d"
+  "CMakeFiles/leed_top.dir/leed/node.cc.o"
+  "CMakeFiles/leed_top.dir/leed/node.cc.o.d"
+  "libleed_top.a"
+  "libleed_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

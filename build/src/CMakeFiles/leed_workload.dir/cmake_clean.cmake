@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leed_workload.dir/workload/ycsb.cc.o"
+  "CMakeFiles/leed_workload.dir/workload/ycsb.cc.o.d"
+  "libleed_workload.a"
+  "libleed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowctl_test.dir/flowctl_test.cc.o"
+  "CMakeFiles/flowctl_test.dir/flowctl_test.cc.o.d"
+  "flowctl_test"
+  "flowctl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowctl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_protocol_test.dir/node_protocol_test.cc.o"
+  "CMakeFiles/node_protocol_test.dir/node_protocol_test.cc.o.d"
+  "node_protocol_test"
+  "node_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leed_top.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_flowctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_format_test.dir/store_format_test.cc.o"
+  "CMakeFiles/store_format_test.dir/store_format_test.cc.o.d"
+  "store_format_test"
+  "store_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_analysis_test.dir/workload_analysis_test.cc.o"
+  "CMakeFiles/workload_analysis_test.dir/workload_analysis_test.cc.o.d"
+  "workload_analysis_test"
+  "workload_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

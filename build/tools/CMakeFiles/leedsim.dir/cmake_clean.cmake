@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leedsim.dir/leedsim.cpp.o"
+  "CMakeFiles/leedsim.dir/leedsim.cpp.o.d"
+  "leedsim"
+  "leedsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leedsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
