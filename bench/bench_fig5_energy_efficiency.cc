@@ -15,8 +15,8 @@ using namespace leed;
 
 namespace {
 
-double RunSystem(ClusterConfig cfg, workload::Mix mix, uint32_t value_size,
-                 uint64_t keys, uint32_t concurrency) {
+double RunSystem(const char* name, ClusterConfig cfg, workload::Mix mix,
+                 uint32_t value_size, uint64_t keys, uint32_t concurrency) {
   ClusterSim cluster(std::move(cfg));
   cluster.Bootstrap();
   cluster.Preload(keys, value_size);
@@ -26,6 +26,8 @@ double RunSystem(ClusterConfig cfg, workload::Mix mix, uint32_t value_size,
   run.preload_keys = keys;
   run.concurrency = concurrency;
   run.duration = 200 * kMillisecond;
+  run.label = std::string("fig5_") + name + "_" + workload::MixName(mix) + "_" +
+              std::to_string(value_size);
   RunResult r = bench::DriveYcsb(cluster, run);
   return r.queries_per_joule / 1e3;  // KQueries/J
 }
@@ -48,12 +50,12 @@ int main() {
     double sum_ratio_kvell = 0, sum_ratio_fawn = 0;
     for (auto mix : mixes) {
       const uint64_t keys = 12'000;
-      double fawn = RunSystem(bench::FawnCluster(10, value_size), mix,
+      double fawn = RunSystem("fawn", bench::FawnCluster(10, value_size), mix,
                               value_size, keys, 8);
-      double kvell = RunSystem(bench::KvellCluster(3, value_size), mix,
+      double kvell = RunSystem("kvell", bench::KvellCluster(3, value_size), mix,
                                value_size, keys, 96);
-      double leed_eff = RunSystem(bench::LeedCluster(3, value_size), mix,
-                                  value_size, keys, 96);
+      double leed_eff = RunSystem("leed", bench::LeedCluster(3, value_size),
+                                  mix, value_size, keys, 96);
       sum_ratio_kvell += kvell > 0 ? leed_eff / kvell : 0;
       sum_ratio_fawn += fawn > 0 ? leed_eff / fawn : 0;
       bench::PrintRow({workload::MixName(mix), bench::Fmt("%.2f", fawn),

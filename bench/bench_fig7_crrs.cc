@@ -37,6 +37,8 @@ Point RunOne(workload::Mix mix, double skew, bool crrs) {
   run.preload_keys = keys;
   run.concurrency = 96;
   run.duration = 200 * kMillisecond;
+  run.label = std::string("fig7_") + workload::MixName(mix) + "_skew" +
+              bench::Fmt("%.2f", skew) + (crrs ? "_crrs" : "_nocrrs");
   RunResult r = bench::DriveYcsb(cluster, run);
   return {r.throughput_qps / 1e3, r.latency_us.Mean() / 1e3,
           r.latency_us.P999() / 1e3};

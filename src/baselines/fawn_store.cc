@@ -207,7 +207,13 @@ void FawnStore::CleanStep(uint64_t region_end) {
               [this, live, parsed_end] {
       // Re-append live entries one by one, then advance the head.
       auto step = std::make_shared<std::function<void()>>();
-      *step = [this, live, parsed_end, step] {
+      // Weak self-capture: the pending Append callback carries the strong
+      // reference, so the final round frees the closure (a strong capture
+      // would be a reference cycle and leak).
+      *step = [this, live, parsed_end,
+               wstep = std::weak_ptr<std::function<void()>>(step)] {
+        auto step = wstep.lock();
+        if (!step) return;
         if (live->empty()) {
           (void)log_.AdvanceHead(parsed_end);
           cleaning_ = false;

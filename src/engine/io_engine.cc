@@ -6,7 +6,23 @@ namespace leed::engine {
 
 IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
                    EngineConfig config, uint64_t seed)
-    : sim_(simulator), cpu_(cpu), config_(std::move(config)) {
+    : sim_(simulator),
+      cpu_(cpu),
+      config_(std::move(config)),
+      scope_(config_.metrics_registry, config_.metrics_prefix),
+      trace_(config_.trace ? config_.trace : &obs::TraceRing::Default()) {
+  scope_.ResetInstruments();
+  m_.submitted = scope_.GetCounter("submitted");
+  m_.executed = scope_.GetCounter("executed");
+  m_.completed = scope_.GetCounter("completed");
+  m_.rejected_overloaded = scope_.GetCounter("rejected_overloaded");
+  m_.waited = scope_.GetCounter("waited");
+  m_.swap_activations = scope_.GetCounter("swap_activations");
+  m_.swap_reclaims = scope_.GetCounter("swap_reclaims");
+  m_.queue_us = scope_.GetHistogram("queue_us");
+  m_.service_us = scope_.GetHistogram("service_us");
+  m_.total_us = scope_.GetHistogram("total_us");
+
   const uint32_t n_ssd = config_.ssd_count;
   const uint32_t per = config_.stores_per_ssd;
 
@@ -14,6 +30,7 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
   per_ssd_.reserve(n_ssd);
   for (uint32_t i = 0; i < n_ssd; ++i) {
     ssds_.push_back(std::make_unique<sim::SimSsd>(sim_, config_.ssd, seed + i * 7919));
+    ssds_.back()->AttachMetrics(scope_.Sub("ssd" + std::to_string(i)));
     per_ssd_.push_back(std::make_unique<PerSsd>(config_));
   }
 
@@ -51,6 +68,9 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
       sc.compaction_gate = gate;
       sc.store_id = i * per + s;
       sc.home_ssd = static_cast<uint8_t>(i);
+      sc.metrics_registry = &scope_.registry();
+      sc.metrics_prefix =
+          scope_.Sub("store" + std::to_string(sc.store_id)).prefix();
       store::LogSet home{static_cast<uint8_t>(i), key_log.get(), value_log.get()};
       auto ds = std::make_unique<store::DataStore>(sim_, cpu_.core(i), home, sc);
       // Register every other SSD's swap region as a potential donor (and the
@@ -75,7 +95,22 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
 
 IoEngine::~IoEngine() = default;
 
-void IoEngine::ResetStats() { stats_ = EngineStats{}; }
+EngineStats IoEngine::stats() const {
+  EngineStats s;
+  s.submitted = m_.submitted->value();
+  s.executed = m_.executed->value();
+  s.completed = m_.completed->value();
+  s.rejected_overloaded = m_.rejected_overloaded->value();
+  s.waited = m_.waited->value();
+  s.swap_activations = m_.swap_activations->value();
+  s.swap_reclaims = m_.swap_reclaims->value();
+  s.queue_us = *m_.queue_us;
+  s.service_us = *m_.service_us;
+  s.total_us = *m_.total_us;
+  return s;
+}
+
+void IoEngine::ResetStats() { scope_.ResetInstruments(); }
 
 void IoEngine::set_data_swap_enabled(bool on) {
   config_.enable_data_swap = on;
@@ -88,8 +123,9 @@ void IoEngine::set_data_swap_enabled(bool on) {
 }
 
 void IoEngine::Submit(Request req) {
-  stats_.submitted++;
+  m_.submitted->Inc();
   req.enqueued_at = sim_.Now();
+  req.trace_id = next_op_seq_++;
   // §3.6: a swapped write is routed "from one SSD's waiting queue to
   // another one's active queue" — it is admitted against the DONOR's
   // tokens and queue, which is what actually relieves the overloaded SSD.
@@ -99,34 +135,41 @@ void IoEngine::Submit(Request req) {
   }
   PerSsd& p = *per_ssd_[ssd];
   const uint32_t cost = TokenCost(p.tokens.config(), req.type);
+  trace_->Record(sim_.Now(), obs::TraceKind::kOpBegin, config_.node_id, ssd,
+                 req.trace_id, static_cast<int64_t>(req.type));
 
   if (!admission_control_ || p.tokens.TryTake(cost)) {
     if (!admission_control_) p.tokens.TryTake(cost);  // best-effort accounting
     Execute(ssd, std::move(req));
     return;
   }
+  const uint64_t trace_id = req.trace_id;
   if (p.waiting.TryPush(std::move(req))) {
-    stats_.waited++;
+    m_.waited->Inc();
+    trace_->Record(sim_.Now(), obs::TraceKind::kQueueEnter, config_.node_id,
+                   ssd, trace_id, static_cast<int64_t>(p.waiting.Size()));
     return;
   }
   // Waiting queue full: the SSD is overloaded; reject so flow control can
   // back-pressure the client (§3.4/§3.5).
-  stats_.rejected_overloaded++;
+  m_.rejected_overloaded->Inc();
   ResponseMeta meta;
   meta.available_tokens = p.tokens.available();
   meta.ssd = ssd;
+  trace_->Record(sim_.Now(), obs::TraceKind::kOpEnd, config_.node_id, ssd,
+                 req.trace_id, static_cast<int64_t>(StatusCode::kOverloaded));
   // `req` was moved into TryPush only on success; on failure it is intact.
   auto cb = std::move(req.callback);
   cb(Status::Overloaded("waiting queue full"), {}, meta);
 }
 
 void IoEngine::Execute(uint32_t ssd, Request req) {
-  stats_.executed++;
+  m_.executed->Inc();
   PerSsd& p = *per_ssd_[ssd];
   p.active++;
   const SimTime started = sim_.Now();
   const SimTime queued = started - req.enqueued_at;
-  stats_.queue_us.Record(ToMicros(queued));
+  m_.queue_us->Record(ToMicros(queued));
 
   store::DataStore& ds = *stores_[req.store_id];
   const uint32_t cost = TokenCost(p.tokens.config(), req.type);
@@ -154,13 +197,15 @@ void IoEngine::Execute(uint32_t ssd, Request req) {
 
 void IoEngine::OnComplete(uint32_t ssd, uint32_t cost, SimTime started,
                           Request& req, Status status, std::vector<uint8_t> value) {
-  stats_.completed++;
+  m_.completed->Inc();
   PerSsd& p = *per_ssd_[ssd];
   p.active = p.active > 0 ? p.active - 1 : 0;
 
   const SimTime service = sim_.Now() - started;
-  stats_.service_us.Record(ToMicros(service));
-  stats_.total_us.Record(ToMicros(sim_.Now() - req.enqueued_at));
+  m_.service_us->Record(ToMicros(service));
+  m_.total_us->Record(ToMicros(sim_.Now() - req.enqueued_at));
+  trace_->Record(sim_.Now(), obs::TraceKind::kOpEnd, config_.node_id, ssd,
+                 req.trace_id, static_cast<int64_t>(status.code()));
 
   // Feed the token pool the measured per-IO latency (service time divided
   // by the command's access count approximates one device IO).
@@ -198,6 +243,8 @@ void IoEngine::PumpWaiting(uint32_t ssd) {
     const uint32_t cost = TokenCost(p.tokens.config(), front->type);
     if (!p.tokens.TryTake(cost)) break;  // FCFS: no reordering past the head
     auto req = p.waiting.TryPop();
+    trace_->Record(sim_.Now(), obs::TraceKind::kQueueLeave, config_.node_id,
+                   ssd, req->trace_id, static_cast<int64_t>(p.waiting.Size()));
     Execute(ssd, std::move(*req));
   }
 }
@@ -219,7 +266,9 @@ void IoEngine::SwapCheck() {
       if (swap_key_logs_[j]->used() > 0 || swap_value_logs_[j]->used() > 0) {
         swap_key_logs_[j]->Reset();
         swap_value_logs_[j]->Reset();
-        stats_.swap_reclaims++;
+        m_.swap_reclaims->Inc();
+        trace_->Record(sim_.Now(), obs::TraceKind::kSwapReclaim,
+                       config_.node_id, j, 0);
       }
     }
   }
@@ -256,7 +305,9 @@ void IoEngine::SwapCheck() {
       if (overloaded) {
         if (!ds->swap_target()) {
           ds->SetSwapTarget(static_cast<uint8_t>(best));
-          stats_.swap_activations++;
+          m_.swap_activations->Inc();
+          trace_->Record(sim_.Now(), obs::TraceKind::kSwapActivate,
+                         config_.node_id, i, 0, static_cast<int64_t>(best));
         }
       } else if (ds->swap_target() && drained) {
         ds->SetSwapTarget(std::nullopt);

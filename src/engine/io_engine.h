@@ -25,6 +25,8 @@
 
 #include "common/histogram.h"
 #include "engine/spsc_ring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "engine/storage_service.h"
 #include "engine/token_bucket.h"
 #include "sim/cpu_model.h"
@@ -65,8 +67,19 @@ struct EngineConfig {
   // Cap on co-scheduled compaction runs across this JBOF's stores
   // (Fig. 13b's inter-parallelism knob). 0 = unlimited.
   uint32_t max_concurrent_compactions = 0;
+
+  // Observability: the engine registers its instruments as
+  // "<metrics_prefix>.*", its SSDs as "<metrics_prefix>.ssd<i>.*", and its
+  // stores as "<metrics_prefix>.store<id>.*" in `metrics_registry`
+  // (default: the process-wide registry). Trace events go to `trace`
+  // (default: the process-wide ring) tagged with `node_id`.
+  obs::Registry* metrics_registry = nullptr;
+  std::string metrics_prefix = "engine";
+  obs::TraceRing* trace = nullptr;
+  uint32_t node_id = obs::TraceEvent::kNoNode;
 };
 
+// Value snapshot of the engine's registry instruments (see IoEngine::stats).
 struct EngineStats {
   uint64_t submitted = 0;
   uint64_t executed = 0;
@@ -114,7 +127,9 @@ class IoEngine : public StorageService {
   size_t WaitQueueDepth(uint32_t ssd) const { return per_ssd_[ssd]->waiting.Size(); }
   size_t ActiveCount(uint32_t ssd) const { return per_ssd_[ssd]->active; }
 
-  const EngineStats& stats() const { return stats_; }
+  // Built on demand from the registry handles; the engine records through
+  // leed::obs, this struct is the legacy view over it.
+  EngineStats stats() const;
   void ResetStats();
   const EngineConfig& config() const { return config_; }
 
@@ -148,7 +163,22 @@ class IoEngine : public StorageService {
   sim::Simulator& sim_;
   sim::CpuModel& cpu_;
   EngineConfig config_;
-  EngineStats stats_;
+  obs::Scope scope_;
+  obs::TraceRing* trace_;
+  // Registry handles, one per EngineStats field.
+  struct Metrics {
+    obs::Counter* submitted;
+    obs::Counter* executed;
+    obs::Counter* completed;
+    obs::Counter* rejected_overloaded;
+    obs::Counter* waited;
+    obs::Counter* swap_activations;
+    obs::Counter* swap_reclaims;
+    Histogram* queue_us;
+    Histogram* service_us;
+    Histogram* total_us;
+  } m_{};
+  uint64_t next_op_seq_ = 1;  // trace correlation ids
   bool admission_control_ = true;
 
   std::vector<std::unique_ptr<sim::SimSsd>> ssds_;

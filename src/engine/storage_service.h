@@ -36,6 +36,9 @@ struct Request {
   uint32_t tenant = 0;
   std::function<void(Status, std::vector<uint8_t>, ResponseMeta)> callback;
   SimTime enqueued_at = 0;
+  // Correlation id for obs trace events (op_begin/queue_*/op_end); assigned
+  // by the executing engine at submission.
+  uint64_t trace_id = 0;
 };
 
 class StorageService {

@@ -4,18 +4,27 @@
 
 namespace leed::flowctl {
 
+void FlowScheduler::AttachMetrics(const obs::Scope& scope) {
+  scope.ResetInstruments();
+  metrics_.enqueued = scope.GetCounter("enqueued");
+  metrics_.sent = scope.GetCounter("sent");
+  metrics_.sent_with_tokens = scope.GetCounter("sent_with_tokens");
+  metrics_.sent_as_probe = scope.GetCounter("sent_as_probe");
+  metrics_.deferrals = scope.GetCounter("deferrals");
+}
+
 uint32_t FlowScheduler::AddTenant() {
   tenants_.emplace_back();
   return static_cast<uint32_t>(tenants_.size() - 1);
 }
 
 void FlowScheduler::Enqueue(uint32_t tenant, OutRequest request) {
-  stats_.enqueued++;
+  Count(&SchedulerStats::enqueued, metrics_.enqueued);
   if (!enabled_) {
     // Load-agnostic baseline: fire immediately, still tracking outstanding
     // counts so the view stays coherent if re-enabled.
     view_.OnSend(request.target, request.token_cost);
-    stats_.sent++;
+    Count(&SchedulerStats::sent, metrics_.sent);
     auto send = std::move(request.send);
     send();
     return;
@@ -45,8 +54,8 @@ bool FlowScheduler::Visit(uint32_t tenant) {
   if (static_cast<int64_t>(req.token_cost) < account.tokens) {
     // Alg. 1 L5-7: the target advertises capacity — send.
     view_.OnSend(req.target, req.token_cost);
-    stats_.sent++;
-    stats_.sent_with_tokens++;
+    Count(&SchedulerStats::sent, metrics_.sent);
+    Count(&SchedulerStats::sent_with_tokens, metrics_.sent_with_tokens);
     auto send = std::move(req.send);
     send();
     return true;
@@ -54,7 +63,7 @@ bool FlowScheduler::Visit(uint32_t tenant) {
   if (account.outstanding > 1) {
     // Alg. 1 L9-10: responses are in flight that will replenish the view;
     // rotate the request to the back and wait.
-    stats_.deferrals++;
+    Count(&SchedulerStats::deferrals, metrics_.deferrals);
     q.push_back(std::move(req));
     return false;
   }
@@ -62,8 +71,8 @@ bool FlowScheduler::Visit(uint32_t tenant) {
   // will ever replenish tokens unless we send.
   account.tokens = 0;
   view_.OnSend(req.target, req.token_cost);
-  stats_.sent++;
-  stats_.sent_as_probe++;
+  Count(&SchedulerStats::sent, metrics_.sent);
+  Count(&SchedulerStats::sent_as_probe, metrics_.sent_as_probe);
   auto send = std::move(req.send);
   send();
   return true;

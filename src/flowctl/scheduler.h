@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "flowctl/flow_control.h"
+#include "obs/metrics.h"
 
 namespace leed::flowctl {
 
@@ -69,9 +70,19 @@ class FlowScheduler {
   size_t QueuedTotal() const;
   const SchedulerStats& stats() const { return stats_; }
 
+  // Mirror the scheduler counters into a registry scope (the client wires
+  // "client<i>.sched.*"); optional — the local stats_ struct keeps working
+  // for schedulers constructed without a scope.
+  void AttachMetrics(const obs::Scope& scope);
+
  private:
   // One Algorithm-1 visit to a tenant. Returns true if a request was sent.
   bool Visit(uint32_t tenant);
+
+  void Count(uint64_t SchedulerStats::* field, obs::Counter* handle) {
+    stats_.*field += 1;
+    if (handle) handle->Inc();
+  }
 
   TokenView& view_;
   bool enabled_;
@@ -79,6 +90,14 @@ class FlowScheduler {
   uint32_t rr_cursor_ = 0;
   bool pumping_ = false;
   SchedulerStats stats_;
+  // Registry handles; null until AttachMetrics.
+  struct {
+    obs::Counter* enqueued = nullptr;
+    obs::Counter* sent = nullptr;
+    obs::Counter* sent_with_tokens = nullptr;
+    obs::Counter* sent_as_probe = nullptr;
+    obs::Counter* deferrals = nullptr;
+  } metrics_;
 };
 
 }  // namespace leed::flowctl

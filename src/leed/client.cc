@@ -23,6 +23,11 @@ Client::Client(sim::Simulator& simulator, sim::Network& network,
   scheduler_ = std::make_unique<flowctl::FlowScheduler>(token_view_,
                                                         config_.flow_control);
   for (uint32_t i = 0; i < config_.num_tenants; ++i) scheduler_->AddTenant();
+  if (!config_.metrics_prefix.empty()) {
+    scheduler_->AttachMetrics(
+        obs::Scope(config_.metrics_registry, config_.metrics_prefix)
+            .Sub("sched"));
+  }
 }
 
 Client::~Client() = default;

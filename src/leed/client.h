@@ -47,6 +47,11 @@ struct ClientConfig {
   // Weighted-allocation identity presented to back-end SSDs (§3.5).
   uint32_t tenant_id = 0;
   engine::TokenConfig token_costs;  // per-op costs (GET 2 / PUT 3 / DEL 2)
+  // Observability: when `metrics_prefix` is non-empty the embedded flow
+  // scheduler registers "<metrics_prefix>.sched.*" (ClusterSim wires
+  // "client<i>"); empty leaves standalone clients unregistered.
+  obs::Registry* metrics_registry = nullptr;
+  std::string metrics_prefix;
 };
 
 struct ClientStats {

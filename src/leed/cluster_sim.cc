@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "sim/power.h"
 
 namespace leed {
@@ -9,6 +10,10 @@ namespace leed {
 ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
   sim_ = std::make_unique<sim::Simulator>();
   net_ = std::make_unique<sim::Network>(*sim_);
+  // Fabric counters live beside the per-node trees: "net.*" in the same
+  // registry the nodes will register under.
+  net_->AttachMetrics(obs::Scope(config_.node.metrics_registry, "net"));
+  obs::Scope(config_.node.metrics_registry, "cluster").ResetInstruments();
   cp_ = std::make_unique<cluster::ControlPlane>(*sim_, *net_, config_.control_plane);
 
   for (uint32_t i = 0; i < config_.num_nodes; ++i) {
@@ -20,8 +25,11 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
     nodes_.push_back(std::move(n));
   }
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
+    ClientConfig cc = config_.client;
+    cc.metrics_registry = config_.node.metrics_registry;
+    cc.metrics_prefix = "client" + std::to_string(c);
     auto cl = std::make_unique<Client>(*sim_, *net_, cp_->endpoint(),
-                                       &node_endpoints_, config_.client);
+                                       &node_endpoints_, std::move(cc));
     cp_->RegisterClient(cl->endpoint());
     clients_.push_back(std::move(cl));
   }
@@ -192,7 +200,13 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
     auto rng = std::make_shared<Rng>(config_.seed ^ 0x9d1);
     auto arrival = std::make_shared<std::function<void()>>();
     auto counter = std::make_shared<uint32_t>(0);
-    *arrival = [&, st, rng, arrival, counter] {
+    // Weak self-capture: scheduled copies resolve the closure through the
+    // weak_ptr, so `arrival` frees when Run's local reference dies instead
+    // of leaking as a reference cycle.
+    *arrival = [&, st, rng, counter,
+                warrival = std::weak_ptr<std::function<void()>>(arrival)] {
+      auto arrival = warrival.lock();
+      if (!arrival) return;
       if (sim_->Now() >= end || st->stopped) return;
       uint32_t client_idx = (*counter)++ % clients_.size();
       // Deep saturation guard: past ~5K in-flight ops per client the
@@ -251,8 +265,11 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
   // Optional timeline buckets (Fig. 9).
   if (options.timeline_bucket > 0) {
     auto tick = std::make_shared<std::function<void(SimTime)>>();
-    *tick = [&, st, tick](SimTime at) {
+    *tick = [&, st, wtick = std::weak_ptr<std::function<void(SimTime)>>(tick)](
+                SimTime at) {
       if (at > end) return;
+      auto tick = wtick.lock();
+      if (!tick) return;
       sim_->At(at, [&, st, tick, at] {
         if (st->measuring) {
           result.timeline.emplace_back(
@@ -284,6 +301,18 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
   result.energy_j = result.cluster_power_w * result.duration_s;
   result.queries_per_joule =
       sim::RequestsPerJoule(result.completed, result.energy_j);
+
+  // Mirror the run-level results into the registry so a single snapshot
+  // (leedsim --metrics-out, bench JSON) carries them alongside the
+  // per-component counters.
+  obs::Scope cluster(config_.node.metrics_registry, "cluster");
+  cluster.GetCounter("completed")->Add(result.completed);
+  cluster.GetCounter("errors")->Add(result.errors);
+  cluster.GetGauge("throughput_qps")->Set(result.throughput_qps);
+  cluster.GetGauge("power_w")->Set(result.cluster_power_w);
+  cluster.GetGauge("energy_j")->Set(result.energy_j);
+  cluster.GetGauge("queries_per_joule")->Set(result.queries_per_joule);
+  for (const auto& n : nodes_) n->PowerWatts(options.duration);
   return result;
 }
 

@@ -14,13 +14,42 @@ Node::Node(sim::Simulator& simulator, sim::Network& network,
       net_(network),
       cp_endpoint_(control_plane),
       config_(std::move(config)),
-      node_id_(node_id) {
+      node_id_(node_id),
+      scope_(config_.metrics_registry, "node" + std::to_string(node_id)),
+      trace_(config_.trace ? config_.trace : &obs::TraceRing::Default()) {
+  scope_.ResetInstruments();
+  m_.client_requests = scope_.GetCounter("client_requests");
+  m_.gets_served = scope_.GetCounter("gets_served");
+  m_.reads_shipped = scope_.GetCounter("reads_shipped");
+  m_.writes_headed = scope_.GetCounter("writes_headed");
+  m_.chain_writes = scope_.GetCounter("chain_writes");
+  m_.chain_acks = scope_.GetCounter("chain_acks");
+  m_.commits_as_tail = scope_.GetCounter("commits_as_tail");
+  m_.nacks_sent = scope_.GetCounter("nacks_sent");
+  m_.copy_items_sent = scope_.GetCounter("copy_items_sent");
+  m_.copy_items_applied = scope_.GetCounter("copy_items_applied");
+  m_.copy_items_skipped = scope_.GetCounter("copy_items_skipped");
+  m_.craq_queries_sent = scope_.GetCounter("craq_queries_sent");
+  m_.craq_queries_answered = scope_.GetCounter("craq_queries_answered");
+  m_.internal_retries = scope_.GetCounter("internal_retries");
+  m_.view_updates = scope_.GetCounter("view_updates");
+  m_.pending_reforwards = scope_.GetCounter("pending_reforwards");
+  m_.power_w = scope_.GetGauge("power_w");
+  m_.repl_pending_writes = scope_.GetGauge("repl.pending_writes");
+  m_.repl_dirty_keys = scope_.GetGauge("repl.dirty_keys");
+
   const auto& plat = config_.platform;
   cpu_ = std::make_unique<sim::CpuModel>(sim_, plat.cores, plat.freq_ghz);
   endpoint_ = net_.AddEndpoint(plat.nic);
   net_.SetReceiver(endpoint_, [this](sim::Message m) { OnMessage(std::move(m)); });
 
   if (config_.stack == StackKind::kLeed) {
+    // Nest the engine's whole instrument tree (engine counters, per-SSD
+    // devices, per-store counters) under this node's namespace.
+    config_.engine.metrics_registry = &scope_.registry();
+    config_.engine.metrics_prefix = scope_.Sub("engine").prefix();
+    config_.engine.trace = trace_;
+    config_.engine.node_id = node_id_;
     leed_engine_ = std::make_unique<engine::IoEngine>(sim_, *cpu_, config_.engine,
                                                       seed ^ 0xeed);
     storage_ = leed_engine_.get();
@@ -32,6 +61,34 @@ Node::Node(sim::Simulator& simulator, sim::Network& network,
 }
 
 Node::~Node() = default;
+
+NodeStats Node::stats() const {
+  NodeStats s;
+  s.client_requests = m_.client_requests->value();
+  s.gets_served = m_.gets_served->value();
+  s.reads_shipped = m_.reads_shipped->value();
+  s.writes_headed = m_.writes_headed->value();
+  s.chain_writes = m_.chain_writes->value();
+  s.chain_acks = m_.chain_acks->value();
+  s.commits_as_tail = m_.commits_as_tail->value();
+  s.nacks_sent = m_.nacks_sent->value();
+  s.copy_items_sent = m_.copy_items_sent->value();
+  s.copy_items_applied = m_.copy_items_applied->value();
+  s.copy_items_skipped = m_.copy_items_skipped->value();
+  s.craq_queries_sent = m_.craq_queries_sent->value();
+  s.craq_queries_answered = m_.craq_queries_answered->value();
+  s.internal_retries = m_.internal_retries->value();
+  s.view_updates = m_.view_updates->value();
+  s.pending_reforwards = m_.pending_reforwards->value();
+  return s;
+}
+
+replication::ReplicaState& Node::Replica(VNodeId id) {
+  auto [it, inserted] = replicas_.try_emplace(id);
+  if (inserted)
+    it->second.AttachMetrics(m_.repl_pending_writes, m_.repl_dirty_keys);
+  return it->second;
+}
 
 void Node::Start() {
   hb_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -49,8 +106,10 @@ void Node::Fail() {
 }
 
 double Node::PowerWatts(SimTime window_ns) const {
-  return sim::NodePowerWatts(config_.platform.power,
-                             cpu_->MeanUtilization(window_ns));
+  double watts = sim::NodePowerWatts(config_.platform.power,
+                                     cpu_->MeanUtilization(window_ns));
+  m_.power_w->Set(watts);
+  return watts;
 }
 
 sim::CpuCore& Node::NetCore() {
@@ -140,7 +199,7 @@ void Node::Dispatch(sim::Message msg) {
 // ---------------------------------------------------------------------------
 
 void Node::HandleClientRequest(ClientRequestMsg req) {
-  stats_.client_requests++;
+  m_.client_requests->Inc();
   if (req.op == engine::OpType::kGet) {
     HandleGet(std::move(req));
     return;
@@ -156,7 +215,7 @@ void Node::HandleClientRequest(ClientRequestMsg req) {
     SendNack(req.reply_to, req.req_id);
     return;
   }
-  stats_.writes_headed++;
+  m_.writes_headed->Inc();
   ChainWriteMsg w;
   w.write_id = MakeWriteId();
   w.is_del = (req.op == engine::OpType::kDel);
@@ -180,12 +239,12 @@ void Node::HandleGet(ClientRequestMsg req) {
   const uint64_t keypos = cluster::HashRing::KeyPosition(req.key);
   const int idx = replication::IndexIn(chain, req.vnode);
   if (idx < 0 || (!req.shipped && idx != req.hop)) {
-    stats_.nacks_sent++;
+    m_.nacks_sent->Inc();
     SendNack(req.reply_to, req.req_id);
     return;
   }
 
-  auto& rep = replicas_[req.vnode];
+  auto& rep = Replica(req.vnode);
   const bool is_tail = (idx == static_cast<int>(chain.size()) - 1);
   const bool filling = view_.IsFilling(req.vnode, keypos);
   const bool dirty = rep.IsDirty(req.key);
@@ -196,8 +255,10 @@ void Node::HandleGet(ClientRequestMsg req) {
     VNodeId tail = chain.back();
     const cluster::VNodeInfo* tinfo = view_.Find(tail);
     if (tinfo && node_endpoints_ && node_endpoints_->count(tinfo->owner_node)) {
-      stats_.craq_queries_sent++;
+      m_.craq_queries_sent->Inc();
       uint64_t qid = next_craq_id_++;
+      trace_->Record(sim_.Now(), obs::TraceKind::kCraqQuery, node_id_,
+                     req.vnode, qid);
       craq_pending_[qid] = std::move(req);
       CraqQueryMsg query;
       query.query_id = qid;
@@ -233,7 +294,9 @@ void Node::HandleGet(ClientRequestMsg req) {
                       info->local_store, false);
       return;
     }
-    stats_.reads_shipped++;
+    m_.reads_shipped->Inc();
+    trace_->Record(sim_.Now(), obs::TraceKind::kCrrsShip, node_id_, req.vnode,
+                   req.req_id, static_cast<int64_t>(target));
     ClientRequestMsg shipped = std::move(req);
     shipped.vnode = target;
     shipped.shipped = true;
@@ -255,7 +318,7 @@ void Node::ServeGetLocally(ClientRequestMsg req, uint32_t local_store) {
   sreq.callback = [this, reply_to, req_id, local_store](
                       Status st, std::vector<uint8_t> value,
                       engine::ResponseMeta meta) {
-    stats_.gets_served++;
+    m_.gets_served->Inc();
     RespondToClient(reply_to, req_id, st.code(), std::move(value), local_store,
                     true, meta.available_tokens);
   };
@@ -265,7 +328,7 @@ void Node::ServeGetLocally(ClientRequestMsg req, uint32_t local_store) {
 void Node::HandleCraqQuery(CraqQueryMsg query) {
   // The tail is the serialization point (§3.7): answering here orders the
   // read against every committed write.
-  stats_.craq_queries_answered++;
+  m_.craq_queries_answered->Inc();
   CraqReplyMsg reply;
   reply.query_id = query.query_id;
   SendMsg(query.reply_to, std::move(reply));
@@ -292,7 +355,9 @@ void Node::HandleCraqReply(CraqReplyMsg reply) {
 // ---------------------------------------------------------------------------
 
 void Node::HandleChainWrite(ChainWriteMsg w) {
-  stats_.chain_writes++;
+  m_.chain_writes->Inc();
+  trace_->Record(sim_.Now(), obs::TraceKind::kChainHop, node_id_, w.vnode,
+                 w.write_id, w.hop);
   const cluster::VNodeInfo* info = OwnedVNode(w.vnode);
   if (!info) {
     SendNack(w.reply_to, w.req_id);
@@ -301,11 +366,11 @@ void Node::HandleChainWrite(ChainWriteMsg w) {
   auto chain = ChainForKey(w.key);
   const int idx = replication::IndexIn(chain, w.vnode);
   if (idx < 0 || idx != w.hop) {
-    stats_.nacks_sent++;
+    m_.nacks_sent->Inc();
     SendNack(w.reply_to, w.req_id);
     return;
   }
-  auto& rep = replicas_[w.vnode];
+  auto& rep = Replica(w.vnode);
   if (rep.SeenApplied(w.write_id)) return;  // duplicate after re-forward
   rep.RecordChainWrite(w.key);
 
@@ -338,13 +403,13 @@ void Node::HandleChainWrite(ChainWriteMsg w) {
 
 void Node::CommitAsTail(VNodeId vnode, PendingWrite w,
                         const std::vector<VNodeId>& chain) {
-  stats_.commits_as_tail++;
-  auto& rep = replicas_[vnode];
+  m_.commits_as_tail->Inc();
+  auto& rep = Replica(vnode);
   rep.RecordChainWrite(w.key);
   auto shared = std::make_shared<PendingWrite>(std::move(w));
   ApplyLocal(vnode, shared->is_del, shared->key, shared->value,
              [this, vnode, shared, chain](Status st) {
-    auto& r = replicas_[vnode];
+    auto& r = Replica(vnode);
     r.MarkApplied(shared->write_id);
     const cluster::VNodeInfo* info = OwnedVNode(vnode);
     const uint32_t store = info ? info->local_store : 0;
@@ -370,10 +435,10 @@ void Node::SendAckBackward(const std::vector<VNodeId>& chain, VNodeId self,
 }
 
 void Node::HandleChainAck(ChainAckMsg ack) {
-  stats_.chain_acks++;
+  m_.chain_acks->Inc();
   const cluster::VNodeInfo* info = OwnedVNode(ack.vnode);
   if (!info) return;
-  auto& rep = replicas_[ack.vnode];
+  auto& rep = Replica(ack.vnode);
   auto pw = rep.TakePending(ack.write_id);
   if (!pw) return;
   auto chain = ChainForKey(ack.key);
@@ -386,7 +451,7 @@ void Node::HandleChainAck(ChainAckMsg ack) {
   auto shared = std::make_shared<PendingWrite>(std::move(*pw));
   ApplyLocal(ack.vnode, shared->is_del, shared->key, shared->value,
              [this, vnode = ack.vnode, shared, chain](Status) {
-    replicas_[vnode].MarkApplied(shared->write_id);
+    Replica(vnode).MarkApplied(shared->write_id);
     SendAckBackward(chain, vnode, shared->write_id, shared->key, true);
   });
 }
@@ -408,7 +473,7 @@ void Node::ApplyLocal(VNodeId vnode, bool is_del, std::string key,
                      Status st, std::vector<uint8_t>, engine::ResponseMeta) mutable {
     if (st.IsOverloaded()) {
       // Chain obligations cannot be dropped: retry after a short delay.
-      stats_.internal_retries++;
+      m_.internal_retries->Inc();
       sim_.Schedule(config_.internal_retry_delay,
                     [this, vnode, is_del, k = std::move(key), v = std::move(value),
                      d = std::move(done)]() mutable {
@@ -448,7 +513,7 @@ void Node::RespondToClient(sim::EndpointId reply_to, uint64_t req_id,
 
 void Node::SendNack(sim::EndpointId reply_to, uint64_t req_id) {
   if (reply_to == sim::kInvalidEndpoint) return;
-  stats_.nacks_sent++;
+  m_.nacks_sent->Inc();
   ResponseMsg resp;
   resp.req_id = req_id;
   resp.code = StatusCode::kWrongView;
@@ -462,7 +527,7 @@ void Node::SendNack(sim::EndpointId reply_to, uint64_t req_id) {
 
 void Node::HandleViewUpdate(cluster::ViewUpdateMsg update) {
   if (update.view.epoch <= view_.epoch) return;
-  stats_.view_updates++;
+  m_.view_updates->Inc();
   view_ = std::move(update.view);
   serving_ring_ = view_.ServingRing();
   RefreshFillTracking();
@@ -479,7 +544,7 @@ void Node::RefreshFillTracking() {
         break;
       }
     }
-    auto& rep = replicas_[id];
+    auto& rep = Replica(id);
     if (filling_any && !rep.fill_tracking()) rep.StartFillTracking();
     if (!filling_any && rep.fill_tracking()) rep.StopFillTracking();
   }
@@ -517,7 +582,7 @@ void Node::ReforwardPending() {
       const cluster::VNodeInfo* ninfo = view_.Find(next);
       if (!ninfo || !node_endpoints_ || !node_endpoints_->count(ninfo->owner_node))
         continue;
-      stats_.pending_reforwards++;
+      m_.pending_reforwards->Inc();
       ChainWriteMsg fwd;
       fwd.write_id = w->write_id;
       fwd.is_del = w->is_del;
@@ -565,7 +630,7 @@ void Node::HandleCopyCommand(cluster::CopyCommandMsg cmd) {
       want,
       [this, copy_id, dst, dst_ep, epoch](std::string key,
                                           std::vector<uint8_t> value) {
-        stats_.copy_items_sent++;
+        m_.copy_items_sent->Inc();
         cluster::CopyItemMsg item;
         item.copy_id = copy_id;
         item.dst = dst;
@@ -602,20 +667,22 @@ void Node::HandleCopyItem(cluster::CopyItemMsg item) {
     finish_if_done();
     return;
   }
-  auto& rep = replicas_[item.dst];
+  auto& rep = Replica(item.dst);
   if (!rep.fill_tracking()) rep.StartFillTracking();
   if (rep.WasChainWritten(item.key)) {
     // The chain already wrote a newer version; the snapshot must not win.
-    stats_.copy_items_skipped++;
+    m_.copy_items_skipped->Inc();
     return;
   }
   ci.outstanding++;
+  trace_->Record(sim_.Now(), obs::TraceKind::kCopyItem, node_id_, item.dst,
+                 item.copy_id);
   ApplyLocal(item.dst, /*is_del=*/false, std::move(item.key),
              std::move(item.value), [this, finish_if_done,
                                      copy_id = item.copy_id](Status) {
     auto& c = copy_in_[copy_id];
     if (c.outstanding > 0) c.outstanding--;
-    stats_.copy_items_applied++;
+    m_.copy_items_applied->Inc();
     finish_if_done();
   });
 }

@@ -30,6 +30,8 @@
 #include "engine/io_engine.h"
 #include "engine/storage_service.h"
 #include "leed/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replication/chain.h"
 #include "replication/crrs.h"
 #include "sim/cpu_model.h"
@@ -53,8 +55,15 @@ struct NodeConfig {
   uint64_t net_tx_cycles = 700;
   SimTime heartbeat_period = 20 * kMillisecond;
   SimTime internal_retry_delay = 200 * kMicrosecond;
+
+  // Observability: the node registers its instruments as "node<id>.*" in
+  // `metrics_registry` (default: the process-wide registry) and rewrites
+  // the engine's scope to "node<id>.engine.*". Trace events go to `trace`.
+  obs::Registry* metrics_registry = nullptr;
+  obs::TraceRing* trace = nullptr;
 };
 
+// Value snapshot of the node's registry counters (see Node::stats).
 struct NodeStats {
   uint64_t client_requests = 0;
   uint64_t gets_served = 0;
@@ -97,7 +106,9 @@ class Node {
   engine::IoEngine* leed_engine() { return leed_engine_.get(); }
   sim::CpuModel& cpu() { return *cpu_; }
   const cluster::ClusterView& view() const { return view_; }
-  const NodeStats& stats() const { return stats_; }
+  // Built on demand from the registry handles; the node records through
+  // leed::obs ("node<id>.*"), this struct is the legacy view over it.
+  NodeStats stats() const;
   const NodeConfig& config() const { return config_; }
 
   // Direct store access for preloading (bypasses the network on purpose).
@@ -145,6 +156,8 @@ class Node {
   void SendMsg(sim::EndpointId to, M msg);
 
   sim::CpuCore& NetCore();
+  // replicas_[id] with registry gauges attached on first creation.
+  replication::ReplicaState& Replica(cluster::VNodeId id);
   std::vector<cluster::VNodeId> ChainForKey(std::string_view key) const;
   const cluster::VNodeInfo* OwnedVNode(cluster::VNodeId id) const;
   uint64_t MakeWriteId() { return (static_cast<uint64_t>(node_id_) << 40) | next_write_seq_++; }
@@ -183,7 +196,31 @@ class Node {
   uint32_t net_core_rr_ = 0;
   uint64_t next_write_seq_ = 1;
   std::unique_ptr<sim::PeriodicTimer> hb_timer_;
-  NodeStats stats_;
+
+  obs::Scope scope_;
+  obs::TraceRing* trace_ = nullptr;
+  // Registry handles, one per NodeStats field.
+  struct Metrics {
+    obs::Counter* client_requests;
+    obs::Counter* gets_served;
+    obs::Counter* reads_shipped;
+    obs::Counter* writes_headed;
+    obs::Counter* chain_writes;
+    obs::Counter* chain_acks;
+    obs::Counter* commits_as_tail;
+    obs::Counter* nacks_sent;
+    obs::Counter* copy_items_sent;
+    obs::Counter* copy_items_applied;
+    obs::Counter* copy_items_skipped;
+    obs::Counter* craq_queries_sent;
+    obs::Counter* craq_queries_answered;
+    obs::Counter* internal_retries;
+    obs::Counter* view_updates;
+    obs::Counter* pending_reforwards;
+    obs::Gauge* power_w;
+    obs::Gauge* repl_pending_writes;
+    obs::Gauge* repl_dirty_keys;
+  } m_{};
 
  public:
   // Wired by ClusterSim after all nodes exist.

@@ -1,0 +1,85 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace leed::obs {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kOpBegin: return "op_begin";
+    case TraceKind::kOpEnd: return "op_end";
+    case TraceKind::kQueueEnter: return "queue_enter";
+    case TraceKind::kQueueLeave: return "queue_leave";
+    case TraceKind::kChainHop: return "chain_hop";
+    case TraceKind::kCrrsShip: return "crrs_ship";
+    case TraceKind::kCraqQuery: return "craq_query";
+    case TraceKind::kSwapActivate: return "swap_activate";
+    case TraceKind::kSwapReclaim: return "swap_reclaim";
+    case TraceKind::kCopyItem: return "copy_item";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(size_t capacity) : buffer_(capacity ? capacity : 1) {}
+
+void TraceRing::RecordAlways(const TraceEvent& event) {
+  buffer_[next_] = event;
+  next_ = (next_ + 1) % buffer_.size();
+  if (size_ < buffer_.size()) ++size_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest retained event sits at next_ once the ring has wrapped.
+  const size_t start = size_ == buffer_.size() ? next_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  next_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+std::string TraceRing::Json() const {
+  std::string out = "{\n  \"dropped\": " + std::to_string(dropped()) +
+                    ",\n  \"events\": [";
+  bool first = true;
+  for (const TraceEvent& e : Events()) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"t\": %lld, \"kind\": \"%s\", \"node\": %lld, "
+                  "\"unit\": %u, \"id\": %llu, \"arg\": %lld}",
+                  first ? "" : ",", static_cast<long long>(e.t),
+                  TraceKindName(e.kind),
+                  e.node == TraceEvent::kNoNode
+                      ? -1ll
+                      : static_cast<long long>(e.node),
+                  e.unit, static_cast<unsigned long long>(e.id),
+                  static_cast<long long>(e.arg));
+    out += buf;
+    first = false;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool TraceRing::WriteJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = Json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+TraceRing& TraceRing::Default() {
+  static TraceRing* instance = new TraceRing();  // leaked: outlives all users
+  return *instance;
+}
+
+}  // namespace leed::obs

@@ -1,0 +1,102 @@
+// Deterministic sim-event trace ring (leed::obs).
+//
+// Where the metrics registry aggregates, the trace ring keeps the last N
+// raw events — op begin/end, waiting-queue enter/leave, chain hops, CRRS
+// read shipping, swap activations — each stamped with the simulated clock.
+// Because the simulator is deterministic, a trace is exactly reproducible
+// from a seed, which makes it a debugging substrate ("why did this op take
+// 3 ms?") and a CI artifact (a changed trace is a changed execution).
+//
+// Recording is gated by a runtime flag and compiles down to one predicted
+// branch when disabled, so instrumentation can stay in the hot paths
+// permanently. The ring overwrites its oldest entry on overflow and counts
+// everything it ever saw, so `dropped()` tells a reader how much history
+// scrolled away.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace leed::obs {
+
+enum class TraceKind : uint8_t {
+  kOpBegin,       // unit=ssd,   id=op seq,    arg=op type
+  kOpEnd,         // unit=ssd,   id=op seq,    arg=status code
+  kQueueEnter,    // unit=ssd,   id=op seq,    arg=queue depth after enter
+  kQueueLeave,    // unit=ssd,   id=op seq,    arg=queue depth after leave
+  kChainHop,      // unit=vnode, id=write id,  arg=hop index
+  kCrrsShip,      // unit=vnode, id=req id,    arg=target vnode
+  kCraqQuery,     // unit=vnode, id=query id
+  kSwapActivate,  // unit=ssd,   arg=donor ssd
+  kSwapReclaim,   // unit=ssd
+  kCopyItem,      // unit=vnode, id=copy id
+};
+
+const char* TraceKindName(TraceKind kind);
+
+struct TraceEvent {
+  SimTime t = 0;          // simulated nanoseconds
+  TraceKind kind = TraceKind::kOpBegin;
+  uint32_t node = 0;      // originating node id (kNoNode for clients/none)
+  uint32_t unit = 0;      // ssd / store / vnode, kind-dependent
+  uint64_t id = 0;        // request / write / copy id, kind-dependent
+  int64_t arg = 0;        // kind-dependent payload
+
+  static constexpr uint32_t kNoNode = UINT32_MAX;
+};
+
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 64 * 1024;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void Record(const TraceEvent& event) {
+    if (!enabled_) return;
+    RecordAlways(event);
+  }
+  void Record(SimTime t, TraceKind kind, uint32_t node, uint32_t unit,
+              uint64_t id, int64_t arg = 0) {
+    if (!enabled_) return;
+    RecordAlways(TraceEvent{t, kind, node, unit, id, arg});
+  }
+
+  size_t capacity() const { return buffer_.size(); }
+  size_t size() const { return size_; }
+  uint64_t total_recorded() const { return total_; }
+  uint64_t dropped() const { return total_ - size_; }
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  void Clear();
+
+  // {"dropped": N, "events": [{"t":..,"kind":"..",..}, ...]} — events in
+  // retained (oldest-first) order; deterministic for a given sim run.
+  std::string Json() const;
+  bool WriteJsonFile(const std::string& path) const;
+
+  // The process-wide ring the built-in instrumentation records to.
+  static TraceRing& Default();
+
+ private:
+  void RecordAlways(const TraceEvent& event);
+
+  std::vector<TraceEvent> buffer_;
+  size_t next_ = 0;    // slot the next event lands in
+  size_t size_ = 0;    // retained count (<= capacity)
+  uint64_t total_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace leed::obs

@@ -4,8 +4,9 @@ namespace leed::replication {
 
 void ReplicaState::AddPending(PendingWrite w) {
   if (pending_.count(w.write_id)) return;  // duplicate re-forward
-  dirty_[w.key]++;
+  if (dirty_[w.key]++ == 0 && dirty_gauge_) dirty_gauge_->Add(1);
   pending_.emplace(w.write_id, std::move(w));
+  if (pending_gauge_) pending_gauge_->Add(1);
 }
 
 std::optional<PendingWrite> ReplicaState::TakePending(uint64_t write_id) {
@@ -13,10 +14,12 @@ std::optional<PendingWrite> ReplicaState::TakePending(uint64_t write_id) {
   if (it == pending_.end()) return std::nullopt;
   PendingWrite w = std::move(it->second);
   pending_.erase(it);
+  if (pending_gauge_) pending_gauge_->Add(-1);
   auto dit = dirty_.find(w.key);
   if (dit != dirty_.end()) {
     if (dit->second <= 1) {
       dirty_.erase(dit);
+      if (dirty_gauge_) dirty_gauge_->Add(-1);
     } else {
       dit->second--;
     }
@@ -31,6 +34,8 @@ std::vector<PendingWrite> ReplicaState::TakeAllPending() {
     (void)id;
     out.push_back(std::move(w));
   }
+  if (pending_gauge_) pending_gauge_->Add(-static_cast<double>(pending_.size()));
+  if (dirty_gauge_) dirty_gauge_->Add(-static_cast<double>(dirty_.size()));
   pending_.clear();
   dirty_.clear();
   return out;

@@ -29,6 +29,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/network.h"
 
 namespace leed::replication {
@@ -46,6 +47,16 @@ struct PendingWrite {
 
 class ReplicaState {
  public:
+  // Optional registry gauges tracking this replica's buffered writes and
+  // dirty keys. The node wires every replica it owns to one shared pair
+  // ("node<id>.repl.{pending_writes,dirty_keys}"), so the gauges aggregate
+  // replication pressure across the node's vnodes — the occupancy CRRS
+  // trades against (§3.7).
+  void AttachMetrics(obs::Gauge* pending_writes, obs::Gauge* dirty_keys) {
+    pending_gauge_ = pending_writes;
+    dirty_gauge_ = dirty_keys;
+  }
+
   bool IsDirty(const std::string& key) const {
     auto it = dirty_.find(key);
     return it != dirty_.end() && it->second > 0;
@@ -103,6 +114,8 @@ class ReplicaState {
   }
 
  private:
+  obs::Gauge* pending_gauge_ = nullptr;
+  obs::Gauge* dirty_gauge_ = nullptr;
   std::unordered_map<std::string, uint32_t> dirty_;  // key -> pending count
   std::map<uint64_t, PendingWrite> pending_;         // ordered by write id
   std::unordered_set<uint64_t> applied_;

@@ -13,6 +13,14 @@ void Network::SetReceiver(EndpointId id, Receiver receiver) {
   endpoints_.at(id).receiver = std::move(receiver);
 }
 
+void Network::AttachMetrics(const obs::Scope& scope) {
+  scope.ResetInstruments();
+  metrics_.msgs_sent = scope.GetCounter("msgs_sent");
+  metrics_.bytes_sent = scope.GetCounter("bytes_sent");
+  metrics_.msgs_delivered = scope.GetCounter("msgs_delivered");
+  metrics_.msgs_dropped = scope.GetCounter("msgs_dropped");
+}
+
 SimTime Network::IngressBacklog(EndpointId id) const {
   return std::max<SimTime>(0, endpoints_.at(id).ingress_free_at - sim_.Now());
 }
@@ -46,6 +54,10 @@ Status Network::Send(EndpointId src, EndpointId dst, uint64_t wire_bytes,
 
   s.stats.messages_sent++;
   s.stats.bytes_sent += wire_bytes;
+  if (metrics_.msgs_sent) {
+    metrics_.msgs_sent->Inc();
+    metrics_.bytes_sent->Add(wire_bytes);
+  }
 
   Message msg;
   msg.src = src;
@@ -59,9 +71,11 @@ Status Network::Send(EndpointId src, EndpointId dst, uint64_t wire_bytes,
     e.stats.messages_received++;
     e.stats.bytes_received += m.wire_bytes;
     if (e.receiver) {
+      if (metrics_.msgs_delivered) metrics_.msgs_delivered->Inc();
       e.receiver(std::move(m));
     } else {
       ++dropped_;
+      if (metrics_.msgs_dropped) metrics_.msgs_dropped->Inc();
     }
   });
   return Status::Ok();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace leed::sim {
@@ -68,6 +69,10 @@ class Network {
   const EndpointStats& stats(EndpointId id) const { return endpoints_[id].stats; }
   uint64_t dropped_messages() const { return dropped_; }
 
+  // Publish fabric-wide totals (msgs/bytes sent+delivered, drops) under
+  // `scope` (e.g. "net"). Per-endpoint breakdowns stay in EndpointStats.
+  void AttachMetrics(const obs::Scope& scope);
+
   // Instantaneous ingress backlog in ns — how far behind the receiver NIC
   // is; visible to tests asserting incast behaviour.
   SimTime IngressBacklog(EndpointId id) const;
@@ -84,6 +89,14 @@ class Network {
   Simulator& sim_;
   std::vector<Endpoint> endpoints_;
   uint64_t dropped_ = 0;
+
+  // Registry handles; null until AttachMetrics.
+  struct {
+    obs::Counter* msgs_sent = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* msgs_delivered = nullptr;
+    obs::Counter* msgs_dropped = nullptr;
+  } metrics_;
 };
 
 }  // namespace leed::sim

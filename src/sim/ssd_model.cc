@@ -54,6 +54,16 @@ SimSsd::SimSsd(Simulator& simulator, SsdSpec spec, uint64_t seed)
       store_(spec_.capacity_bytes, spec_.block_size),
       rng_(seed) {}
 
+void SimSsd::AttachMetrics(const obs::Scope& scope) {
+  scope.ResetInstruments();
+  metrics_.read_ops = scope.GetCounter("read_ops");
+  metrics_.write_ops = scope.GetCounter("write_ops");
+  metrics_.read_bytes = scope.GetCounter("read_bytes");
+  metrics_.write_bytes = scope.GetCounter("write_bytes");
+  metrics_.read_us = scope.GetHistogram("read_us");
+  metrics_.write_us = scope.GetHistogram("write_us");
+}
+
 double SimSsd::JitterFactor() {
   double f = 1.0 + spec_.latency_jitter * (2.0 * rng_.NextDouble() - 1.0);
   if (spec_.slow_io_prob > 0 && rng_.NextBool(spec_.slow_io_prob)) {
@@ -79,6 +89,10 @@ Status SimSsd::Submit(IoRequest request, IoCallback callback) {
     store_.Write(request.offset, request.data, length);
     stats_.writes++;
     stats_.write_bytes += length;
+    if (metrics_.write_ops) {
+      metrics_.write_ops->Inc();
+      metrics_.write_bytes->Add(length);
+    }
 
     // Occupancy on the program pipe: random writes consume a whole page
     // program (amplified); sequential appends stream at full bandwidth.
@@ -96,6 +110,7 @@ Status SimSsd::Submit(IoRequest request, IoCallback callback) {
     stats_.write_busy_ns += occupancy;
     SimTime done = write_pipe_free_at_ + spec_.write_base_ns;
     SimTime submitted = sim_.Now();
+    if (metrics_.write_us) metrics_.write_us->Record(ToMicros(done - submitted));
     sim_.At(done, [this, submitted, cb = std::move(callback)]() mutable {
       --inflight_;
       IoResult r;
@@ -134,6 +149,10 @@ void SimSsd::StartRead(Pending p) {
   stats_.read_busy_ns += service;
   stats_.reads++;
   stats_.read_bytes += length;
+  if (metrics_.read_ops) {
+    metrics_.read_ops->Inc();
+    metrics_.read_bytes->Add(length);
+  }
 
   SimTime submitted = p.submitted_at;
   uint64_t offset = p.request.offset;
@@ -141,6 +160,7 @@ void SimSsd::StartRead(Pending p) {
                           cb = std::move(p.callback)]() mutable {
     --reads_in_service_;
     --inflight_;
+    if (metrics_.read_us) metrics_.read_us->Record(ToMicros(sim_.Now() - submitted));
     IoResult r;
     r.data = store_.Read(offset, length);
     r.submitted_at = submitted;

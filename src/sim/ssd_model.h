@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/rand.h"
+#include "obs/metrics.h"
 #include "sim/block_device.h"
 #include "sim/simulator.h"
 
@@ -97,6 +98,12 @@ class SimSsd : public BlockDevice {
   const SsdStats& stats() const { return stats_; }
   void ResetStats() { stats_ = SsdStats{}; }
 
+  // Publish this device's counters/latency histograms under `scope`
+  // (e.g. "node3.engine.ssd0"). Instruments under the scope are zeroed so
+  // a re-created device starts fresh. Without a scope the device keeps
+  // only its local SsdStats.
+  void AttachMetrics(const obs::Scope& scope);
+
   // Instantaneous queue occupancies — the paper's intra-JBOF engine sizes
   // its token pool from observed device behaviour; tests use these too.
   size_t read_queue_depth() const { return read_queue_.size(); }
@@ -118,6 +125,16 @@ class SimSsd : public BlockDevice {
   PageStore store_;
   Rng rng_;
   SsdStats stats_;
+
+  // Registry handles; null until AttachMetrics.
+  struct {
+    obs::Counter* read_ops = nullptr;
+    obs::Counter* write_ops = nullptr;
+    obs::Counter* read_bytes = nullptr;
+    obs::Counter* write_bytes = nullptr;
+    Histogram* read_us = nullptr;   // submit -> completion (incl. queueing)
+    Histogram* write_us = nullptr;  // submit -> ack
+  } metrics_;
 
   std::deque<Pending> read_queue_;
   uint32_t reads_in_service_ = 0;

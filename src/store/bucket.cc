@@ -154,7 +154,11 @@ std::vector<uint8_t> EncodeValueEntry(const ValueEntry& entry) {
   PutScalar(out, pos, static_cast<uint32_t>(entry.value.size()));
   std::memcpy(out.data() + pos, entry.key.data(), entry.key.size());
   pos += entry.key.size();
-  std::memcpy(out.data() + pos, entry.value.data(), entry.value.size());
+  // Empty values (DEL tombstones) have a null data(); memcpy's arguments
+  // are declared nonnull even for size 0.
+  if (!entry.value.empty()) {
+    std::memcpy(out.data() + pos, entry.value.data(), entry.value.size());
+  }
   return out;
 }
 

@@ -97,7 +97,7 @@ void Compactor::CollapseLocked(uint32_t segment_id, bool relocate_values,
     auto merged = std::make_shared<std::vector<KeyItem>>(MergeChain(chain));
     uint64_t total_items = 0;
     for (const auto& b : chain) total_items += b.items.size();
-    s_.stats_.items_dropped += total_items - merged->size();
+    s_.m_.items_dropped->Add(total_items - merged->size());
     s_.core().Run(
         s_.Cycles(s_.config().costs.compaction_per_item *
                   std::max<uint64_t>(1, total_items)),
@@ -131,7 +131,7 @@ void Compactor::RelocateValues(uint32_t segment_id,
   const LogSet& donor = s_.log_set(item.value_ssd);
   uint32_t bytes = ValueEntryBytes(static_cast<uint32_t>(item.key.size()),
                                    item.value_len);
-  s_.stats_.ssd_reads++;
+  s_.m_.ssd_reads->Inc();
   donor.value_log->Read(item.value_offset, bytes,
                         [this, segment_id, merged, index, home_ssd,
                          d = std::move(done)](log::ReadResult r) mutable {
@@ -156,7 +156,7 @@ void Compactor::RelocateValues(uint32_t segment_id,
     KeyItem& it = (*merged)[index];
     it.value_offset = home.value_log->tail();
     it.value_ssd = home_ssd;
-    s_.stats_.ssd_writes++;
+    s_.m_.ssd_writes->Inc();
     home.value_log->Append(std::move(encoded),
                            [this, segment_id, merged, index,
                             d2 = std::move(d)](log::AppendResult) mutable {
@@ -178,7 +178,7 @@ void Compactor::WriteMergedSegment(uint32_t segment_id,
     e.chain_len = 0;
     e.ssd = home.ssd_id;
     s_.swapped_segments_.erase(segment_id);
-    s_.stats_.segments_collapsed++;
+    s_.m_.segments_collapsed->Inc();
     s_.UnlockAndPump(segment_id);
     done(true);
     return;
@@ -224,8 +224,8 @@ void Compactor::WriteMergedSegment(uint32_t segment_id,
     done(false);
     return;
   }
-  s_.stats_.ssd_writes++;
-  s_.stats_.items_live_moved += merged->size();
+  s_.m_.ssd_writes->Inc();
+  s_.m_.items_live_moved->Add(merged->size());
   // The swapped mark may only clear once every value reference is home too
   // (RelocateValues can skip items when the home value log is tight).
   bool all_values_home = true;
@@ -244,7 +244,7 @@ void Compactor::WriteMergedSegment(uint32_t segment_id,
       e.chain_len = n;
       e.ssd = s_.home().ssd_id;
       if (all_values_home) s_.swapped_segments_.erase(segment_id);
-      s_.stats_.segments_collapsed++;
+      s_.m_.segments_collapsed->Inc();
     }
     s_.UnlockAndPump(segment_id);
     d(ok);
@@ -289,7 +289,7 @@ void Compactor::StartKey(DataStore::OpCallback done) {
     return;
   }
   key_running_ = true;
-  s_.stats_.key_compactions++;
+  s_.m_.key_compactions->Inc();
 
   if (chunk == 0) {
     KeyRunWithRegion(run, {});
@@ -297,7 +297,7 @@ void Compactor::StartKey(DataStore::OpCallback done) {
   }
   if (key_prefetch_.valid && key_prefetch_.offset == run->region_start &&
       key_prefetch_.data.size() >= chunk) {
-    s_.stats_.prefetch_hits++;
+    s_.m_.prefetch_hits->Inc();
     auto data = std::move(key_prefetch_.data);
     data.resize(chunk);
     key_prefetch_ = Prefetch{};
@@ -308,8 +308,8 @@ void Compactor::StartKey(DataStore::OpCallback done) {
                   });
     return;
   }
-  s_.stats_.prefetch_misses++;
-  s_.stats_.ssd_reads++;
+  s_.m_.prefetch_misses->Inc();
+  s_.m_.ssd_reads->Inc();
   home.key_log->Read(run->region_start, chunk, [this, run](log::ReadResult r) {
     if (!r.status.ok()) {
       key_running_ = false;
@@ -393,7 +393,7 @@ void Compactor::IssueKeyPrefetch() {
   chunk -= chunk % cfg.bucket_size;
   if (chunk == 0) return;
   uint64_t start = home.key_log->head();
-  s_.stats_.ssd_reads++;
+  s_.m_.ssd_reads->Inc();
   home.key_log->Read(start, chunk, [this, start](log::ReadResult r) {
     if (!r.status.ok()) return;
     key_prefetch_.valid = true;
@@ -441,14 +441,14 @@ void Compactor::StartValue(DataStore::OpCallback done) {
     return;
   }
   value_running_ = true;
-  s_.stats_.value_compactions++;
+  s_.m_.value_compactions->Inc();
 
   // Read the chunk plus slack so the last entry straddling the chunk
   // boundary parses completely.
   uint64_t want = std::min<uint64_t>(cfg.compaction_chunk + 64 * 1024, used);
   if (value_prefetch_.valid && value_prefetch_.offset == run->region_start &&
       value_prefetch_.data.size() >= want) {
-    s_.stats_.prefetch_hits++;
+    s_.m_.prefetch_hits->Inc();
     auto data = std::move(value_prefetch_.data);
     value_prefetch_ = Prefetch{};
     s_.core().Run(s_.Cycles(cfg.costs.compaction_setup),
@@ -457,8 +457,8 @@ void Compactor::StartValue(DataStore::OpCallback done) {
                   });
     return;
   }
-  s_.stats_.prefetch_misses++;
-  s_.stats_.ssd_reads++;
+  s_.m_.prefetch_misses->Inc();
+  s_.m_.ssd_reads->Inc();
   home.value_log->Read(run->region_start, want, [this, run](log::ReadResult r) {
     if (!r.status.ok()) {
       value_running_ = false;
@@ -580,7 +580,7 @@ void Compactor::ValueRunGroup(std::shared_ptr<ValueRun> run, size_t group) {
         for (const auto& rw : *rewrites) {
           (*merged)[rw.item_index].value_offset = base + rw.relative;
         }
-        s_.stats_.ssd_writes++;
+        s_.m_.ssd_writes->Inc();
         home.value_log->Append(std::move(*batch),
                                [this, run, group, seg, merged](log::AppendResult r) {
           if (!r.status.ok()) {
@@ -634,7 +634,7 @@ void Compactor::IssueValuePrefetch() {
   if (used == 0) return;
   uint64_t want = std::min<uint64_t>(cfg.compaction_chunk + 64 * 1024, used);
   uint64_t start = home.value_log->head();
-  s_.stats_.ssd_reads++;
+  s_.m_.ssd_reads->Inc();
   home.value_log->Read(start, want, [this, start](log::ReadResult r) {
     if (!r.status.ok()) return;
     value_prefetch_.valid = true;

@@ -13,12 +13,59 @@ DataStore::DataStore(sim::Simulator& simulator, sim::CpuCore& core, LogSet home,
       core_(core),
       config_(std::move(config)),
       home_(home),
-      segtbl_(config_.num_segments, config_.chain_bits) {
+      segtbl_(config_.num_segments, config_.chain_bits),
+      scope_(config_.metrics_registry,
+             config_.metrics_prefix.empty()
+                 ? "store" + std::to_string(config_.store_id)
+                 : config_.metrics_prefix) {
+  // A store re-created under a previously used name starts from zero.
+  scope_.ResetInstruments();
+  m_.gets = scope_.GetCounter("gets");
+  m_.puts = scope_.GetCounter("puts");
+  m_.dels = scope_.GetCounter("dels");
+  m_.get_not_found = scope_.GetCounter("get_not_found");
+  m_.ssd_reads = scope_.GetCounter("ssd_reads");
+  m_.ssd_writes = scope_.GetCounter("ssd_writes");
+  m_.get_chain_extra_reads = scope_.GetCounter("get_chain_extra_reads");
+  m_.get_retries = scope_.GetCounter("get_retries");
+  m_.key_compactions = scope_.GetCounter("key_compactions");
+  m_.value_compactions = scope_.GetCounter("value_compactions");
+  m_.segments_collapsed = scope_.GetCounter("segments_collapsed");
+  m_.items_live_moved = scope_.GetCounter("items_live_moved");
+  m_.items_dropped = scope_.GetCounter("items_dropped");
+  m_.swap_puts = scope_.GetCounter("swap_puts");
+  m_.prefetch_hits = scope_.GetCounter("prefetch_hits");
+  m_.prefetch_misses = scope_.GetCounter("prefetch_misses");
+  m_.lock_waits = scope_.GetCounter("lock_waits");
+  m_.puts_failed_full = scope_.GetCounter("puts_failed_full");
   log_sets_[home.ssd_id] = home;
   compactor_ = std::make_unique<Compactor>(*this);
 }
 
 DataStore::~DataStore() = default;
+
+StoreStats DataStore::stats() const {
+  StoreStats s;
+  s.gets = m_.gets->value();
+  s.puts = m_.puts->value();
+  s.dels = m_.dels->value();
+  s.get_not_found = m_.get_not_found->value();
+  s.ssd_reads = m_.ssd_reads->value();
+  s.ssd_writes = m_.ssd_writes->value();
+  s.get_chain_extra_reads = m_.get_chain_extra_reads->value();
+  s.get_retries = m_.get_retries->value();
+  s.key_compactions = m_.key_compactions->value();
+  s.value_compactions = m_.value_compactions->value();
+  s.segments_collapsed = m_.segments_collapsed->value();
+  s.items_live_moved = m_.items_live_moved->value();
+  s.items_dropped = m_.items_dropped->value();
+  s.swap_puts = m_.swap_puts->value();
+  s.prefetch_hits = m_.prefetch_hits->value();
+  s.prefetch_misses = m_.prefetch_misses->value();
+  s.lock_waits = m_.lock_waits->value();
+  s.puts_failed_full = m_.puts_failed_full->value();
+  return s;
+}
 
 void DataStore::AddLogSet(LogSet set) { log_sets_[set.ssd_id] = set; }
 
@@ -61,7 +108,7 @@ void DataStore::Get(std::string key, GetCallback callback) {
   auto op = std::make_shared<GetOp>();
   op->key = std::move(key);
   op->callback = std::move(callback);
-  stats_.gets++;
+  m_.gets->Inc();
   core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { GetLookup(op); });
 }
 
@@ -78,7 +125,7 @@ void DataStore::GetLookup(std::shared_ptr<GetOp> op) {
 void DataStore::GetReadBucket(std::shared_ptr<GetOp> op, uint8_t ssd,
                               uint64_t offset, uint8_t remaining_chain) {
   const LogSet& logs = log_sets_.at(ssd);
-  stats_.ssd_reads++;
+  m_.ssd_reads->Inc();
   logs.key_log->Read(offset, config_.bucket_size, [this, op, remaining_chain](
                                                       log::ReadResult r) {
     if (!r.status.ok()) {
@@ -120,7 +167,7 @@ void DataStore::GetSearch(std::shared_ptr<GetOp> op, Bucket bucket,
       GetFinish(op, Status::NotFound(), {});
       return;
     }
-    stats_.get_chain_extra_reads++;
+    m_.get_chain_extra_reads->Inc();
     if (b.header.contiguous) {
       GetReadRest(op, b.header.prev_ssd, b.header.prev_offset,
                   static_cast<uint8_t>(remaining_chain - 1));
@@ -134,7 +181,7 @@ void DataStore::GetSearch(std::shared_ptr<GetOp> op, Bucket bucket,
 void DataStore::GetReadRest(std::shared_ptr<GetOp> op, uint8_t ssd,
                             uint64_t offset, uint8_t count) {
   const LogSet& logs = log_sets_.at(ssd);
-  stats_.ssd_reads++;
+  m_.ssd_reads->Inc();
   uint64_t bytes = static_cast<uint64_t>(count) * config_.bucket_size;
   logs.key_log->Read(offset, bytes, [this, op, count](log::ReadResult r) {
     if (!r.status.ok()) {
@@ -185,7 +232,7 @@ void DataStore::GetReadValue(std::shared_ptr<GetOp> op, const KeyItem& item) {
   }
   uint32_t entry_bytes =
       ValueEntryBytes(static_cast<uint32_t>(op->key.size()), item.value_len);
-  stats_.ssd_reads++;
+  m_.ssd_reads->Inc();
   it->second.value_log->Read(item.value_offset, entry_bytes,
                              [this, op](log::ReadResult r) {
     if (!r.status.ok()) {
@@ -211,13 +258,13 @@ void DataStore::GetRetry(std::shared_ptr<GetOp> op) {
     GetFinish(op, Status::Internal("GET retry budget exhausted"), {});
     return;
   }
-  stats_.get_retries++;
+  m_.get_retries->Inc();
   core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { GetLookup(op); });
 }
 
 void DataStore::GetFinish(std::shared_ptr<GetOp> op, Status status,
                           std::vector<uint8_t> value) {
-  if (status.IsNotFound()) stats_.get_not_found++;
+  if (status.IsNotFound()) m_.get_not_found->Inc();
   core_.Run(Cycles(config_.costs.op_complete),
             [op, st = std::move(status), v = std::move(value)]() mutable {
               op->callback(std::move(st), std::move(v));
@@ -247,7 +294,7 @@ void DataStore::Put(std::string key, std::vector<uint8_t> value, OpCallback call
   op->key = std::move(key);
   op->value = std::move(value);
   op->callback = std::move(callback);
-  stats_.puts++;
+  m_.puts->Inc();
   core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { PutAcquire(op); });
 }
 
@@ -256,14 +303,14 @@ void DataStore::Del(std::string key, OpCallback callback) {
   op->key = std::move(key);
   op->is_del = true;
   op->callback = std::move(callback);
-  stats_.dels++;
+  m_.dels->Inc();
   core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { PutAcquire(op); });
 }
 
 void DataStore::PutAcquire(std::shared_ptr<PutOp> op) {
   op->segment = SegmentOf(op->key);
   if (!segtbl_.TryLock(op->segment)) {
-    stats_.lock_waits++;
+    m_.lock_waits->Inc();
     segtbl_.WaitOnLock(op->segment, [this, op] { PutAcquire(op); });
     return;
   }
@@ -282,7 +329,7 @@ void DataStore::PutReadHead(std::shared_ptr<PutOp> op) {
     return;
   }
   const LogSet& logs = log_sets_.at(e.ssd);
-  stats_.ssd_reads++;
+  m_.ssd_reads->Inc();
   logs.key_log->Read(e.offset, config_.bucket_size, [this, op](log::ReadResult r) {
     if (!r.status.ok()) {
       PutFinish(op, Status::Corruption("head bucket read failed under lock"));
@@ -320,7 +367,7 @@ void DataStore::PutApply(std::shared_ptr<PutOp> op, std::optional<Bucket> head) 
     const bool in_place = h && h->CanUpsert(config_.bucket_size, item);
     const uint32_t new_len = in_place ? e.chain_len : (h ? e.chain_len : 0) + 1u;
     if (new_len > segtbl_.max_chain()) {
-      stats_.puts_failed_full++;
+      m_.puts_failed_full->Inc();
       PutFinish(op, Status::OutOfSpace("segment chain at max; compaction lagging"));
       MaybeCompact();
       return;
@@ -330,19 +377,19 @@ void DataStore::PutApply(std::shared_ptr<PutOp> op, std::optional<Bucket> head) 
                    : ValueEntryBytes(static_cast<uint32_t>(op->key.size()),
                                      static_cast<uint32_t>(op->value.size()));
     if (value_bytes > target.value_log->free_space()) {
-      stats_.puts_failed_full++;
+      m_.puts_failed_full->Inc();
       PutFinish(op, Status::OutOfSpace("value log full"));
       MaybeCompact();
       return;
     }
     if (config_.bucket_size > target.key_log->free_space()) {
-      stats_.puts_failed_full++;
+      m_.puts_failed_full->Inc();
       PutFinish(op, Status::OutOfSpace("key log full"));
       MaybeCompact();
       return;
     }
 
-    if (target.ssd_id != home_.ssd_id) stats_.swap_puts++;
+    if (target.ssd_id != home_.ssd_id) m_.swap_puts->Inc();
 
     // --- Commit point: issue the value append (reserving its offset
     // synchronously — CircularLog bumps the tail at Append time, which is
@@ -355,7 +402,7 @@ void DataStore::PutApply(std::shared_ptr<PutOp> op, std::optional<Bucket> head) 
       entry.value = op->value;
       item.value_offset = target.value_log->tail();
       op->pending_appends++;
-      stats_.ssd_writes++;
+      m_.ssd_writes->Inc();
       target.value_log->Append(EncodeValueEntry(entry), [this, op](log::AppendResult r) {
         if (!r.status.ok()) op->append_status = r.status;
         if (--op->pending_appends == 0) PutCommit(op);
@@ -398,7 +445,7 @@ void DataStore::PutApply(std::shared_ptr<PutOp> op, std::optional<Bucket> head) 
     }
     op->new_offset = target.key_log->tail();
     op->pending_appends++;
-    stats_.ssd_writes++;
+    m_.ssd_writes->Inc();
     target.key_log->Append(std::move(encoded).value(), [this, op](log::AppendResult r) {
       if (!r.status.ok()) op->append_status = r.status;
       if (--op->pending_appends == 0) PutCommit(op);
@@ -507,7 +554,7 @@ void DataStore::CopyEmitValues(std::shared_ptr<CopyOp> op) {
   const LogSet& logs = log_sets_.at(item.value_ssd);
   uint32_t bytes = ValueEntryBytes(static_cast<uint32_t>(item.key.size()),
                                    item.value_len);
-  stats_.ssd_reads++;
+  m_.ssd_reads->Inc();
   logs.value_log->Read(item.value_offset, bytes, [this, op](log::ReadResult r) {
     if (r.status.ok()) {
       auto entry = DecodeValueEntry(r.data, 0);
@@ -533,10 +580,16 @@ void DataStore::ReadChain(uint32_t segment_id, uint8_t ssd, uint64_t offset,
   }
   auto acc = std::make_shared<std::vector<Bucket>>();
   auto step = std::make_shared<std::function<void(uint8_t, uint64_t, uint8_t)>>();
-  *step = [this, segment_id, acc, step, cb](uint8_t cur_ssd, uint64_t cur_off,
-                                            uint8_t remaining) {
+  // The closure holds itself only weakly; pending IO callbacks hold the
+  // strong reference, so the last completion releases the whole chain
+  // (capturing `step` strongly here would leak it as a reference cycle).
+  *step = [this, segment_id, acc, wstep = std::weak_ptr<
+               std::function<void(uint8_t, uint64_t, uint8_t)>>(step),
+           cb](uint8_t cur_ssd, uint64_t cur_off, uint8_t remaining) {
+    auto step = wstep.lock();
+    if (!step) return;
     const LogSet& logs = log_sets_.at(cur_ssd);
-    stats_.ssd_reads++;
+    m_.ssd_reads->Inc();
     logs.key_log->Read(cur_off, config_.bucket_size,
                        [this, segment_id, acc, step, cb, remaining](log::ReadResult r) {
       if (!r.status.ok()) {
@@ -563,7 +616,7 @@ void DataStore::ReadChain(uint32_t segment_id, uint8_t ssd, uint64_t offset,
         // One IO for the whole remainder.
         const LogSet& rest_logs = log_sets_.at(hdr.prev_ssd);
         uint64_t bytes = static_cast<uint64_t>(remaining - 1) * config_.bucket_size;
-        stats_.ssd_reads++;
+        m_.ssd_reads->Inc();
         rest_logs.key_log->Read(hdr.prev_offset, bytes,
                                 [this, segment_id, acc, cb, remaining](log::ReadResult rr) {
           if (!rr.status.ok()) {

@@ -33,6 +33,7 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "log/circular_log.h"
+#include "obs/metrics.h"
 #include "sim/cpu_model.h"
 #include "sim/simulator.h"
 #include "store/format.h"
@@ -84,6 +85,13 @@ struct StoreConfig {
   double ipc_factor = 1.0;
   // Optional shared limit on co-scheduled compactions (Fig. 13b).
   std::shared_ptr<CompactionGate> compaction_gate;
+
+  // Observability: instruments register as "<metrics_prefix>.<field>" in
+  // `metrics_registry` (default: the process-wide registry). An empty
+  // prefix defaults to "store<store_id>"; the IoEngine scopes its stores
+  // as "<engine_prefix>.store<id>".
+  obs::Registry* metrics_registry = nullptr;
+  std::string metrics_prefix;
 };
 
 // A key/value circular-log pair living on one SSD.
@@ -93,6 +101,10 @@ struct LogSet {
   log::CircularLog* value_log = nullptr;
 };
 
+// Value snapshot of a store's registry counters: DataStore records through
+// leed::obs handles and materializes this view on demand, so existing
+// `store.stats().field` call sites keep working while every counter is
+// also visible in registry snapshots under the store's metric prefix.
 struct StoreStats {
   uint64_t gets = 0, puts = 0, dels = 0;
   uint64_t get_not_found = 0;
@@ -149,8 +161,9 @@ class DataStore {
   void ForceKeyCompaction(OpCallback done);
   void ForceValueCompaction(OpCallback done);
 
-  const StoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = StoreStats{}; }
+  StoreStats stats() const;
+  void ResetStats() { scope_.ResetInstruments(); }
+  const obs::Scope& metrics_scope() const { return scope_; }
   const StoreConfig& config() const { return config_; }
   const SegmentTable& segments() const { return segtbl_; }
   SegmentTable& segments() { return segtbl_; }
@@ -223,7 +236,28 @@ class DataStore {
   std::map<uint8_t, LogSet> log_sets_;
   std::optional<uint8_t> swap_target_;
   SegmentTable segtbl_;
-  StoreStats stats_;
+  obs::Scope scope_;
+  // Registry handles, one per StoreStats field (see stats()).
+  struct Metrics {
+    obs::Counter* gets;
+    obs::Counter* puts;
+    obs::Counter* dels;
+    obs::Counter* get_not_found;
+    obs::Counter* ssd_reads;
+    obs::Counter* ssd_writes;
+    obs::Counter* get_chain_extra_reads;
+    obs::Counter* get_retries;
+    obs::Counter* key_compactions;
+    obs::Counter* value_compactions;
+    obs::Counter* segments_collapsed;
+    obs::Counter* items_live_moved;
+    obs::Counter* items_dropped;
+    obs::Counter* swap_puts;
+    obs::Counter* prefetch_hits;
+    obs::Counter* prefetch_misses;
+    obs::Counter* lock_waits;
+    obs::Counter* puts_failed_full;
+  } m_{};
   std::set<uint32_t> swapped_segments_;
   std::unique_ptr<Compactor> compactor_;
 };

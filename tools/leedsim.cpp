@@ -18,6 +18,8 @@
 
 #include "bench/bench_util.h"
 #include "leed/cluster_sim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace leed;
 
@@ -38,6 +40,8 @@ struct Options {
   bool flow_control = true;
   bool data_swap = true;
   bool verbose = false;
+  std::string metrics_out;  // write a registry snapshot (JSON) here
+  std::string trace_out;    // enable the event trace and write it here
 };
 
 void Usage(const char* argv0) {
@@ -56,7 +60,9 @@ void Usage(const char* argv0) {
       "  --no-crrs                  disable CRRS read shipping\n"
       "  --no-flow-control          disable Algorithm-1 client scheduling\n"
       "  --no-data-swap             disable intra-JBOF write swapping\n"
-      "  --verbose                  per-node counters\n",
+      "  --verbose                  per-node counters\n"
+      "  --metrics-out=FILE         write the metrics-registry snapshot (JSON)\n"
+      "  --trace-out=FILE           record the sim event trace and write it (JSON)\n",
       argv0);
 }
 
@@ -99,6 +105,8 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--no-crrs") == 0) opt.crrs = false;
     else if (std::strcmp(argv[i], "--no-flow-control") == 0) opt.flow_control = false;
     else if (std::strcmp(argv[i], "--no-data-swap") == 0) opt.data_swap = false;
+    else if (ParseFlag(argv[i], "--metrics-out", &v)) opt.metrics_out = v;
+    else if (ParseFlag(argv[i], "--trace-out", &v)) opt.trace_out = v;
     else if (std::strcmp(argv[i], "--verbose") == 0) opt.verbose = true;
     else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       Usage(argv[0]);
@@ -133,6 +141,8 @@ int main(int argc, char** argv) {
               opt.rate_kqps > 0
                   ? (std::to_string(opt.rate_kqps) + " KQPS open loop").c_str()
                   : (std::to_string(opt.concurrency) + "-deep closed loop").c_str());
+
+  if (!opt.trace_out.empty()) obs::TraceRing::Default().set_enabled(true);
 
   ClusterSim cluster(std::move(cfg));
   cluster.Bootstrap();
@@ -188,6 +198,27 @@ int main(int argc, char** argv) {
           eng->stats().queue_us.Summary("us").c_str());
       }
     }
+  }
+
+  if (!opt.metrics_out.empty()) {
+    if (!obs::Registry::Default().WriteJsonFile(opt.metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics to '%s'\n",
+                   opt.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", opt.metrics_out.c_str());
+  }
+  if (!opt.trace_out.empty()) {
+    auto& ring = obs::TraceRing::Default();
+    if (!ring.WriteJsonFile(opt.trace_out)) {
+      std::fprintf(stderr, "failed to write trace to '%s'\n",
+                   opt.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                opt.trace_out.c_str(),
+                static_cast<unsigned long long>(ring.size()),
+                static_cast<unsigned long long>(ring.dropped()));
   }
   return 0;
 }
