@@ -37,7 +37,9 @@ struct NodeUnderTest {
   uint32_t stores = 0;
 };
 
-std::unique_ptr<NodeUnderTest> MakeLeedNode(uint32_t value_size) {
+// value_size is accepted for signature symmetry with the other Make*Node
+// factories; the LEED geometry here is fixed by the Table 3 setup.
+std::unique_ptr<NodeUnderTest> MakeLeedNode(uint32_t /*value_size*/) {
   auto n = std::make_unique<NodeUnderTest>();
   auto plat = sim::StingrayJbof();
   n->cpu = std::make_unique<sim::CpuModel>(n->simulator, plat.cores, plat.freq_ghz);

@@ -212,8 +212,8 @@ void FawnStore::CleanStep(uint64_t region_end) {
       // would be a reference cycle and leak).
       *step = [this, live, parsed_end,
                wstep = std::weak_ptr<std::function<void()>>(step)] {
-        auto step = wstep.lock();
-        if (!step) return;
+        auto self = wstep.lock();
+        if (!self) return;
         if (live->empty()) {
           (void)log_.AdvanceHead(parsed_end);
           cleaning_ = false;
@@ -234,7 +234,7 @@ void FawnStore::CleanStep(uint64_t region_end) {
         const uint64_t orig = item.orig_offset;
         log_.Append(std::move(item.bytes),
                     [this, key = std::move(item.key), orig, new_offset, bytes,
-                     step](log::AppendResult ar) {
+                     step = self](log::AppendResult ar) {
           if (ar.status.ok()) {
             auto it = index_.find(key);
             // Retarget only if the index still points at the copy we moved —

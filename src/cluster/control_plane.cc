@@ -52,7 +52,7 @@ void ControlPlane::SendView(sim::EndpointId to) {
 void ControlPlane::Broadcast() {
   stats_.views_broadcast++;
   for (const auto& [node, ep] : node_endpoints_) {
-    if (dead_nodes_.count(node)) continue;
+    if (dead_nodes_.contains(node)) continue;
     SendView(ep);
   }
   for (auto ep : client_endpoints_) SendView(ep);
@@ -62,7 +62,7 @@ void ControlPlane::CheckHeartbeats() {
   const SimTime now = sim_.Now();
   std::vector<uint32_t> newly_dead;
   for (const auto& [node, last] : last_heartbeat_) {
-    if (dead_nodes_.count(node)) continue;
+    if (dead_nodes_.contains(node)) continue;
     if (now - last > config_.failure_timeout) newly_dead.push_back(node);
   }
   for (uint32_t node : newly_dead) {
@@ -133,7 +133,7 @@ std::set<uint64_t> ControlPlane::CommissionCopies(
     for (auto it = new_chain.rbegin(); it != new_chain.rend(); ++it) {
       if (!in_old(*it)) continue;
       const VNodeInfo* info = view_.Find(*it);
-      if (!info || dead_nodes.count(info->owner_node)) continue;
+      if (!info || dead_nodes.contains(info->owner_node)) continue;
       source = *it;
       break;
     }
@@ -142,7 +142,7 @@ std::set<uint64_t> ControlPlane::CommissionCopies(
     if (source == kInvalidVNode) {
       for (auto it = old_chain.rbegin(); it != old_chain.rend(); ++it) {
         const VNodeInfo* info = view_.Find(*it);
-        if (!info || dead_nodes.count(info->owner_node)) continue;
+        if (!info || dead_nodes.contains(info->owner_node)) continue;
         source = *it;
         break;
       }
@@ -242,7 +242,7 @@ void ControlPlane::ReassignOrphanedCopies(uint32_t dead_node) {
   for (auto& [copy_id, cmd] : open_copy_cmds_) {
     const VNodeInfo* src_info = view_.Find(cmd.src);
     const bool src_dead = !src_info || src_info->owner_node == dead_node ||
-                          dead_nodes_.count(src_info->owner_node);
+                          dead_nodes_.contains(src_info->owner_node);
     if (!src_dead) continue;
 
     // Pick a surviving data holder: a member of the destination range's
@@ -252,7 +252,7 @@ void ControlPlane::ReassignOrphanedCopies(uint32_t dead_node) {
     for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
       if (*it == cmd.dst || *it == cmd.src) continue;
       const VNodeInfo* info = view_.Find(*it);
-      if (!info || dead_nodes_.count(info->owner_node)) continue;
+      if (!info || dead_nodes_.contains(info->owner_node)) continue;
       // A member itself still filling this range has no data to give.
       if (view_.IsFilling(*it, cmd.range_end)) continue;
       replacement = *it;
@@ -285,7 +285,7 @@ void ControlPlane::ReassignOrphanedCopies(uint32_t dead_node) {
   }
   // Purge abandoned ids from the open map.
   for (auto it = open_copy_cmds_.begin(); it != open_copy_cmds_.end();) {
-    if (!copy_to_transition_.count(it->first)) {
+    if (!copy_to_transition_.contains(it->first)) {
       it = open_copy_cmds_.erase(it);
     } else {
       ++it;
@@ -294,7 +294,7 @@ void ControlPlane::ReassignOrphanedCopies(uint32_t dead_node) {
 }
 
 void ControlPlane::FailNode(uint32_t node_id) {
-  if (dead_nodes_.count(node_id)) return;
+  if (dead_nodes_.contains(node_id)) return;
   dead_nodes_.insert(node_id);
   HashRing old_ring = view_.ServingRing();
   std::vector<VNodeId> subjects;

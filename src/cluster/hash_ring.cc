@@ -3,7 +3,7 @@
 namespace leed::cluster {
 
 bool HashRing::Insert(VNodeId id, uint64_t position) {
-  if (ring_.count(position) || positions_.count(id)) return false;
+  if (ring_.contains(position) || positions_.contains(id)) return false;
   ring_[position] = id;
   positions_[id] = position;
   return true;

@@ -28,7 +28,7 @@ class HashRing {
   // Returns false if the position is already taken.
   bool Insert(VNodeId id, uint64_t position);
   bool Remove(VNodeId id);
-  bool Contains(VNodeId id) const { return positions_.count(id) != 0; }
+  bool Contains(VNodeId id) const { return positions_.contains(id); }
 
   size_t size() const { return ring_.size(); }
   bool empty() const { return ring_.empty(); }

@@ -1,0 +1,29 @@
+// Guarded byte-copy helpers (leed::CopyBytes / leed::FillBytes).
+//
+// Passing a null pointer to memcpy/memset is undefined behavior even when
+// the size is zero — exactly the UB class UBSan caught in PR 1 (empty DEL
+// tombstones have a null .data()). These wrappers centralize the n == 0
+// guard so call sites never have to repeat it; leed-lint's `memcpy` rule
+// bans raw memcpy/memset calls in favor of them.
+
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+namespace leed {
+
+// memcpy that is well-defined for n == 0 regardless of pointer validity.
+inline void CopyBytes(void* dst, const void* src, size_t n) {
+  // The single sanctioned raw call; everything else goes through here.
+  // leed-lint: allow(memcpy): this is the guarded wrapper itself
+  if (n != 0) std::memcpy(dst, src, n);
+}
+
+// memset with the same n == 0 guarantee.
+inline void FillBytes(void* dst, int value, size_t n) {
+  // leed-lint: allow(memcpy): this is the guarded wrapper itself
+  if (n != 0) std::memset(dst, value, n);
+}
+
+}  // namespace leed

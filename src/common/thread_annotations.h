@@ -1,0 +1,56 @@
+// Clang thread-safety-analysis attribute macros (leed::).
+//
+// These wrap the attributes behind `-Wthread-safety` (enabled for every
+// clang build by the top-level CMakeLists) so that the compiler — not a
+// code review — proves which fields are protected by which lock and which
+// functions must hold it. Under gcc (or any compiler without the
+// attributes) every macro expands to nothing, so annotated code stays
+// portable.
+//
+// The spelling follows the modern "capability" vocabulary from the clang
+// documentation: a `leed::Mutex` (common/mutex.h) is a CAPABILITY, fields
+// it protects are GUARDED_BY it, and private helpers that assume the lock
+// is already held are REQUIRES it. See docs/STATIC_ANALYSIS.md for the
+// repo policy on when annotations are mandatory.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LEED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LEED_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// On types: this class is a lockable capability ("mutex", "role", ...).
+#define CAPABILITY(x) LEED_THREAD_ANNOTATION(capability(x))
+
+// On RAII guard types whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY LEED_THREAD_ANNOTATION(scoped_lockable)
+
+// On data members: reads/writes require holding the given capability.
+#define GUARDED_BY(x) LEED_THREAD_ANNOTATION(guarded_by(x))
+
+// On pointer members: the *pointee* is protected by the capability.
+#define PT_GUARDED_BY(x) LEED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On functions: the caller must already hold the capability.
+#define REQUIRES(...) \
+  LEED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// On functions: acquires/releases the capability itself.
+#define ACQUIRE(...) LEED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) LEED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  LEED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// On functions: must be called *without* the capability held (deadlock
+// prevention for non-reentrant locks).
+#define EXCLUDES(...) LEED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On functions returning a reference to the capability guarding them.
+#define RETURN_CAPABILITY(x) LEED_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use must
+// carry a comment explaining why the analysis cannot see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LEED_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -8,17 +8,31 @@
 //
 // Inside the (single-threaded, deterministic) simulation it is used as a
 // plain bounded FIFO; its atomics are exercised for real by the
-// multi-threaded stress tests in tests/engine/spsc_ring_test.cc.
+// multi-threaded stress tests in tests/engine_test.cc and
+// tests/concurrency_test.cc (the latter runs under TSan in CI).
+//
+// Thread-safety contract: at most ONE thread may call the producer-side
+// methods (TryPush) and at most ONE thread the consumer-side methods
+// (TryPop/Front) — the same thread may play both roles. The contract is
+// not expressible with lock-based GUARDED_BY annotations (there is no
+// lock), so debug builds enforce it directly: the first caller of each
+// side pins that role to its thread id and later calls assert against it.
 
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <new>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#ifndef NDEBUG
+#include <functional>
+#include <thread>
+#endif
 
 namespace leed::engine {
 
@@ -40,6 +54,8 @@ class SpscRing {
   // untouched (the move only happens on success — callers rely on being
   // able to reject the intact object).
   bool TryPush(T&& value) {
+    assert(CheckRole(&producer_thread_) &&
+           "SpscRing: TryPush from more than one thread");
     const size_t head = head_.load(std::memory_order_relaxed);
     const size_t next = (head + 1) & mask_;
     if (next == tail_.load(std::memory_order_acquire)) return false;
@@ -54,6 +70,8 @@ class SpscRing {
 
   // Consumer side. Returns nullopt when empty.
   std::optional<T> TryPop() {
+    assert(CheckRole(&consumer_thread_) &&
+           "SpscRing: TryPop from more than one thread");
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
     T value = std::move(slots_[tail]);
@@ -63,6 +81,8 @@ class SpscRing {
 
   // Consumer-side peek without consuming.
   const T* Front() const {
+    assert(CheckRole(&consumer_thread_) &&
+           "SpscRing: Front from more than one thread");
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_.load(std::memory_order_acquire)) return nullptr;
     return &slots_[tail];
@@ -84,6 +104,25 @@ class SpscRing {
 
  private:
   static constexpr size_t kCacheLine = 64;
+
+#ifndef NDEBUG
+  // Pins a role (producer or consumer) to the first thread that exercises
+  // it; returns false if a different thread shows up later. Hash ids are
+  // forced odd so 0 can mean "unclaimed".
+  bool CheckRole(std::atomic<uint64_t>* owner) const {
+    const uint64_t self =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+    uint64_t expected = 0;
+    if (owner->compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+    return expected == self;
+  }
+
+  mutable std::atomic<uint64_t> producer_thread_{0};
+  mutable std::atomic<uint64_t> consumer_thread_{0};
+#endif
 
   std::vector<T> slots_;
   size_t mask_ = 0;

@@ -205,8 +205,8 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
     // of leaking as a reference cycle.
     *arrival = [&, st, rng, counter,
                 warrival = std::weak_ptr<std::function<void()>>(arrival)] {
-      auto arrival = warrival.lock();
-      if (!arrival) return;
+      auto self = warrival.lock();
+      if (!self) return;
       if (sim_->Now() >= end || st->stopped) return;
       uint32_t client_idx = (*counter)++ % clients_.size();
       // Deep saturation guard: past ~5K in-flight ops per client the
@@ -215,7 +215,7 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
       if (clients_[client_idx]->outstanding() > 5'000) {
         double mean_gap = 1e9 / options.open_loop_qps;
         sim_->Schedule(static_cast<SimTime>(rng->NextExponential(mean_gap)),
-                       *arrival);
+                       *self);
         return;
       }
       // Single-shot issue: like issue_op but without reissue-on-complete.
@@ -243,7 +243,7 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
       }
       double mean_gap_ns = 1e9 / options.open_loop_qps;
       sim_->Schedule(static_cast<SimTime>(rng->NextExponential(mean_gap_ns)),
-                     *arrival);
+                     *self);
     };
     sim_->Schedule(0, *arrival);
   } else {
@@ -268,9 +268,9 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
     *tick = [&, st, wtick = std::weak_ptr<std::function<void(SimTime)>>(tick)](
                 SimTime at) {
       if (at > end) return;
-      auto tick = wtick.lock();
-      if (!tick) return;
-      sim_->At(at, [&, st, tick, at] {
+      auto self = wtick.lock();
+      if (!self) return;
+      sim_->At(at, [&, st, tick = self, at] {
         if (st->measuring) {
           result.timeline.emplace_back(
               ToSeconds(at - measure_start),

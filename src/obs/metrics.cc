@@ -77,31 +77,42 @@ Registry::Instrument& Registry::Resolve(const std::string& name,
   return instruments_.emplace(name, std::move(inst)).first->second;
 }
 
+const Registry::Instrument* Registry::Find(const std::string& name) const {
+  auto it = instruments_.find(name);
+  return it == instruments_.end() ? nullptr : &it->second;
+}
+
 Counter* Registry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
   return Resolve(name, InstrumentKind::kCounter).counter.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
   return Resolve(name, InstrumentKind::kGauge).gauge.get();
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
+  MutexLock lock(&mu_);
   return Resolve(name, InstrumentKind::kHistogram).histogram.get();
 }
 
 const Counter* Registry::FindCounter(const std::string& name) const {
-  auto it = instruments_.find(name);
-  return it == instruments_.end() ? nullptr : it->second.counter.get();
+  MutexLock lock(&mu_);
+  const Instrument* inst = Find(name);
+  return inst ? inst->counter.get() : nullptr;
 }
 
 const Gauge* Registry::FindGauge(const std::string& name) const {
-  auto it = instruments_.find(name);
-  return it == instruments_.end() ? nullptr : it->second.gauge.get();
+  MutexLock lock(&mu_);
+  const Instrument* inst = Find(name);
+  return inst ? inst->gauge.get() : nullptr;
 }
 
 const Histogram* Registry::FindHistogram(const std::string& name) const {
-  auto it = instruments_.find(name);
-  return it == instruments_.end() ? nullptr : it->second.histogram.get();
+  MutexLock lock(&mu_);
+  const Instrument* inst = Find(name);
+  return inst ? inst->histogram.get() : nullptr;
 }
 
 uint64_t Registry::CounterValue(const std::string& name) const {
@@ -117,6 +128,7 @@ double Registry::GaugeValue(const std::string& name) const {
 void Registry::ResetAll() { ResetPrefix(""); }
 
 void Registry::ResetPrefix(const std::string& prefix) {
+  MutexLock lock(&mu_);
   for (auto it = prefix.empty() ? instruments_.begin()
                                 : instruments_.lower_bound(prefix);
        it != instruments_.end(); ++it) {
@@ -140,7 +152,8 @@ void Registry::ResetPrefix(const std::string& prefix) {
 std::string Registry::SnapshotJson() const {
   // std::map iteration is name-sorted, which makes the snapshot
   // byte-deterministic for a given registry state — the property the CI
-  // diff gates depend on.
+  // diff gates (including the bit-exact replay gate) depend on.
+  MutexLock lock(&mu_);
   std::string counters, gauges, histograms;
   for (const auto& [name, inst] : instruments_) {
     switch (inst.kind) {

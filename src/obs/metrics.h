@@ -19,8 +19,15 @@
 // Registration is idempotent: resolving the same (name, kind) twice
 // returns the same handle. Resolving a name under a *different* kind is a
 // programming error and throws std::logic_error — silently aliasing a
-// counter as a gauge would corrupt both. The simulator is single-threaded,
-// so instruments are deliberately unsynchronized.
+// counter as a gauge would corrupt both.
+//
+// Thread-safety: the registry's cold paths — registration, lookup, reset,
+// snapshot — are internally synchronized (lock discipline checked by
+// clang's -Wthread-safety), so components may be constructed from
+// different threads. The *instruments themselves* stay deliberately
+// unsynchronized: recording through a handle is a single-writer hot path
+// (one writer per instrument, today the simulator thread), and readers of
+// a live instrument must synchronize externally.
 
 #pragma once
 
@@ -30,6 +37,8 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace leed::obs {
 
@@ -66,31 +75,38 @@ class Registry {
   // Resolve-or-create. Returned pointers stay valid for the registry's
   // lifetime (instruments are never deregistered, only Reset). Throws
   // std::logic_error if `name` is already registered under another kind.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
 
   // Read-only lookup; nullptr when absent or of a different kind.
-  const Counter* FindCounter(const std::string& name) const;
-  const Gauge* FindGauge(const std::string& name) const;
-  const Histogram* FindHistogram(const std::string& name) const;
+  const Counter* FindCounter(const std::string& name) const EXCLUDES(mu_);
+  const Gauge* FindGauge(const std::string& name) const EXCLUDES(mu_);
+  const Histogram* FindHistogram(const std::string& name) const EXCLUDES(mu_);
 
   // Convenience for tests/CI assertions: 0 / 0.0 when absent.
   uint64_t CounterValue(const std::string& name) const;
   double GaugeValue(const std::string& name) const;
 
-  size_t size() const { return instruments_.size(); }
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return instruments_.size();
+  }
 
   // Zero every instrument, keeping registrations (and handles) intact.
-  void ResetAll();
+  void ResetAll() EXCLUDES(mu_);
   // Reset only instruments whose name starts with `prefix` — components
   // re-created under a previously used name start from zero without
   // disturbing the rest of the registry.
-  void ResetPrefix(const std::string& prefix);
+  void ResetPrefix(const std::string& prefix) EXCLUDES(mu_);
 
   // Deterministic snapshot: {"counters":{...},"gauges":{...},
   // "histograms":{name:{count,mean,min,max,p50,p99,p999}}}, keys sorted.
-  std::string SnapshotJson() const;
+  // Safe against concurrent registration (the map is locked), but NOT
+  // against concurrent instrument writes: instruments are unsynchronized
+  // single-writer handles, so snapshot from a quiescent point (as the
+  // single-threaded simulator always does) or after writers are done.
+  std::string SnapshotJson() const EXCLUDES(mu_);
   bool WriteJsonFile(const std::string& path) const;
 
   // The process-wide registry every component records to unless a config
@@ -105,9 +121,12 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Instrument& Resolve(const std::string& name, InstrumentKind kind);
+  Instrument& Resolve(const std::string& name, InstrumentKind kind)
+      REQUIRES(mu_);
+  const Instrument* Find(const std::string& name) const REQUIRES(mu_);
 
-  std::map<std::string, Instrument> instruments_;
+  mutable Mutex mu_;
+  std::map<std::string, Instrument> instruments_ GUARDED_BY(mu_);
 };
 
 // Extract the "counters" section of a SnapshotJson() string. This is the

@@ -3,7 +3,7 @@
 namespace leed::replication {
 
 void ReplicaState::AddPending(PendingWrite w) {
-  if (pending_.count(w.write_id)) return;  // duplicate re-forward
+  if (pending_.contains(w.write_id)) return;  // duplicate re-forward
   if (dirty_[w.key]++ == 0 && dirty_gauge_) dirty_gauge_->Add(1);
   pending_.emplace(w.write_id, std::move(w));
   if (pending_gauge_) pending_gauge_->Add(1);

@@ -86,7 +86,7 @@ class ReplicaState {
   // transition epoch, so evicting old ids is safe — and without eviction
   // this set would grow by one entry per committed write forever.
   static constexpr size_t kAppliedWindow = 64 * 1024;
-  bool SeenApplied(uint64_t write_id) const { return applied_.count(write_id) != 0; }
+  bool SeenApplied(uint64_t write_id) const { return applied_.contains(write_id); }
   void MarkApplied(uint64_t write_id) {
     if (applied_.insert(write_id).second) {
       applied_order_.push_back(write_id);
@@ -110,17 +110,21 @@ class ReplicaState {
     if (fill_tracking_) chain_written_.insert(key);
   }
   bool WasChainWritten(const std::string& key) const {
-    return chain_written_.count(key) != 0;
+    return chain_written_.contains(key);
   }
 
  private:
   obs::Gauge* pending_gauge_ = nullptr;
   obs::Gauge* dirty_gauge_ = nullptr;
-  std::unordered_map<std::string, uint32_t> dirty_;  // key -> pending count
-  std::map<uint64_t, PendingWrite> pending_;         // ordered by write id
+  // key -> pending count; membership/size lookups only, never iterated
+  // leed-lint: allow(unordered-iter): count/find/erase only; no iteration
+  std::unordered_map<std::string, uint32_t> dirty_;
+  std::map<uint64_t, PendingWrite> pending_;  // ordered by write id
+  // leed-lint: allow(unordered-iter): write-id dedup set, membership only
   std::unordered_set<uint64_t> applied_;
   std::deque<uint64_t> applied_order_;  // FIFO eviction for applied_
   bool fill_tracking_ = false;
+  // leed-lint: allow(unordered-iter): test-only membership probe, no iteration
   std::unordered_set<std::string> chain_written_;
 };
 

@@ -1,7 +1,7 @@
 #include "sim/block_device.h"
 
 #include <algorithm>
-#include <cstring>
+#include "common/bytes.h"
 
 namespace leed::sim {
 
@@ -24,10 +24,12 @@ void PageStore::Write(uint64_t offset, const std::vector<uint8_t>& data,
     if (page.empty()) page.assign(page_size_, 0);
     if (pos < data.size()) {
       uint64_t copy = std::min<uint64_t>(chunk, data.size() - pos);
-      std::memcpy(page.data() + in_page, data.data() + pos, copy);
-      if (copy < chunk) std::memset(page.data() + in_page + copy, 0, chunk - copy);
+      leed::CopyBytes(page.data() + in_page, data.data() + pos, copy);
+      if (copy < chunk) {
+        leed::FillBytes(page.data() + in_page + copy, 0, chunk - copy);
+      }
     } else {
-      std::memset(page.data() + in_page, 0, chunk);
+      leed::FillBytes(page.data() + in_page, 0, chunk);
     }
     pos += chunk;
   }
@@ -42,7 +44,7 @@ std::vector<uint8_t> PageStore::Read(uint64_t offset, uint64_t length) const {
     uint64_t chunk = std::min<uint64_t>(page_size_ - in_page, length - pos);
     auto it = pages_.find(page_no);
     if (it != pages_.end()) {
-      std::memcpy(out.data() + pos, it->second.data() + in_page, chunk);
+      leed::CopyBytes(out.data() + pos, it->second.data() + in_page, chunk);
     }
     pos += chunk;
   }

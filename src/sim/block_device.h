@@ -86,6 +86,8 @@ class PageStore {
  private:
   uint64_t capacity_;
   uint32_t page_size_;
+  // leed-lint: allow(unordered-iter): page table addressed by page number
+  // only (operator[]/find); reads copy out by offset, nothing iterates
   std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
 };
 

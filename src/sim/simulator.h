@@ -92,6 +92,8 @@ class Simulator {
   // Ids of cancelled-but-still-queued events; lazily skipped at pop time.
   // Hash set: timeout timers are cancelled on nearly every completed
   // request, so this is consulted on every dispatch.
+  // leed-lint: allow(unordered-iter): insert/find/erase only; dispatch
+  // order comes from the priority queue, never from this set
   std::unordered_set<EventId> cancelled_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;

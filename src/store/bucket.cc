@@ -1,4 +1,4 @@
-#include <cstring>
+#include "common/bytes.h"
 
 #include "store/format.h"
 
@@ -9,14 +9,14 @@ namespace {
 // Little-endian scalar write/read helpers over a byte buffer.
 template <typename T>
 void PutScalar(std::vector<uint8_t>& buf, size_t& pos, T v) {
-  std::memcpy(buf.data() + pos, &v, sizeof(T));
+  leed::CopyBytes(buf.data() + pos, &v, sizeof(T));
   pos += sizeof(T);
 }
 
 template <typename T>
 bool GetScalar(const std::vector<uint8_t>& buf, size_t& pos, T* v) {
   if (pos + sizeof(T) > buf.size()) return false;
-  std::memcpy(v, buf.data() + pos, sizeof(T));
+  leed::CopyBytes(v, buf.data() + pos, sizeof(T));
   pos += sizeof(T);
   return true;
 }
@@ -100,7 +100,7 @@ Result<std::vector<uint8_t>> EncodeBucket(const Bucket& bucket, uint32_t bucket_
     PutScalar(out, pos, it.value_len);
     Put48(out, pos, it.value_offset);
     PutScalar(out, pos, it.value_ssd);
-    std::memcpy(out.data() + pos, it.key.data(), it.key.size());
+    leed::CopyBytes(out.data() + pos, it.key.data(), it.key.size());
     pos += it.key.size();
   }
   return out;
@@ -152,13 +152,11 @@ std::vector<uint8_t> EncodeValueEntry(const ValueEntry& entry) {
   PutScalar(out, pos, entry.segment_id);
   PutScalar(out, pos, static_cast<uint16_t>(entry.key.size()));
   PutScalar(out, pos, static_cast<uint32_t>(entry.value.size()));
-  std::memcpy(out.data() + pos, entry.key.data(), entry.key.size());
+  leed::CopyBytes(out.data() + pos, entry.key.data(), entry.key.size());
   pos += entry.key.size();
-  // Empty values (DEL tombstones) have a null data(); memcpy's arguments
-  // are declared nonnull even for size 0.
-  if (!entry.value.empty()) {
-    std::memcpy(out.data() + pos, entry.value.data(), entry.value.size());
-  }
+  // Empty values (DEL tombstones) have a null data(); CopyBytes guards
+  // the n == 0 case that raw memcpy declares nonnull.
+  leed::CopyBytes(out.data() + pos, entry.value.data(), entry.value.size());
   return out;
 }
 

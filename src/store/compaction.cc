@@ -363,7 +363,7 @@ void Compactor::KeyRunGroup(std::shared_ptr<KeyRun> run, size_t group) {
   }
   uint32_t seg = ids.back();
   ids.pop_back();
-  bool relocate = s_.swapped_segments_.count(seg) > 0;
+  bool relocate = s_.swapped_segments_.contains(seg);
   CollapseSegment(seg, relocate, [this, run, group](bool ok) {
     if (!ok) run->all_relocated = false;
     KeyRunGroup(run, group);

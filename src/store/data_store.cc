@@ -586,12 +586,13 @@ void DataStore::ReadChain(uint32_t segment_id, uint8_t ssd, uint64_t offset,
   *step = [this, segment_id, acc, wstep = std::weak_ptr<
                std::function<void(uint8_t, uint64_t, uint8_t)>>(step),
            cb](uint8_t cur_ssd, uint64_t cur_off, uint8_t remaining) {
-    auto step = wstep.lock();
-    if (!step) return;
+    auto self = wstep.lock();
+    if (!self) return;
     const LogSet& logs = log_sets_.at(cur_ssd);
     m_.ssd_reads->Inc();
     logs.key_log->Read(cur_off, config_.bucket_size,
-                       [this, segment_id, acc, step, cb, remaining](log::ReadResult r) {
+                       [this, segment_id, acc, step = self, cb,
+                        remaining](log::ReadResult r) {
       if (!r.status.ok()) {
         cb(r.status, {});
         return;

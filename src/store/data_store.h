@@ -169,7 +169,7 @@ class DataStore {
   SegmentTable& segments() { return segtbl_; }
   const LogSet& home() const { return home_; }
   const LogSet& log_set(uint8_t ssd_id) const { return log_sets_.at(ssd_id); }
-  bool HasLogSet(uint8_t ssd_id) const { return log_sets_.count(ssd_id) != 0; }
+  bool HasLogSet(uint8_t ssd_id) const { return log_sets_.contains(ssd_id); }
 
   // Number of segments whose chain head currently lives off-home.
   size_t swapped_segments() const { return swapped_segments_.size(); }

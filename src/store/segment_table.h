@@ -75,6 +75,9 @@ class SegmentTable {
 
  private:
   std::vector<SegmentEntry> entries_;
+  // Per-segment FIFO of blocked continuations; wakeups pop one deque by
+  // segment id, so cross-segment order never depends on hash layout.
+  // leed-lint: allow(unordered-iter): keyed wakeup via find() only
   std::unordered_map<uint32_t, std::deque<std::function<void()>>> waiters_;
   uint32_t chain_bits_;
 };

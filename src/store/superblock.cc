@@ -1,6 +1,6 @@
 #include "store/superblock.h"
 
-#include <cstring>
+#include "common/bytes.h"
 
 namespace leed::store {
 
@@ -11,14 +11,14 @@ constexpr uint16_t kVersion = 1;
 
 template <typename T>
 void Put(std::vector<uint8_t>& buf, size_t& pos, T v) {
-  std::memcpy(buf.data() + pos, &v, sizeof(T));
+  leed::CopyBytes(buf.data() + pos, &v, sizeof(T));
   pos += sizeof(T);
 }
 
 template <typename T>
 bool Get(const std::vector<uint8_t>& buf, size_t& pos, T* v) {
   if (pos + sizeof(T) > buf.size()) return false;
-  std::memcpy(v, buf.data() + pos, sizeof(T));
+  leed::CopyBytes(v, buf.data() + pos, sizeof(T));
   pos += sizeof(T);
   return true;
 }

@@ -286,7 +286,9 @@ TEST_F(ControlPlaneTest, CopySourcesNeverOnDeadNode) {
       for (auto& view : n->views) {
         if (const VNodeInfo* i = view.Find(c.src)) src = i;
       }
-      if (src) EXPECT_NE(src->owner_node, 2u);
+      if (src) {
+        EXPECT_NE(src->owner_node, 2u);
+      }
     }
   }
 }

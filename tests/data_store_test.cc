@@ -171,7 +171,8 @@ TEST_F(DataStoreTest, ChainOverflowReportsOutOfSpace) {
   Status last = Status::Ok();
   int i = 0;
   while (last.ok() && i < 500) {
-    last = SyncPut(sim_, *ds, "key" + std::to_string(i++), TestValue(i, 16));
+    last = SyncPut(sim_, *ds, "key" + std::to_string(i), TestValue(i, 16));
+    ++i;
   }
   EXPECT_EQ(last.code(), StatusCode::kOutOfSpace);
   EXPECT_GT(ds->stats().puts_failed_full, 0u);
@@ -336,7 +337,9 @@ TEST_F(DataStoreTest, GetsConcurrentWithCompactionRetryAndSucceed) {
   for (int i = 0; i < 64; ++i) {
     ds->Get("key" + std::to_string(i), [&, i](Status st, std::vector<uint8_t> v) {
       EXPECT_TRUE(st.ok()) << "key" << i << ": " << st.ToString();
-      if (st.ok()) EXPECT_EQ(v, TestValue(i, 64));
+      if (st.ok()) {
+        EXPECT_EQ(v, TestValue(i, 64));
+      }
       ++got;
     });
   }

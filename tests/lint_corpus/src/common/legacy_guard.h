@@ -1,0 +1,9 @@
+// leed-lint: allow(pragma-once): fixture proves pragma-once suppression
+#ifndef FIXTURE_LEGACY_GUARD_H_
+#define FIXTURE_LEGACY_GUARD_H_
+
+namespace fixture {
+inline int Legacy() { return 1; }
+}  // namespace fixture
+
+#endif  // FIXTURE_LEGACY_GUARD_H_

@@ -1,0 +1,9 @@
+// lint_test fixture — header without #pragma once (line-1 finding).
+#ifndef FIXTURE_NO_PRAGMA_H_
+#define FIXTURE_NO_PRAGMA_H_
+
+namespace fixture {
+inline int Answer() { return 42; }
+}  // namespace fixture
+
+#endif  // FIXTURE_NO_PRAGMA_H_

@@ -1,0 +1,18 @@
+// lint_test fixture — annotation misuse. Line numbers are asserted by
+// tests/lint_test.cc; keep them stable.
+
+namespace fixture {
+
+// leed-lint: allow(determinism): nothing below violates, so this is rot
+int Clean() { return 7; }
+
+// leed-lint: allow(not-a-rule): bogus rule name
+int Unknown() { return 8; }
+
+// leed-lint: allow(memcpy)
+int MissingJustification() { return 9; }
+
+// leed-lint: disable-all
+int UnrecognizedDirective() { return 10; }
+
+}  // namespace fixture

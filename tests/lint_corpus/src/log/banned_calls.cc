@@ -1,0 +1,31 @@
+// lint_test fixture — banned-func and memcpy rules. Line numbers are
+// asserted by tests/lint_test.cc; keep them stable.
+#include <cstdio>
+#include <cstring>
+
+namespace fixture {
+
+void Violations(char* dst, const char* src, unsigned char* buf, int n) {
+  std::strcpy(dst, src);                        // line 9: banned-func
+  sprintf(dst, "%d", n);                        // line 10: banned-func
+  std::memcpy(buf, src, static_cast<size_t>(n));  // line 11: memcpy
+  std::memset(buf, 0, static_cast<size_t>(n));    // line 12: memcpy
+}
+
+void NotViolations(char* dst, const char* src, size_t cap, int n) {
+  std::snprintf(dst, cap, "%s %d", src, n);  // snprintf is fine
+}
+
+// leed-lint: allow(memcpy): fixture proves suppression works
+void Suppressed(void* dst, const void* src, size_t n) { memcpy(dst, src, n); }
+
+// leed-lint: allow(banned-func): fixture proves suppression works
+void SuppressedBanned(char* dst, const char* src) { strcpy(dst, src); }
+
+struct Codec {
+  void sprintf(int) {}  // member named like a banned function: fine
+};
+
+void MemberCall(Codec& c) { c.sprintf(1); }
+
+}  // namespace fixture

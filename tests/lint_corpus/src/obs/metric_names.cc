@@ -1,0 +1,32 @@
+// lint_test fixture — metric-name convention. Line numbers are asserted
+// by tests/lint_test.cc; keep them stable.
+#include <string>
+
+namespace fixture {
+
+struct Registry {
+  int* GetCounter(const std::string&) { return nullptr; }
+  int* GetGauge(const std::string&) { return nullptr; }
+  int* GetHistogram(const std::string&) { return nullptr; }
+  Registry Sub(const std::string&) { return {}; }
+};
+
+void Violations(Registry& r) {
+  r.GetCounter("Bad Name");           // line 15: uppercase + space
+  r.GetGauge("engine.Queue_depth");   // line 16: uppercase segment
+  r.GetHistogram("svc..latency_us");  // line 17: empty segment
+  r.Sub("Node0");                     // line 18: uppercase
+  // leed-lint: allow(metric-name): fixture proves suppression works
+  r.GetCounter("LegacyImport");
+}
+
+void NotViolations(Registry& r, int i) {
+  r.GetCounter("node0.engine.executed");
+  r.GetGauge("cluster.throughput_qps");
+  r.GetHistogram("ssd" + std::to_string(i) + ".read_us");
+  r.Sub("engine");
+  std::string dynamic = "node";
+  r.GetCounter(dynamic);  // non-literal: out of scope for a token linter
+}
+
+}  // namespace fixture

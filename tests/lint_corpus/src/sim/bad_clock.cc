@@ -1,0 +1,33 @@
+// lint_test fixture — determinism violations inside the sim scope.
+// Expected findings are asserted line-exactly by tests/lint_test.cc;
+// KEEP LINE NUMBERS STABLE or update the golden table.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+long Violations() {
+  auto now = std::chrono::system_clock::now();              // line 11: type
+  (void)now;
+  auto tick = std::chrono::steady_clock::now();             // line 13: type
+  (void)tick;
+  long seed = std::time(nullptr);                           // line 15: call
+  seed += rand();                                           // line 16: call
+  std::srand(42);                                           // line 17: call
+  return seed;
+}
+
+// leed-lint: allow(determinism): fixture proves suppression works
+long Suppressed() { return std::time(nullptr); }
+
+struct Clock {
+  long time() const { return 0; }
+};
+
+long NotViolations(const Clock& c) {
+  long timestamp = c.time();   // member call, not libc time()
+  return timestamp + Clock().time();
+}
+
+}  // namespace fixture

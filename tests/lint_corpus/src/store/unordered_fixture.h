@@ -1,0 +1,34 @@
+// lint_test fixture — unordered-container rules. Line numbers are
+// asserted by tests/lint_test.cc; keep them stable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+class SnapshotSource {
+ public:
+  std::vector<std::string> Emit() const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : hot_keys_) {  // line 18: unordered iteration
+      out.push_back(k + ":" + std::to_string(v));
+    }
+    // leed-lint: allow(unordered-iter): fixture proves iteration suppression
+    for (const auto& id : seen_) out.push_back(std::to_string(id));
+    for (const auto& [k, v] : ordered_) out.push_back(k);  // std::map: fine
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::string, uint64_t> hot_keys_;  // line 28: decl
+  // leed-lint: allow(unordered-iter): fixture proves decl suppression
+  std::unordered_set<uint64_t> seen_;
+  std::map<std::string, int> ordered_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// lint_test fixture — rules scoped to src/ must NOT fire under tests/:
+// rand() here is fine (test seeding), and unordered containers are fine
+// (tests may hash freely). banned-func still applies everywhere.
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+int TestOnlyRandomness() {
+  std::unordered_map<int, int> counts;  // no unordered-iter outside src/
+  counts[rand()] = 1;                   // no determinism rule outside scope
+  return static_cast<int>(counts.size());
+}
+
+}  // namespace fixture

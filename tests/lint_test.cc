@@ -1,0 +1,240 @@
+// Golden-corpus tests for leed-lint (tools/lint/).
+//
+// The corpus under tests/lint_corpus/ is a miniature repo (its own src/ and
+// tests/ subtrees) so path-scoped rules apply exactly as they do on the real
+// tree. Every rule must both FIRE on a violation and be SUPPRESSED by a
+// justified `leed-lint: allow(...)` annotation — a linter whose suppressions
+// silently stop matching is worse than no linter. Finally, the real tree
+// itself must lint clean; that is the same invariant the blocking CI job
+// enforces, pinned here so `ctest` alone catches a regression.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+#ifndef LEED_LINT_CORPUS_DIR
+#error "build must define LEED_LINT_CORPUS_DIR"
+#endif
+#ifndef LEED_SOURCE_ROOT
+#error "build must define LEED_SOURCE_ROOT"
+#endif
+
+namespace leed::lint {
+namespace {
+
+std::vector<Finding> CorpusFindings() {
+  static const std::vector<Finding> kFindings =
+      LintTree(LEED_LINT_CORPUS_DIR);
+  return kFindings;
+}
+
+bool HasFindingAt(const std::vector<Finding>& findings,
+                  const std::string& file, int line) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       return f.file == file && f.line == line;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// Golden table — every expected (file, line, rule) triple, nothing more.
+// ---------------------------------------------------------------------------
+
+TEST(LintCorpusTest, MatchesGoldenTable) {
+  struct Expected {
+    const char* file;
+    int line;
+    const char* rule;
+  };
+  // LintTree sorts by (file, line, rule, message); keep this table in that
+  // order so a mismatch points at the first divergence.
+  const std::vector<Expected> kGolden = {
+      {"src/common/no_pragma.h", 1, "pragma-once"},
+      {"src/engine/allow_misuse.cc", 6, "unused-allow"},
+      {"src/engine/allow_misuse.cc", 9, "allow-syntax"},
+      {"src/engine/allow_misuse.cc", 12, "allow-syntax"},
+      {"src/engine/allow_misuse.cc", 15, "allow-syntax"},
+      {"src/log/banned_calls.cc", 9, "banned-func"},
+      {"src/log/banned_calls.cc", 10, "banned-func"},
+      {"src/log/banned_calls.cc", 11, "memcpy"},
+      {"src/log/banned_calls.cc", 12, "memcpy"},
+      {"src/obs/metric_names.cc", 15, "metric-name"},
+      {"src/obs/metric_names.cc", 16, "metric-name"},
+      {"src/obs/metric_names.cc", 17, "metric-name"},
+      {"src/obs/metric_names.cc", 18, "metric-name"},
+      {"src/sim/bad_clock.cc", 11, "determinism"},
+      {"src/sim/bad_clock.cc", 13, "determinism"},
+      {"src/sim/bad_clock.cc", 15, "determinism"},
+      {"src/sim/bad_clock.cc", 16, "determinism"},
+      {"src/sim/bad_clock.cc", 17, "determinism"},
+      {"src/store/unordered_fixture.h", 18, "unordered-iter"},
+      {"src/store/unordered_fixture.h", 28, "unordered-iter"},
+  };
+
+  const std::vector<Finding> findings = CorpusFindings();
+  ASSERT_EQ(findings.size(), kGolden.size())
+      << "corpus drifted:\n" << FormatFindings(findings);
+  for (size_t i = 0; i < kGolden.size(); ++i) {
+    EXPECT_EQ(findings[i].file, kGolden[i].file) << "at index " << i;
+    EXPECT_EQ(findings[i].line, kGolden[i].line) << "at index " << i;
+    EXPECT_EQ(findings[i].rule, kGolden[i].rule) << "at index " << i;
+    EXPECT_FALSE(findings[i].message.empty()) << "at index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Every content rule both fires and is suppressed somewhere in the corpus.
+// ---------------------------------------------------------------------------
+
+TEST(LintCorpusTest, EveryContentRuleFires) {
+  std::set<std::string> fired;
+  for (const Finding& f : CorpusFindings()) fired.insert(f.rule);
+  for (const char* rule :
+       {"determinism", "unordered-iter", "pragma-once", "banned-func",
+        "memcpy", "metric-name", "allow-syntax", "unused-allow"}) {
+    EXPECT_TRUE(fired.count(rule) != 0) << "rule never fired: " << rule;
+  }
+}
+
+TEST(LintCorpusTest, JustifiedAllowsSuppress) {
+  const std::vector<Finding> findings = CorpusFindings();
+  // Each pair is a corpus line that violates a rule but carries (or follows)
+  // a justified allow(...) annotation for it.
+  EXPECT_FALSE(HasFindingAt(findings, "src/sim/bad_clock.cc", 22))
+      << "determinism allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/store/unordered_fixture.h", 22))
+      << "unordered-iter iteration allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/store/unordered_fixture.h", 30))
+      << "unordered-iter declaration allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/log/banned_calls.cc", 20))
+      << "memcpy allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/log/banned_calls.cc", 23))
+      << "banned-func allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/obs/metric_names.cc", 20))
+      << "metric-name allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/common/legacy_guard.h", 1))
+      << "pragma-once allow ignored";
+}
+
+TEST(LintCorpusTest, ScopedRulesStayInScope) {
+  // tests/scope_check.cc uses rand() and an unordered_map: both are outside
+  // the determinism scope (src/sim, src/leed, src/engine, src/replication)
+  // and the unordered-iter scope (src/), so the file must be silent.
+  for (const Finding& f : CorpusFindings()) {
+    EXPECT_NE(f.file, "tests/scope_check.cc") << FormatFindings({f});
+  }
+}
+
+TEST(LintCorpusTest, MemberCallsAndDeclarationsAreNotFlagged) {
+  const std::vector<Finding> findings = CorpusFindings();
+  // `long time() const` (declaration) and `c.time()` / `Clock().time()`
+  // (member calls) must not trip the libc-call rules.
+  EXPECT_FALSE(HasFindingAt(findings, "src/sim/bad_clock.cc", 25));
+  EXPECT_FALSE(HasFindingAt(findings, "src/sim/bad_clock.cc", 29));
+  EXPECT_FALSE(HasFindingAt(findings, "src/sim/bad_clock.cc", 30));
+  // A member function named like a banned function, and a call to it.
+  EXPECT_FALSE(HasFindingAt(findings, "src/log/banned_calls.cc", 26));
+  EXPECT_FALSE(HasFindingAt(findings, "src/log/banned_calls.cc", 29));
+}
+
+// ---------------------------------------------------------------------------
+// LintFile unit behavior (lexer + per-rule edge cases).
+// ---------------------------------------------------------------------------
+
+TEST(LintFileTest, CommentsAndStringsAreNotCode) {
+  const std::string src =
+      "// rand() in a comment\n"
+      "/* std::time(nullptr) in a block */\n"
+      "const char* s = \"rand() srand() time()\";\n";
+  EXPECT_TRUE(LintFile("src/sim/x.cc", src).empty());
+}
+
+TEST(LintFileTest, RawStringsAreNotCode) {
+  const std::string src =
+      "const char* s = R\"(rand(); std::time(nullptr);)\";\n";
+  EXPECT_TRUE(LintFile("src/sim/x.cc", src).empty());
+}
+
+TEST(LintFileTest, DigitSeparatorIsNotACharLiteral) {
+  // A naive lexer treats 1'000'000 as opening a char literal and swallows
+  // the rest of the line, hiding the rand() call.
+  const std::string src = "long v = 1'000'000 + rand();\n";
+  const std::vector<Finding> findings = LintFile("src/sim/x.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "determinism");
+}
+
+TEST(LintFileTest, AllowOnTheSameLineSuppresses) {
+  const std::string src =
+      "long v = rand();  // leed-lint: allow(determinism): unit test\n";
+  EXPECT_TRUE(LintFile("src/sim/x.cc", src).empty());
+}
+
+TEST(LintFileTest, AllowSkipsCommentOnlyContinuationLines) {
+  const std::string src =
+      "// leed-lint: allow(determinism): multi-line justification that\n"
+      "// wraps onto a second comment line before the code\n"
+      "long v = rand();\n";
+  EXPECT_TRUE(LintFile("src/sim/x.cc", src).empty());
+}
+
+TEST(LintFileTest, DeterminismScopeIsPathBased) {
+  const std::string src = "long v = rand();\n";
+  EXPECT_FALSE(LintFile("src/engine/x.cc", src).empty());
+  EXPECT_FALSE(LintFile("src/replication/x.cc", src).empty());
+  EXPECT_FALSE(LintFile("src/leed/x.cc", src).empty());
+  EXPECT_TRUE(LintFile("src/store/x.cc", src).empty());
+  EXPECT_TRUE(LintFile("tools/x.cc", src).empty());
+}
+
+TEST(LintFileTest, MetricNamePrefixLiteralMayEndWithDot) {
+  // "ssd." + std::to_string(i): the literal is a prefix, so the trailing
+  // dot is fine; only a whole-argument literal must not end with '.'.
+  const std::string ok =
+      "r.GetCounter(\"ssd.\" + std::to_string(i) + \".read_us\");\n";
+  EXPECT_TRUE(LintFile("src/obs/x.cc", ok).empty());
+  const std::string bad = "r.GetCounter(\"ssd.\");\n";
+  ASSERT_EQ(LintFile("src/obs/x.cc", bad).size(), 1u);
+}
+
+TEST(LintFileTest, FreeFunctionSubIsNotAMetricGetter) {
+  // Only member calls (r.Sub / r->Sub) are metric-registry scopes; a free
+  // function that happens to be named Sub takes arbitrary strings.
+  const std::string src = "int x = Sub(\"Not A Metric\");\n";
+  EXPECT_TRUE(LintFile("src/obs/x.cc", src).empty());
+}
+
+TEST(LintRulesTest, CatalogIsConsistent) {
+  EXPECT_FALSE(Rules().empty());
+  for (const RuleInfo& r : Rules()) {
+    EXPECT_TRUE(IsKnownRule(r.name));
+    EXPECT_NE(std::string(r.summary), "");
+  }
+  EXPECT_FALSE(IsKnownRule("bogus-rule"));
+}
+
+TEST(LintFormatTest, FormatFindingsShape) {
+  const std::string text =
+      FormatFindings({{"src/a.cc", 7, "memcpy", "raw memcpy"}});
+  EXPECT_EQ(text, "src/a.cc:7: [memcpy] raw memcpy\n");
+}
+
+// ---------------------------------------------------------------------------
+// The real tree lints clean — same invariant as the blocking CI job.
+// ---------------------------------------------------------------------------
+
+TEST(LintTreeTest, RepositoryIsClean) {
+  size_t files_scanned = 0;
+  const std::vector<Finding> findings =
+      LintTree(LEED_SOURCE_ROOT, TreeOptions{}, &files_scanned);
+  EXPECT_GT(files_scanned, 100u) << "tree walk found suspiciously few files";
+  EXPECT_TRUE(findings.empty()) << FormatFindings(findings);
+}
+
+}  // namespace
+}  // namespace leed::lint

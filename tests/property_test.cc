@@ -105,10 +105,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(256u, 512u, 4096u),   // bucket size
                        ::testing::Values(16u, 256u, 1024u),    // value size
                        ::testing::Values(1u, 16u, 256u)),      // segments
-    [](const ::testing::TestParamInfo<StoreParam>& info) {
-      return "b" + std::to_string(std::get<0>(info.param)) + "_v" +
-             std::to_string(std::get<1>(info.param)) + "_s" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<StoreParam>& p) {
+      return "b" + std::to_string(std::get<0>(p.param)) + "_v" +
+             std::to_string(std::get<1>(p.param)) + "_s" +
+             std::to_string(std::get<2>(p.param));
     });
 
 // ---------------------------------------------------------------------------
@@ -167,9 +167,9 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, LogSweep,
     ::testing::Combine(::testing::Values(4096ull, 65536ull, 1048576ull),
                        ::testing::Values(100ull, 700ull, 5000ull)),
-    [](const ::testing::TestParamInfo<LogParam>& info) {
-      return "r" + std::to_string(std::get<0>(info.param)) + "_e" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<LogParam>& p) {
+      return "r" + std::to_string(std::get<0>(p.param)) + "_e" +
+             std::to_string(std::get<1>(p.param));
     });
 
 // ---------------------------------------------------------------------------

@@ -2,7 +2,7 @@
 //
 // Lets a user run a configurable experiment without writing C++:
 //
-//   leedsim --system=leed --nodes=3 --mix=B --value-size=1024 \
+//   leedsim --system=leed --nodes=3 --mix=B --value-size=1024
 //           --keys=20000 --skew=0.99 --concurrency=64 --duration-ms=500
 //
 //   leedsim --system=fawn --nodes=10 --mix=C --rate-kqps=20   (open loop)

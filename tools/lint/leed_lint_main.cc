@@ -1,0 +1,60 @@
+// leed-lint CLI — the blocking CI job and the `cmake --build build
+// --target lint` convenience target. See lint.h for the rule catalog and
+// docs/STATIC_ANALYSIS.md for the policy.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint/lint.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--root=DIR] [--list-rules]\n"
+      "  --root=DIR    repository root to lint (default: .); walks\n"
+      "                DIR/{src,tests,bench,tools}\n"
+      "  --list-rules  print the rule catalog and exit\n"
+      "exit status: 0 clean, 1 findings, 2 usage error\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--root=", 7) == 0) {
+      root = arg + 7;
+    } else if (std::strcmp(arg, "--list-rules") == 0) {
+      for (const leed::lint::RuleInfo& r : leed::lint::Rules()) {
+        std::printf("%-15s %s\n", r.name, r.summary);
+      }
+      return 0;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  size_t scanned = 0;
+  const std::vector<leed::lint::Finding> findings =
+      leed::lint::LintTree(root, {}, &scanned);
+  if (scanned == 0) {
+    std::fprintf(stderr,
+                 "leed-lint: nothing to scan under '%s' (expected "
+                 "src/tests/bench/tools)\n",
+                 root.c_str());
+    return 2;
+  }
+  std::fputs(leed::lint::FormatFindings(findings).c_str(), stdout);
+  std::printf("leed-lint: %zu finding%s in %zu files\n", findings.size(),
+              findings.size() == 1 ? "" : "s", scanned);
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,674 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace leed::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Preprocessing: split a translation unit into per-line code (comments
+// removed, string/char-literal contents blanked) + comment text + the
+// string literals themselves (the metric-name rule needs their contents).
+// Line numbers are preserved exactly; multi-line block comments and raw
+// strings keep advancing the line counter.
+// ---------------------------------------------------------------------------
+
+struct LineInfo {
+  std::string code;
+  std::string comment;
+  std::vector<std::string> strings;  // literal contents, left to right
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<LineInfo> Preprocess(const std::string& text) {
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  std::vector<LineInfo> lines(1);
+  State st = State::kCode;
+  std::string raw_close;  // ")delim\"" terminator of the active raw string
+  std::string literal;
+  const size_t n = text.size();
+  size_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    LineInfo& cur = lines.back();
+    if (c == '\n') {
+      switch (st) {
+        case State::kLine:
+          st = State::kCode;
+          break;
+        case State::kString:
+        case State::kChar:
+          // Unterminated at end of line (macro trickery); recover.
+          st = State::kCode;
+          break;
+        case State::kRaw:
+          literal += '\n';
+          break;
+        default:
+          break;
+      }
+      lines.emplace_back();
+      ++i;
+      continue;
+    }
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          st = State::kLine;
+          i += 2;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          st = State::kBlock;
+          i += 2;
+        } else if (c == '"') {
+          if (!cur.code.empty() && cur.code.back() == 'R') {
+            // R"delim( ... )delim" — find the opening parenthesis.
+            size_t j = i + 1;
+            std::string delim;
+            while (j < n && text[j] != '(' && text[j] != '\n' &&
+                   delim.size() <= 16) {
+              delim += text[j++];
+            }
+            if (j < n && text[j] == '(') {
+              raw_close = ")" + delim + "\"";
+              st = State::kRaw;
+              literal.clear();
+              cur.code += '"';
+              i = j + 1;
+              break;
+            }
+          }
+          st = State::kString;
+          literal.clear();
+          cur.code += '"';
+          ++i;
+        } else if (c == '\'' && !cur.code.empty() &&
+                   IsIdentChar(cur.code.back())) {
+          // Digit separator (1'000'000) — real char literals never follow
+          // an identifier/number directly.
+          cur.code += c;
+          ++i;
+        } else if (c == '\'') {
+          st = State::kChar;
+          cur.code += '\'';
+          ++i;
+        } else {
+          cur.code += c;
+          ++i;
+        }
+        break;
+      case State::kLine:
+        cur.comment += c;
+        ++i;
+        break;
+      case State::kBlock:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          st = State::kCode;
+          cur.code += ' ';
+          i += 2;
+        } else {
+          cur.comment += c;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          literal += text[i + 1];
+          i += 2;
+        } else if (c == '"') {
+          st = State::kCode;
+          cur.code += '"';
+          cur.strings.push_back(literal);
+          ++i;
+        } else {
+          literal += c;
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          i += 2;
+        } else if (c == '\'') {
+          st = State::kCode;
+          cur.code += '\'';
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kRaw:
+        if (text.compare(i, raw_close.size(), raw_close) == 0) {
+          st = State::kCode;
+          cur.code += '"';
+          cur.strings.push_back(literal);
+          i += raw_close.size();
+        } else {
+          literal += c;
+          ++i;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression annotations: // leed-lint: allow(<rule>): <justification>
+// ---------------------------------------------------------------------------
+
+struct Allow {
+  int line = 0;
+  std::string rule;
+  bool used = false;
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+void ParseAllows(const std::string& comment, const std::string& path,
+                 int line, std::vector<Allow>* allows,
+                 std::vector<Finding>* findings) {
+  static const std::string kTag = "leed-lint:";
+  // A directive must *begin* the comment ("// leed-lint: ..."), which is
+  // how annotations are written; prose that merely mentions the syntax
+  // mid-sentence (like this linter's own documentation) is not parsed.
+  const std::string body = Trim(comment);
+  if (body.rfind(kTag, 0) != 0) return;
+  size_t p = kTag.size();
+  while (p < body.size() && body[p] == ' ') ++p;
+  static const std::string kAllow = "allow(";
+  if (body.compare(p, kAllow.size(), kAllow) != 0) {
+    findings->push_back({path, line, "allow-syntax",
+                         "unrecognized leed-lint directive (expected "
+                         "'leed-lint: allow(<rule>): <justification>')"});
+    return;
+  }
+  p += kAllow.size();
+  const size_t close = body.find(')', p);
+  if (close == std::string::npos) {
+    findings->push_back(
+        {path, line, "allow-syntax", "unterminated allow(<rule>)"});
+    return;
+  }
+  const std::string rule = Trim(body.substr(p, close - p));
+  if (!IsKnownRule(rule)) {
+    findings->push_back({path, line, "allow-syntax",
+                         "allow() names unknown rule '" + rule + "'"});
+    return;
+  }
+  size_t q = close + 1;
+  while (q < body.size() && body[q] == ' ') ++q;
+  std::string justification;
+  if (q < body.size() && body[q] == ':') {
+    justification = Trim(body.substr(q + 1));
+  }
+  if (justification.empty()) {
+    findings->push_back(
+        {path, line, "allow-syntax",
+         "allow(" + rule + ") requires a justification: '... allow(" + rule +
+             "): <why this is safe>'"});
+    return;
+  }
+  allows->push_back({line, rule, false});
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+// Calls fn(start_index, identifier) for every maximal identifier token.
+template <typename Fn>
+void ForEachIdentifier(const std::string& code, Fn fn) {
+  size_t i = 0;
+  while (i < code.size()) {
+    if (IsIdentChar(code[i]) &&
+        (std::isdigit(static_cast<unsigned char>(code[i])) == 0)) {
+      size_t b = i;
+      while (i < code.size() && IsIdentChar(code[i])) ++i;
+      fn(b, code.substr(b, i - b));
+    } else {
+      ++i;
+    }
+  }
+}
+
+// True when the identifier at [b, e) is called as a free function or via
+// std:: / the global scope — i.e. not a member (x.time()) and not a
+// static of some other class (CpuModel::clock()).
+bool IsFreeOrStdCall(const std::string& code, size_t b, size_t e) {
+  size_t j = e;
+  while (j < code.size() && code[j] == ' ') ++j;
+  if (j >= code.size() || code[j] != '(') return false;
+  size_t k = b;
+  while (k > 0 && code[k - 1] == ' ') --k;
+  if (k >= 1 && code[k - 1] == '.') return false;
+  if (k >= 2 && code[k - 2] == '-' && code[k - 1] == '>') return false;
+  if (k >= 2 && code[k - 1] == ':' && code[k - 2] == ':') {
+    size_t qe = k - 2;
+    while (qe > 0 && code[qe - 1] == ' ') --qe;
+    size_t qb = qe;
+    while (qb > 0 && IsIdentChar(code[qb - 1])) --qb;
+    const std::string qual = code.substr(qb, qe - qb);
+    return qual == "std" || qual.empty();
+  }
+  // `long time() const` is a declaration, not a call: an identifier directly
+  // preceding the name can only be a return type (or declarator keyword) —
+  // in an expression the only identifier-like tokens that can precede a call
+  // are control keywords.
+  if (k >= 1 && IsIdentChar(code[k - 1])) {
+    static const std::set<std::string> kCallContextKeywords = {
+        "return", "co_return", "co_yield", "co_await", "throw",
+        "case",   "else",      "do",       "and",      "or",
+        "not",    "xor"};
+    size_t pb = k;
+    while (pb > 0 && IsIdentChar(code[pb - 1])) --pb;
+    return kCallContextKeywords.contains(code.substr(pb, k - pb));
+  }
+  return true;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+bool InDeterminismScope(const std::string& path) {
+  return StartsWith(path, "src/sim/") || StartsWith(path, "src/leed/") ||
+         StartsWith(path, "src/engine/") ||
+         StartsWith(path, "src/replication/");
+}
+
+// Identifiers whose mere presence is nondeterministic.
+const std::set<std::string>& DeterminismBannedTypes() {
+  static const std::set<std::string> kSet = {
+      "system_clock",   "steady_clock",          "high_resolution_clock",
+      "random_device",  "default_random_engine", "mt19937",
+      "mt19937_64",
+  };
+  return kSet;
+}
+
+// Free/std functions banned in the determinism scope.
+const std::set<std::string>& DeterminismBannedCalls() {
+  static const std::set<std::string> kSet = {
+      "time",      "clock",        "rand",         "srand",
+      "random",    "gettimeofday", "clock_gettime", "localtime",
+      "gmtime",    "timespec_get", "drand48",       "lrand48",
+  };
+  return kSet;
+}
+
+const std::set<std::string>& BannedFunctions() {
+  static const std::set<std::string> kSet = {"strcpy", "strcat", "sprintf",
+                                             "vsprintf", "gets"};
+  return kSet;
+}
+
+const std::set<std::string>& RawByteFunctions() {
+  static const std::set<std::string> kSet = {"memcpy", "memset", "memmove"};
+  return kSet;
+}
+
+void CheckDeterminism(const std::string& path,
+                      const std::vector<LineInfo>& lines,
+                      std::vector<Finding>* out) {
+  if (!InDeterminismScope(path)) return;
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& code = lines[ln].code;
+    if (code.empty()) continue;
+    ForEachIdentifier(code, [&](size_t b, const std::string& id) {
+      if (DeterminismBannedTypes().contains(id)) {
+        out->push_back({path, static_cast<int>(ln + 1), "determinism",
+                        "nondeterministic source '" + id +
+                            "' in simulation code; derive time from the "
+                            "simulator clock and randomness from leed::Rng"});
+        return;
+      }
+      if (DeterminismBannedCalls().contains(id) &&
+          IsFreeOrStdCall(code, b, b + id.size())) {
+        out->push_back({path, static_cast<int>(ln + 1), "determinism",
+                        "nondeterministic call '" + id +
+                            "()' in simulation code; derive time from the "
+                            "simulator clock and randomness from leed::Rng"});
+      }
+    });
+  }
+}
+
+void CheckUnordered(const std::string& path,
+                    const std::vector<LineInfo>& lines,
+                    std::vector<Finding>* out) {
+  if (!StartsWith(path, "src/")) return;
+  // Pass 1 — declarations: every one is a finding (sorted containers are
+  // the default; hash containers need a justification), and the declared
+  // name is tracked so pass 2 can flag iteration even when the member is
+  // declared below its first use.
+  std::set<std::string> unordered_names;
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& code = lines[ln].code;
+    const bool is_decl = (code.find("unordered_map<") != std::string::npos ||
+                          code.find("unordered_set<") != std::string::npos) &&
+                         Trim(code).rfind("#include", 0) != 0;
+    if (!is_decl) continue;
+    out->push_back(
+        {path, static_cast<int>(ln + 1), "unordered-iter",
+         "std::unordered_* has nondeterministic iteration order, which "
+         "breaks snapshot/replay determinism the moment it is iterated; "
+         "use std::map/std::set (or sort before emitting) or justify "
+         "with leed-lint: allow(unordered-iter)"});
+    std::string last_ident;
+    ForEachIdentifier(code,
+                      [&](size_t, const std::string& id) { last_ident = id; });
+    if (!last_ident.empty() && last_ident != "unordered_map" &&
+        last_ident != "unordered_set") {
+      unordered_names.insert(last_ident);
+    }
+  }
+  if (unordered_names.empty()) return;
+  // Pass 2 — range-for whose range expression mentions a tracked name.
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& code = lines[ln].code;
+    size_t pos = 0;
+    while ((pos = code.find("for", pos)) != std::string::npos) {
+      const size_t b = pos;
+      pos += 3;
+      if (b > 0 && IsIdentChar(code[b - 1])) continue;
+      if (b + 3 < code.size() && IsIdentChar(code[b + 3])) continue;
+      size_t p = b + 3;
+      while (p < code.size() && code[p] == ' ') ++p;
+      if (p >= code.size() || code[p] != '(') continue;
+      // Find the range ':' at parenthesis depth 1 (skipping "::").
+      int depth = 0;
+      size_t colon = std::string::npos, close = std::string::npos;
+      for (size_t j = p; j < code.size(); ++j) {
+        if (code[j] == '(') ++depth;
+        if (code[j] == ')' && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (code[j] == ':' && depth == 1) {
+          if (j + 1 < code.size() && code[j + 1] == ':') {
+            ++j;
+            continue;
+          }
+          if (j > 0 && code[j - 1] == ':') continue;
+          colon = j;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      const size_t range_end = close == std::string::npos ? code.size() : close;
+      const std::string range = code.substr(colon + 1, range_end - colon - 1);
+      ForEachIdentifier(range, [&](size_t, const std::string& id) {
+        if (unordered_names.contains(id)) {
+          out->push_back(
+              {path, static_cast<int>(ln + 1), "unordered-iter",
+               "range-for over unordered container '" + id +
+                   "' iterates in nondeterministic order; if this feeds a "
+                   "snapshot, trace, or wire message it breaks bit-exact "
+                   "replay — sort first or justify with leed-lint: "
+                   "allow(unordered-iter)"});
+        }
+      });
+    }
+  }
+}
+
+void CheckPragmaOnce(const std::string& path,
+                     const std::vector<LineInfo>& lines,
+                     std::vector<Finding>* out) {
+  if (!EndsWith(path, ".h")) return;
+  for (const LineInfo& li : lines) {
+    if (Trim(li.code) == "#pragma once") return;
+  }
+  out->push_back(
+      {path, 1, "pragma-once", "header is missing '#pragma once'"});
+}
+
+void CheckBannedFunctions(const std::string& path,
+                          const std::vector<LineInfo>& lines,
+                          std::vector<Finding>* out) {
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& code = lines[ln].code;
+    if (code.empty()) continue;
+    ForEachIdentifier(code, [&](size_t b, const std::string& id) {
+      if (BannedFunctions().contains(id) &&
+          IsFreeOrStdCall(code, b, b + id.size())) {
+        out->push_back({path, static_cast<int>(ln + 1), "banned-func",
+                        "banned function '" + id +
+                            "()' (unbounded write); use snprintf or "
+                            "std::string formatting"});
+      } else if (RawByteFunctions().contains(id) &&
+                 IsFreeOrStdCall(code, b, b + id.size())) {
+        out->push_back(
+            {path, static_cast<int>(ln + 1), "memcpy",
+             "raw " + id +
+                 "() is UB on a null pointer even when n == 0; use "
+                 "leed::CopyBytes / leed::FillBytes (common/bytes.h) or "
+                 "justify with leed-lint: allow(memcpy)"});
+      }
+    });
+  }
+}
+
+bool ValidMetricLiteral(const std::string& lit, bool whole_argument) {
+  if (lit.empty()) return false;
+  for (char c : lit) {
+    const bool ok = (std::islower(static_cast<unsigned char>(c)) != 0) ||
+                    (std::isdigit(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  if (lit.front() == '.') return false;
+  if (lit.find("..") != std::string::npos) return false;
+  if (whole_argument && lit.back() == '.') return false;
+  return true;
+}
+
+void CheckMetricNames(const std::string& path,
+                      const std::vector<LineInfo>& lines,
+                      std::vector<Finding>* out) {
+  static const std::set<std::string> kGetters = {"GetCounter", "GetGauge",
+                                                 "GetHistogram", "Sub"};
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const LineInfo& li = lines[ln];
+    if (li.code.empty() || li.strings.empty()) continue;
+    ForEachIdentifier(li.code, [&](size_t b, const std::string& id) {
+      if (!kGetters.contains(id)) return;
+      if (id == "Sub") {
+        // Only obs::Scope::Sub — require a member-call spelling so other
+        // APIs named Sub stay out of scope.
+        const bool member = (b >= 1 && li.code[b - 1] == '.') ||
+                            (b >= 2 && li.code[b - 2] == '-' &&
+                             li.code[b - 1] == '>');
+        if (!member) return;
+      }
+      size_t j = b + id.size();
+      while (j < li.code.size() && li.code[j] == ' ') ++j;
+      if (j >= li.code.size() || li.code[j] != '(') return;
+      ++j;
+      while (j < li.code.size() && li.code[j] == ' ') ++j;
+      if (j >= li.code.size() || li.code[j] != '"') return;
+      // Which literal is this? Each literal contributes exactly two '"'
+      // marks to the code line.
+      const size_t quote_count =
+          static_cast<size_t>(std::count(li.code.begin(),
+                                         li.code.begin() + j, '"'));
+      const size_t index = quote_count / 2;
+      if (index >= li.strings.size()) return;
+      const std::string& lit = li.strings[index];
+      size_t after = j + 1;  // position of the closing quote in code
+      while (after < li.code.size() && li.code[after] != '"') ++after;
+      ++after;
+      while (after < li.code.size() && li.code[after] == ' ') ++after;
+      const bool whole = after < li.code.size() && li.code[after] == ')';
+      if (!ValidMetricLiteral(lit, whole)) {
+        out->push_back({path, static_cast<int>(ln + 1), "metric-name",
+                        "metric name \"" + lit +
+                            "\" must be lowercase dot-scoped: [a-z0-9_] "
+                            "segments joined by '.', no spaces"});
+      }
+    });
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"determinism",
+       "no wall-clock or libc randomness in src/{sim,leed,engine,"
+       "replication} — sim time and leed::Rng only"},
+      {"unordered-iter",
+       "std::unordered_* declarations/iteration in src/ need sorted "
+       "containers or a justified allow annotation"},
+      {"pragma-once", "every header carries #pragma once"},
+      {"banned-func", "strcpy/strcat/sprintf/vsprintf/gets are banned"},
+      {"memcpy",
+       "raw memcpy/memset/memmove are banned; use leed::CopyBytes / "
+       "leed::FillBytes"},
+      {"metric-name",
+       "leed::obs metric names are lowercase dot-scoped identifiers"},
+      {"allow-syntax",
+       "leed-lint annotations must name a known rule and justify"},
+      {"unused-allow", "allow annotations that suppress nothing are rot"},
+  };
+  return kRules;
+}
+
+bool IsKnownRule(const std::string& name) {
+  for (const RuleInfo& r : Rules()) {
+    if (name == r.name) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& contents) {
+  const std::vector<LineInfo> lines = Preprocess(contents);
+
+  std::vector<Finding> findings;  // final (incl. allow-syntax)
+  std::vector<Allow> allows;
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    if (!lines[ln].comment.empty()) {
+      ParseAllows(lines[ln].comment, path, static_cast<int>(ln + 1), &allows,
+                  &findings);
+    }
+  }
+
+  std::vector<Finding> raw;
+  CheckDeterminism(path, lines, &raw);
+  CheckUnordered(path, lines, &raw);
+  CheckPragmaOnce(path, lines, &raw);
+  CheckBannedFunctions(path, lines, &raw);
+  CheckMetricNames(path, lines, &raw);
+
+  // An allow covers its own line and the next line that carries code —
+  // comment continuation lines in between do not break the association,
+  // so a justification may wrap.
+  std::vector<int> covered(allows.size(), 0);
+  for (size_t ai = 0; ai < allows.size(); ++ai) {
+    size_t ln = static_cast<size_t>(allows[ai].line);  // 1-based -> next idx
+    while (ln < lines.size() && Trim(lines[ln].code).empty()) ++ln;
+    covered[ai] = static_cast<int>(ln + 1);
+  }
+
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (size_t ai = 0; ai < allows.size(); ++ai) {
+      Allow& a = allows[ai];
+      if (a.rule == f.rule && (a.line == f.line || covered[ai] == f.line)) {
+        a.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) findings.push_back(std::move(f));
+  }
+  for (const Allow& a : allows) {
+    if (!a.used) {
+      findings.push_back({path, a.line, "unused-allow",
+                          "allow(" + a.rule +
+                              ") suppresses nothing on this or the next "
+                              "line; remove it"});
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              const TreeOptions& options,
+                              size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& sub : options.subdirs) {
+    const fs::path dir = fs::path(root) / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      const std::string rel =
+          fs::relative(it->path(), root, ec).generic_string();
+      if (rel.find("lint_corpus") != std::string::npos) continue;
+      paths.push_back(rel);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<Finding> findings;
+  size_t scanned = 0;
+  for (const std::string& rel : paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ++scanned;
+    std::vector<Finding> f = LintFile(rel, buf.str());
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
+  }
+  if (files_scanned != nullptr) *files_scanned = scanned;
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace leed::lint
