@@ -160,6 +160,28 @@ TEST(LintFileTest, RawStringsAreNotCode) {
   EXPECT_TRUE(LintFile("src/sim/x.cc", src).empty());
 }
 
+TEST(LintFileTest, EncodingPrefixedRawStringsAreNotCode) {
+  const std::string src =
+      "const char* a = u8R\"(rand(); std::time(nullptr);)\";\n"
+      "const wchar_t* b = LR\"(srand(1);)\";\n"
+      "const char16_t* c = uR\"(std::random_device d;)\";\n";
+  EXPECT_TRUE(LintFile("src/sim/x.cc", src).empty());
+}
+
+TEST(LintFileTest, IdentifierEndingInRIsNotARawStringPrefix) {
+  // LOG_HDR"x(" must lex as identifier + ordinary string literal: keying
+  // raw-string detection off the preceding 'R' alone enters raw-string
+  // state, swallows the rest of the file hunting for a )x" terminator,
+  // and hides the rand() on the next line.
+  const std::string src =
+      "puts(LOG_HDR\"x(\");\n"
+      "long v = rand();\n";
+  const std::vector<Finding> findings = LintFile("src/sim/x.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].rule, "determinism");
+}
+
 TEST(LintFileTest, DigitSeparatorIsNotACharLiteral) {
   // A naive lexer treats 1'000'000 as opening a char literal and swallows
   // the rest of the line, hiding the rand() call.

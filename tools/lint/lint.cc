@@ -32,6 +32,24 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
+// True iff `code` (the code seen so far on this line) ends in a raw-string
+// prefix — R, u8R, uR, UR, or LR standing alone as a token. An identifier
+// that merely ends in 'R' (LOG_HDR"...") must not count, or the lexer
+// enters raw-string state and desyncs for the rest of the file.
+bool EndsWithRawStringPrefix(const std::string& code) {
+  size_t r = code.size();
+  if (r == 0 || code[r - 1] != 'R') return false;
+  size_t start = r - 1;  // index of the 'R'
+  if (start >= 2 && code[start - 2] == 'u' && code[start - 1] == '8') {
+    start -= 2;
+  } else if (start >= 1 &&
+             (code[start - 1] == 'u' || code[start - 1] == 'U' ||
+              code[start - 1] == 'L')) {
+    start -= 1;
+  }
+  return start == 0 || !IsIdentChar(code[start - 1]);
+}
+
 std::vector<LineInfo> Preprocess(const std::string& text) {
   enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
   std::vector<LineInfo> lines(1);
@@ -72,7 +90,7 @@ std::vector<LineInfo> Preprocess(const std::string& text) {
           st = State::kBlock;
           i += 2;
         } else if (c == '"') {
-          if (!cur.code.empty() && cur.code.back() == 'R') {
+          if (EndsWithRawStringPrefix(cur.code)) {
             // R"delim( ... )delim" — find the opening parenthesis.
             size_t j = i + 1;
             std::string delim;
@@ -554,6 +572,9 @@ const std::vector<RuleInfo>& Rules() {
       {"allow-syntax",
        "leed-lint annotations must name a known rule and justify"},
       {"unused-allow", "allow annotations that suppress nothing are rot"},
+      {"unreadable-file",
+       "a discovered source file that cannot be opened fails the tree walk "
+       "instead of passing as clean"},
   };
   return kRules;
 }
@@ -650,7 +671,13 @@ std::vector<Finding> LintTree(const std::string& root,
   size_t scanned = 0;
   for (const std::string& rel : paths) {
     std::ifstream in(fs::path(root) / rel, std::ios::binary);
-    if (!in) continue;
+    if (!in) {
+      // A file the gate cannot read must fail the run, not pass as clean.
+      findings.push_back({rel, 1, "unreadable-file",
+                          "discovered but could not be opened for reading; "
+                          "the gate cannot vouch for it"});
+      continue;
+    }
     std::ostringstream buf;
     buf << in.rdbuf();
     ++scanned;

@@ -25,6 +25,8 @@
 //                  a non-empty justification.
 //   unused-allow   an annotation that suppresses nothing is rot and is
 //                  itself a finding.
+//   unreadable-file a discovered source file the tree walk cannot open is
+//                  reported as a finding — never silently skipped as clean.
 //
 // Suppression: `// leed-lint: allow(<rule>): <justification>` on the same
 // line as the violation or the line directly above it.
