@@ -323,6 +323,12 @@ void ControlPlane::FailNode(uint32_t node_id) {
   ReassignOrphanedCopies(node_id);
 }
 
+void ControlPlane::ReviveNode(uint32_t node_id, sim::EndpointId ep) {
+  dead_nodes_.erase(node_id);
+  node_endpoints_[node_id] = ep;
+  last_heartbeat_[node_id] = sim_.Now();
+}
+
 void ControlPlane::FinishTransition(uint64_t transition_id) {
   auto it = pending_.find(transition_id);
   if (it == pending_.end()) return;

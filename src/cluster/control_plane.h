@@ -76,6 +76,11 @@ class ControlPlane {
   // Mark a node dead immediately (tests/benches); heartbeat timeout calls
   // this too.
   void FailNode(uint32_t node_id);
+  // A crashed node came back (ClusterSim::RestartNode): clear its dead
+  // mark, point its id at the restarted object's endpoint, and reset the
+  // heartbeat clock so it is not immediately re-declared dead. The node
+  // rejoins the ring through the normal StartJoin path afterwards.
+  void ReviveNode(uint32_t node_id, sim::EndpointId ep);
 
   const ClusterView& view() const { return view_; }
   const ControlPlaneStats& stats() const { return stats_; }

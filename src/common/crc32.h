@@ -1,0 +1,42 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xedb88320).
+//
+// Hoisted out of store/superblock.cc so every on-disk record format —
+// superblock slots, per-bucket headers (store/format.h) — shares one
+// checksum implementation. Table-driven, computed lazily on first use;
+// the check value Crc32("123456789") == 0xCBF43926 is pinned by
+// tests/superblock_test.cc.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace leed {
+
+namespace crc32_internal {
+
+inline uint32_t TableEntry(uint32_t i) {
+  uint32_t c = i;
+  for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+  return c;
+}
+
+}  // namespace crc32_internal
+
+inline uint32_t Crc32(const uint8_t* data, size_t length) {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      table[i] = crc32_internal::TableEntry(i);
+    }
+    return true;
+  }();
+  (void)init;
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < length; ++i) {
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace leed

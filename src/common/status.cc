@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "corruption";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kIoError:
+      return "io_error";
   }
   return "unknown";
 }

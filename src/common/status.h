@@ -26,6 +26,7 @@ enum class StatusCode : uint8_t {
   kUnavailable,     // node failed / chain broken / not in RUNNING state
   kCorruption,      // checksum or structural invariant violation on media
   kInternal,        // invariant violation in our own logic
+  kIoError,         // device-level IO failure (injected or modeled)
 };
 
 // Returns a stable lowercase name, e.g. "not_found".
@@ -66,6 +67,9 @@ class Status {
   static Status Internal(std::string m = "") {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status IoError(std::string m = "") {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +79,7 @@ class Status {
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsWrongView() const { return code_ == StatusCode::kWrongView; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
 
   // "ok" or "not_found: segment 12 missing".
   std::string ToString() const;

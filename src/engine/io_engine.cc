@@ -1,6 +1,9 @@
 #include "engine/io_engine.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "store/superblock.h"
 
 namespace leed::engine {
 
@@ -26,30 +29,47 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
   const uint32_t n_ssd = config_.ssd_count;
   const uint32_t per = config_.stores_per_ssd;
 
-  ssds_.reserve(n_ssd);
+  ssd_ptrs_.reserve(n_ssd);
   per_ssd_.reserve(n_ssd);
-  for (uint32_t i = 0; i < n_ssd; ++i) {
-    ssds_.push_back(std::make_unique<sim::SimSsd>(sim_, config_.ssd, seed + i * 7919));
-    ssds_.back()->AttachMetrics(scope_.Sub("ssd" + std::to_string(i)));
-    per_ssd_.push_back(std::make_unique<PerSsd>(config_));
+  if (!config_.external_ssds.empty()) {
+    // Caller-owned devices (ClusterSim): their contents outlive this
+    // engine, which is what makes crash-restart recovery meaningful.
+    for (uint32_t i = 0; i < n_ssd; ++i) {
+      ssd_ptrs_.push_back(config_.external_ssds[i]);
+      ssd_ptrs_.back()->AttachMetrics(scope_.Sub("ssd" + std::to_string(i)));
+      per_ssd_.push_back(std::make_unique<PerSsd>(config_));
+    }
+  } else {
+    ssds_.reserve(n_ssd);
+    for (uint32_t i = 0; i < n_ssd; ++i) {
+      ssds_.push_back(
+          std::make_unique<sim::SimSsd>(sim_, config_.ssd, seed + i * 7919));
+      ssds_.back()->AttachMetrics(scope_.Sub("ssd" + std::to_string(i)));
+      ssd_ptrs_.push_back(ssds_.back().get());
+      per_ssd_.push_back(std::make_unique<PerSsd>(config_));
+    }
   }
 
-  // Geometry: [partition 0 | partition 1 | ... | swap region] per SSD.
+  // Geometry: [partition 0 | partition 1 | ... | swap region] per SSD;
+  // each partition leads with its store's superblock region, then the
+  // key/value logs.
   const uint64_t cap = config_.ssd.capacity_bytes;
   const uint64_t swap_bytes = static_cast<uint64_t>(cap * config_.swap_fraction);
   uint64_t part = config_.partition_bytes;
   if (part == 0) part = (cap - swap_bytes) / per;
   part = std::min<uint64_t>(part, (cap - swap_bytes) / per);
-  const uint64_t key_bytes = static_cast<uint64_t>(part * config_.key_log_fraction);
-  const uint64_t val_bytes = part - key_bytes;
+  const uint64_t log_bytes = part - store::kSuperblockRegionBytes;
+  const uint64_t key_bytes =
+      static_cast<uint64_t>(log_bytes * config_.key_log_fraction);
+  const uint64_t val_bytes = log_bytes - key_bytes;
 
   for (uint32_t i = 0; i < n_ssd; ++i) {
     uint64_t swap_base = cap - swap_bytes;
     uint64_t swap_key = static_cast<uint64_t>(swap_bytes * config_.key_log_fraction);
     swap_key_logs_.push_back(
-        std::make_unique<log::CircularLog>(*ssds_[i], swap_base, swap_key));
+        std::make_unique<log::CircularLog>(*ssd_ptrs_[i], swap_base, swap_key));
     swap_value_logs_.push_back(std::make_unique<log::CircularLog>(
-        *ssds_[i], swap_base + swap_key, swap_bytes - swap_key));
+        *ssd_ptrs_[i], swap_base + swap_key, swap_bytes - swap_key));
   }
 
   std::shared_ptr<store::CompactionGate> gate;
@@ -60,9 +80,12 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
   for (uint32_t i = 0; i < n_ssd; ++i) {
     for (uint32_t s = 0; s < per; ++s) {
       uint64_t base = static_cast<uint64_t>(s) * part;
-      auto key_log = std::make_unique<log::CircularLog>(*ssds_[i], base, key_bytes);
-      auto value_log =
-          std::make_unique<log::CircularLog>(*ssds_[i], base + key_bytes, val_bytes);
+      sb_offsets_.push_back(base);
+      uint64_t log_base = base + store::kSuperblockRegionBytes;
+      auto key_log =
+          std::make_unique<log::CircularLog>(*ssd_ptrs_[i], log_base, key_bytes);
+      auto value_log = std::make_unique<log::CircularLog>(
+          *ssd_ptrs_[i], log_base + key_bytes, val_bytes);
 
       store::StoreConfig sc = config_.store_template;
       sc.compaction_gate = gate;
@@ -91,9 +114,146 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
         sim_, config_.swap_check_period, [this] { SwapCheck(); });
     swap_timer_->Start();
   }
+  if (config_.checkpoint_period > 0) {
+    checkpoint_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, config_.checkpoint_period, [this] { WriteCheckpoints(); });
+    checkpoint_timer_->Start();
+  }
 }
 
 IoEngine::~IoEngine() = default;
+
+void IoEngine::Quiesce() {
+  if (swap_timer_) swap_timer_->Stop();
+  if (checkpoint_timer_) checkpoint_timer_->Stop();
+}
+
+void IoEngine::WriteCheckpoints() {
+  // One shared sequence for the whole round: recovery picks the newest
+  // checkpoint anywhere to restore the shared swap logs, so per-store
+  // sequences must be comparable.
+  ++checkpoint_seq_;
+  for (uint32_t s = 0; s < stores_.size(); ++s) {
+    store::WriteSuperblock(*ssd_ptrs_[ssd_of_store(s)], sb_offsets_[s],
+                           store::Checkpoint(*stores_[s]), checkpoint_seq_,
+                           [](Status) {
+                             // A failed or torn superblock write is
+                             // tolerated by design: readers fall back to
+                             // the other A/B slot.
+                           });
+  }
+}
+
+struct IoEngine::RecoverRun {
+  std::vector<store::RecoveryCheckpoint> cps;  // per store
+  std::vector<uint64_t> seqs;
+  std::vector<bool> valid;
+  uint32_t next = 0;
+  store::RecoveryStats total;
+  std::function<void(Status, store::RecoveryStats)> done;
+};
+
+void IoEngine::RecoverFromDevices(
+    std::function<void(Status, store::RecoveryStats)> done) {
+  auto run = std::make_shared<RecoverRun>();
+  const size_t n = stores_.size();
+  run->cps.resize(n);
+  run->seqs.assign(n, 0);
+  run->valid.assign(n, false);
+  run->done = std::move(done);
+  ReadNextSuperblock(std::move(run));
+}
+
+void IoEngine::ReadNextSuperblock(std::shared_ptr<RecoverRun> run) {
+  if (run->next == stores_.size()) {
+    run->next = 0;
+    RestoreLogs(std::move(run));
+    return;
+  }
+  const uint32_t s = run->next++;
+  store::ReadSuperblock(
+      *ssd_ptrs_[ssd_of_store(s)], sb_offsets_[s],
+      [this, s, run](Status st, store::RecoveryCheckpoint cp,
+                     uint64_t seq) mutable {
+        if (st.ok()) {
+          run->cps[s] = std::move(cp);
+          run->seqs[s] = seq;
+          run->valid[s] = true;
+        }
+        // No valid slot = crash before the first checkpoint completed:
+        // this store scans forward from zeroed log pointers instead.
+        ReadNextSuperblock(std::move(run));
+      });
+}
+
+void IoEngine::RestoreLogs(std::shared_ptr<RecoverRun> run) {
+  // Home logs: each store's own checkpoint names them (entry 0).
+  for (uint32_t s = 0; s < stores_.size(); ++s) {
+    if (!run->valid[s] || run->cps[s].logs.empty()) continue;
+    const auto& lp = run->cps[s].logs[0];
+    (void)home_logs_[2 * s]->Restore(lp.key_head, lp.key_tail);
+    (void)home_logs_[2 * s + 1]->Restore(lp.value_head, lp.value_tail);
+  }
+  // Shared swap logs: restored once each, from the newest checkpoint that
+  // names them — the store that checkpointed last saw the furthest tails.
+  for (uint32_t j = 0; j < swap_key_logs_.size(); ++j) {
+    const store::RecoveryCheckpoint::LogPointers* best = nullptr;
+    uint64_t best_seq = 0;
+    for (uint32_t s = 0; s < stores_.size(); ++s) {
+      if (!run->valid[s]) continue;
+      for (size_t e = 1; e < run->cps[s].logs.size(); ++e) {
+        const auto& lp = run->cps[s].logs[e];
+        if (lp.ssd != j) continue;
+        if (best == nullptr || run->seqs[s] > best_seq) {
+          best = &lp;
+          best_seq = run->seqs[s];
+        }
+      }
+    }
+    if (best != nullptr) {
+      (void)swap_key_logs_[j]->Restore(best->key_head, best->key_tail);
+      (void)swap_value_logs_[j]->Restore(best->value_head, best->value_tail);
+    }
+  }
+  // Resume the checkpoint sequence past the newest persisted round so A/B
+  // slot parity and max-sequence arbitration stay monotonic.
+  for (uint32_t s = 0; s < stores_.size(); ++s) {
+    if (run->valid[s]) checkpoint_seq_ = std::max(checkpoint_seq_, run->seqs[s]);
+  }
+  RecoverNextStore(std::move(run));
+}
+
+void IoEngine::RecoverNextStore(std::shared_ptr<RecoverRun> run) {
+  if (run->next == stores_.size()) {
+    auto done = std::move(run->done);
+    done(Status::Ok(), run->total);
+    return;
+  }
+  const uint32_t s = run->next++;
+  // Re-capture the scan checkpoint from the restored logs rather than the
+  // store's own superblock: shared swap logs may have been restored from a
+  // newer sibling checkpoint, and earlier stores' extended scans may have
+  // already pushed their tails further.
+  store::RecoverOptions opts;
+  opts.scan_beyond_tail = true;
+  store::RecoverSegTbl(
+      *stores_[s], store::Checkpoint(*stores_[s]), opts,
+      [this, run](Status st, store::RecoveryStats stats) mutable {
+        run->total.buckets_scanned += stats.buckets_scanned;
+        run->total.segments_recovered += stats.segments_recovered;
+        run->total.stale_copies_skipped += stats.stale_copies_skipped;
+        run->total.torn_buckets_ignored += stats.torn_buckets_ignored;
+        run->total.crc_rejected += stats.crc_rejected;
+        run->total.extended_buckets += stats.extended_buckets;
+        run->total.foreign_buckets_skipped += stats.foreign_buckets_skipped;
+        if (!st.ok()) {
+          auto done = std::move(run->done);
+          done(std::move(st), run->total);
+          return;
+        }
+        RecoverNextStore(std::move(run));
+      });
+}
 
 EngineStats IoEngine::stats() const {
   EngineStats s;

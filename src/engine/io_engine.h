@@ -34,6 +34,7 @@
 #include "sim/simulator.h"
 #include "sim/ssd_model.h"
 #include "store/data_store.h"
+#include "store/recovery.h"
 
 namespace leed::engine {
 
@@ -67,6 +68,17 @@ struct EngineConfig {
   // Cap on co-scheduled compaction runs across this JBOF's stores
   // (Fig. 13b's inter-parallelism knob). 0 = unlimited.
   uint32_t max_concurrent_compactions = 0;
+
+  // Devices supplied by the caller instead of engine-owned ones; must be
+  // empty or exactly ssd_count entries. ClusterSim uses this so simulated
+  // SSD contents outlive the engine across a node crash-restart.
+  std::vector<sim::SimSsd*> external_ssds;
+
+  // Durability checkpoint period: every period the engine snapshots each
+  // store's log pointers and rewrites that store's superblock (A/B slots
+  // at the base of its partition). 0 disables checkpointing; recovery then
+  // scans from zeroed pointers.
+  SimTime checkpoint_period = 100 * kMillisecond;
 
   // Observability: the engine registers its instruments as
   // "<metrics_prefix>.*", its SSDs as "<metrics_prefix>.ssd<i>.*", and its
@@ -114,8 +126,23 @@ class IoEngine : public StorageService {
     return store_id / config_.stores_per_ssd;
   }
   store::DataStore& data_store(uint32_t store_id) { return *stores_[store_id]; }
-  sim::SimSsd& ssd(uint32_t i) { return *ssds_[i]; }
+  sim::SimSsd& ssd(uint32_t i) { return *ssd_ptrs_[i]; }
   uint32_t ssd_count() const { return config_.ssd_count; }
+
+  // Stop all periodic activity (swap watchdog, checkpoint timer). Called
+  // when the owning node crashes: a dead node must not keep scheduling
+  // simulator events.
+  void Quiesce();
+
+  // Rebuild every store from device contents: read each store's
+  // superblock, restore log pointers (shared swap logs from the newest
+  // checkpoint that names them), then scan each key log — beyond the
+  // checkpointed tail — to re-adopt acknowledged appends. Call once, on a
+  // freshly-constructed engine whose external_ssds hold pre-crash
+  // contents. Asynchronous; `done` gets the summed per-store stats.
+  void RecoverFromDevices(std::function<void(Status, store::RecoveryStats)> done);
+
+  uint64_t checkpoint_seq() const { return checkpoint_seq_; }
 
   // Flow-control signals.
   uint32_t AvailableTokens(uint32_t ssd) const override {
@@ -154,11 +181,17 @@ class IoEngine : public StorageService {
     size_t active = 0;
   };
 
+  struct RecoverRun;
+
   void Execute(uint32_t ssd, Request req);
   void OnComplete(uint32_t ssd, uint32_t cost, SimTime started, Request& req,
                   Status status, std::vector<uint8_t> value);
   void PumpWaiting(uint32_t ssd);
   void SwapCheck();
+  void WriteCheckpoints();
+  void ReadNextSuperblock(std::shared_ptr<RecoverRun> run);
+  void RestoreLogs(std::shared_ptr<RecoverRun> run);
+  void RecoverNextStore(std::shared_ptr<RecoverRun> run);
 
   sim::Simulator& sim_;
   sim::CpuModel& cpu_;
@@ -181,7 +214,10 @@ class IoEngine : public StorageService {
   uint64_t next_op_seq_ = 1;  // trace correlation ids
   bool admission_control_ = true;
 
-  std::vector<std::unique_ptr<sim::SimSsd>> ssds_;
+  std::vector<std::unique_ptr<sim::SimSsd>> ssds_;  // owned (external_ssds empty)
+  std::vector<sim::SimSsd*> ssd_ptrs_;              // owned or external, always set
+  std::vector<uint64_t> sb_offsets_;                // per store, on its home SSD
+  uint64_t checkpoint_seq_ = 0;
   // Per-SSD swap region logs (index = donor SSD).
   std::vector<std::unique_ptr<log::CircularLog>> swap_key_logs_;
   std::vector<std::unique_ptr<log::CircularLog>> swap_value_logs_;
@@ -190,6 +226,7 @@ class IoEngine : public StorageService {
   std::vector<std::unique_ptr<store::DataStore>> stores_;
   std::vector<std::unique_ptr<PerSsd>> per_ssd_;
   std::unique_ptr<sim::PeriodicTimer> swap_timer_;
+  std::unique_ptr<sim::PeriodicTimer> checkpoint_timer_;
 };
 
 }  // namespace leed::engine

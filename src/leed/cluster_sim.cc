@@ -14,11 +14,17 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
   // registry the nodes will register under.
   net_->AttachMetrics(obs::Scope(config_.node.metrics_registry, "net"));
   obs::Scope(config_.node.metrics_registry, "cluster").ResetInstruments();
+  faults_ = std::make_unique<sim::FaultInjector>(
+      *sim_, config_.seed, config_.node.metrics_registry, config_.node.trace);
+  net_->set_faults(&faults_->net());
+  if (config_.node.trace) net_->set_trace(config_.node.trace);
   cp_ = std::make_unique<cluster::ControlPlane>(*sim_, *net_, config_.control_plane);
 
   for (uint32_t i = 0; i < config_.num_nodes; ++i) {
-    auto n = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(), config_.node, i,
-                                    config_.seed + 1000 + i);
+    NodeConfig nc = config_.node;
+    nc.engine.external_ssds = NodeDevices(i);
+    auto n = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(), std::move(nc),
+                                    i, config_.seed + 1000 + i);
     node_endpoints_[i] = n->endpoint();
     cp_->RegisterNode(i, n->endpoint());
     n->set_node_endpoints(&node_endpoints_);
@@ -318,7 +324,9 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
 
 uint32_t ClusterSim::JoinNode() {
   const uint32_t node_id = static_cast<uint32_t>(nodes_.size());
-  auto n = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(), config_.node,
+  NodeConfig nc = config_.node;
+  nc.engine.external_ssds = NodeDevices(node_id);
+  auto n = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(), std::move(nc),
                                   node_id, config_.seed + 1000 + node_id);
   node_endpoints_[node_id] = n->endpoint();
   cp_->RegisterNode(node_id, n->endpoint());
@@ -341,6 +349,89 @@ void ClusterSim::LeaveNode(uint32_t node_id) {
 }
 
 void ClusterSim::KillNode(uint32_t node_id) { nodes_[node_id]->Fail(); }
+
+std::vector<sim::SimSsd*> ClusterSim::NodeDevices(uint32_t node_id) {
+  std::vector<sim::SimSsd*> out;
+  if (config_.node.stack != StackKind::kLeed) return out;
+  if (node_ssds_.size() <= node_id) node_ssds_.resize(node_id + 1);
+  auto& owned = node_ssds_[node_id];
+  if (owned.empty()) {
+    // Seeds match what IoEngine used when it owned its devices, so
+    // fault-free runs replay identically across this refactor.
+    const uint64_t engine_seed = (config_.seed + 1000 + node_id) ^ 0xeed;
+    for (uint32_t i = 0; i < config_.node.engine.ssd_count; ++i) {
+      auto ssd = std::make_unique<sim::SimSsd>(*sim_, config_.node.engine.ssd,
+                                               engine_seed + i * 7919);
+      ssd->set_faults(faults_->AddDevice(sim::DeviceFaultSpec{},
+                                         engine_seed ^ (0xd00d + i * 131),
+                                         node_id, i));
+      owned.push_back(std::move(ssd));
+    }
+  }
+  out.reserve(owned.size());
+  for (auto& s : owned) out.push_back(s.get());
+  return out;
+}
+
+void ClusterSim::CrashNode(uint32_t node_id) {
+  faults_->CrashNode(node_id);
+  nodes_[node_id]->Crash();
+}
+
+void ClusterSim::RestartNode(uint32_t node_id) {
+  if (config_.node.stack != StackKind::kLeed) return;
+  if (!nodes_[node_id]->crashed()) return;
+  faults_->ReviveNode(node_id);
+
+  NodeConfig nc = config_.node;
+  nc.engine.external_ssds = NodeDevices(node_id);
+  auto fresh = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(),
+                                      std::move(nc), node_id,
+                                      config_.seed + 1000 + node_id);
+  node_endpoints_[node_id] = fresh->endpoint();
+  fresh->set_node_endpoints(&node_endpoints_);
+  cp_->RegisterNode(node_id, fresh->endpoint());
+  graveyard_.push_back(std::move(nodes_[node_id]));
+  nodes_[node_id] = std::move(fresh);
+
+  Node* n = nodes_[node_id].get();
+  n->Recover([this, node_id, n](Status, store::RecoveryStats) {
+    // Recovered (possibly partially — stats say how much): come back up,
+    // tell the control plane, and rejoin the ring through the normal join
+    // path so chain repair re-replicates anything this node missed.
+    n->Start();
+    cp_->ReviveNode(node_id, n->endpoint());
+    const uint32_t stores = n->storage().num_stores();
+    for (uint32_t s = 0; s < stores; ++s) cp_->StartJoin(node_id, s);
+  });
+}
+
+void ClusterSim::ArmFaultPlan(const sim::FaultPlan& plan) {
+  const SimTime now = sim_->Now();
+  for (const auto& d : plan.devices) {
+    faults_->SetDeviceSpec(d.spec, d.node, d.ssd);
+  }
+  if (plan.has_net) faults_->net().set_spec(plan.net);
+  for (const auto& p : plan.partitions) {
+    auto a = node_endpoints_.find(p.node_a);
+    auto b = node_endpoints_.find(p.node_b);
+    if (a == node_endpoints_.end() || b == node_endpoints_.end()) continue;
+    sim::PartitionRule rule;
+    rule.a = a->second;
+    rule.b = b->second;
+    rule.bidirectional = p.bidirectional;
+    rule.start = now + p.start;
+    rule.heal = p.heal > 0 ? now + p.heal : 0;
+    faults_->net().AddPartition(rule);
+  }
+  for (const auto& c : plan.crashes) {
+    if (c.node >= nodes_.size()) continue;
+    sim_->At(now + c.at, [this, node = c.node] { CrashNode(node); });
+    if (c.restart > 0) {
+      sim_->At(now + c.restart, [this, node = c.node] { RestartNode(node); });
+    }
+  }
+}
 
 void ClusterSim::PumpUntilIdleOr(SimTime deadline) { sim_->RunUntil(deadline); }
 

@@ -16,6 +16,7 @@
 #include "common/histogram.h"
 #include "leed/client.h"
 #include "leed/node.h"
+#include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "workload/ycsb.h"
@@ -82,6 +83,19 @@ class ClusterSim {
   // Fail-stop the node (heartbeats stop; control plane detects).
   void KillNode(uint32_t node_id);
 
+  // --- fault injection (sim/fault.h, docs/FAULTS.md) ---
+  // Power-loss crash: DRAM state gone, every device IO black-holed from
+  // here on, outbound messages suppressed. The devices themselves (owned
+  // by this ClusterSim for the LEED stack) keep their contents.
+  void CrashNode(uint32_t node_id);
+  // Bring a crashed node back: a fresh Node object over the surviving
+  // devices runs superblock + log-scan recovery, starts heartbeating, and
+  // rejoins the ring (one StartJoin per store). LEED stack only.
+  void RestartNode(uint32_t node_id);
+  // Arm a parsed fault plan; clause times are relative to Now().
+  void ArmFaultPlan(const sim::FaultPlan& plan);
+  sim::FaultInjector& faults() { return *faults_; }
+
   sim::Simulator& simulator() { return *sim_; }
   sim::Network& network() { return *net_; }
   cluster::ControlPlane& control_plane() { return *cp_; }
@@ -98,14 +112,24 @@ class ClusterSim {
  private:
   std::vector<std::vector<SimTime>> SnapshotBusy() const;
   void PumpUntilIdleOr(SimTime deadline);
+  // Create (or return the surviving) devices for `node_id`'s LEED engine;
+  // empty for baseline stacks. Owned here so they outlive node objects.
+  std::vector<sim::SimSsd*> NodeDevices(uint32_t node_id);
 
   ClusterConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<sim::FaultInjector> faults_;
   std::unique_ptr<cluster::ControlPlane> cp_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::map<uint32_t, sim::EndpointId> node_endpoints_;
+  // Per-node simulated SSDs for the kLeed stack ([node][ssd]); crash-
+  // restart hands the same devices to the replacement node.
+  std::vector<std::vector<std::unique_ptr<sim::SimSsd>>> node_ssds_;
+  // Crashed Node objects are kept (inert) rather than destroyed: in-flight
+  // simulator callbacks may still reference them.
+  std::vector<std::unique_ptr<Node>> graveyard_;
 };
 
 }  // namespace leed

@@ -32,6 +32,8 @@ Node::Node(sim::Simulator& simulator, sim::Network& network,
   m_.craq_queries_sent = scope_.GetCounter("craq_queries_sent");
   m_.craq_queries_answered = scope_.GetCounter("craq_queries_answered");
   m_.internal_retries = scope_.GetCounter("internal_retries");
+  m_.obligation_retries = scope_.GetCounter("repl.obligation_retries");
+  m_.obligation_giveups = scope_.GetCounter("repl.obligation_giveups");
   m_.view_updates = scope_.GetCounter("view_updates");
   m_.pending_reforwards = scope_.GetCounter("pending_reforwards");
   m_.power_w = scope_.GetGauge("power_w");
@@ -78,6 +80,8 @@ NodeStats Node::stats() const {
   s.craq_queries_sent = m_.craq_queries_sent->value();
   s.craq_queries_answered = m_.craq_queries_answered->value();
   s.internal_retries = m_.internal_retries->value();
+  s.obligation_retries = m_.obligation_retries->value();
+  s.obligation_giveups = m_.obligation_giveups->value();
   s.view_updates = m_.view_updates->value();
   s.pending_reforwards = m_.pending_reforwards->value();
   return s;
@@ -105,6 +109,23 @@ void Node::Fail() {
   if (hb_timer_) hb_timer_->Stop();
 }
 
+void Node::Crash() {
+  Fail();
+  crashed_ = true;
+  // A crashed node must not keep scheduling periodic work; in-flight
+  // callbacks may still run but their sends are suppressed and their
+  // device IOs black-holed by the fault layer.
+  if (leed_engine_) leed_engine_->Quiesce();
+}
+
+void Node::Recover(std::function<void(Status, store::RecoveryStats)> done) {
+  if (!leed_engine_) {
+    done(Status::InvalidArgument("recovery requires the LEED stack"), {});
+    return;
+  }
+  leed_engine_->RecoverFromDevices(std::move(done));
+}
+
 double Node::PowerWatts(SimTime window_ns) const {
   double watts = sim::NodePowerWatts(config_.platform.power,
                                      cpu_->MeanUtilization(window_ns));
@@ -127,7 +148,7 @@ sim::CpuCore& Node::NetCore() {
 
 template <typename M>
 void Node::SendMsg(sim::EndpointId to, M msg) {
-  if (to == sim::kInvalidEndpoint) return;
+  if (crashed_ || to == sim::kInvalidEndpoint) return;
   NetCore().Charge(config_.net_tx_cycles);
   uint64_t bytes = WireSize(msg);
   net_.Send(endpoint_, to, bytes, std::move(msg));
@@ -136,7 +157,7 @@ void Node::SendMsg(sim::EndpointId to, M msg) {
 // Explicit specialization-free helper for control messages without WireSize.
 template <>
 void Node::SendMsg(sim::EndpointId to, cluster::CopyDoneMsg msg) {
-  if (to == sim::kInvalidEndpoint) return;
+  if (crashed_ || to == sim::kInvalidEndpoint) return;
   NetCore().Charge(config_.net_tx_cycles);
   net_.Send(endpoint_, to, cluster::kControlHeaderBytes, std::move(msg));
 }
@@ -458,7 +479,7 @@ void Node::HandleChainAck(ChainAckMsg ack) {
 
 void Node::ApplyLocal(VNodeId vnode, bool is_del, std::string key,
                       std::vector<uint8_t> value,
-                      std::function<void(Status)> done) {
+                      std::function<void(Status)> done, uint32_t attempt) {
   const cluster::VNodeInfo* info = view_.Find(vnode);
   if (!info || info->owner_node != node_id_) {
     done(Status::Unavailable("vnode moved away"));
@@ -469,16 +490,27 @@ void Node::ApplyLocal(VNodeId vnode, bool is_del, std::string key,
   req.key = key;
   req.value = value;
   req.store_id = info->local_store;
-  req.callback = [this, vnode, is_del, key, value, done](
+  req.callback = [this, vnode, is_del, key, value, done, attempt](
                      Status st, std::vector<uint8_t>, engine::ResponseMeta) mutable {
     if (st.IsOverloaded()) {
-      // Chain obligations cannot be dropped: retry after a short delay.
+      // Chain obligations cannot be silently dropped: retry with capped
+      // exponential backoff. If the store never drains, give up and fail
+      // the write — the chain propagates the failed ack and the client
+      // retries end-to-end, instead of this node spinning forever.
+      if (attempt + 1 >= config_.max_internal_retries) {
+        m_.obligation_giveups->Inc();
+        done(Status::Unavailable("local apply still overloaded after retries"));
+        return;
+      }
       m_.internal_retries->Inc();
-      sim_.Schedule(config_.internal_retry_delay,
-                    [this, vnode, is_del, k = std::move(key), v = std::move(value),
-                     d = std::move(done)]() mutable {
+      m_.obligation_retries->Inc();
+      const SimTime delay = config_.internal_retry_delay
+                            << std::min<uint32_t>(attempt, 6);
+      sim_.Schedule(delay,
+                    [this, vnode, is_del, attempt, k = std::move(key),
+                     v = std::move(value), d = std::move(done)]() mutable {
                       ApplyLocal(vnode, is_del, std::move(k), std::move(v),
-                                 std::move(d));
+                                 std::move(d), attempt + 1);
                     });
       return;
     }

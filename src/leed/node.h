@@ -55,6 +55,11 @@ struct NodeConfig {
   uint64_t net_tx_cycles = 700;
   SimTime heartbeat_period = 20 * kMillisecond;
   SimTime internal_retry_delay = 200 * kMicrosecond;
+  // Cap on overload retries of a local chain apply. Each retry backs off
+  // exponentially (delay << attempt, capped); when the budget is spent the
+  // write fails with kUnavailable and the chain propagates the failed ack
+  // instead of spinning forever against a store that never drains.
+  uint32_t max_internal_retries = 16;
 
   // Observability: the node registers its instruments as "node<id>.*" in
   // `metrics_registry` (default: the process-wide registry) and rewrites
@@ -79,6 +84,8 @@ struct NodeStats {
   uint64_t craq_queries_sent = 0;   // dirty reads resolved via version query
   uint64_t craq_queries_answered = 0;
   uint64_t internal_retries = 0;    // local applies deferred by overload
+  uint64_t obligation_retries = 0;  // chain-apply retries (bounded)
+  uint64_t obligation_giveups = 0;  // chain applies failed after max retries
   uint64_t view_updates = 0;
   uint64_t pending_reforwards = 0;
 };
@@ -101,6 +108,18 @@ class Node {
   // control plane declares the node dead after its timeout.
   void Fail();
   bool failed() const { return failed_; }
+
+  // Crash: fail-stop plus loss of all DRAM state. Outbound sends are
+  // suppressed and the engine's periodic timers stop; the devices (owned
+  // by ClusterSim via EngineConfig::external_ssds) keep their contents.
+  // The object lingers as an inert zombie until ClusterSim::RestartNode
+  // replaces it.
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  // Rebuild the storage stack's state from device contents (superblocks +
+  // log scans); see IoEngine::RecoverFromDevices. LEED stack only.
+  void Recover(std::function<void(Status, store::RecoveryStats)> done);
 
   engine::StorageService& storage() { return *storage_; }
   engine::IoEngine* leed_engine() { return leed_engine_.get(); }
@@ -134,10 +153,12 @@ class Node {
   void HandleCopyCommand(cluster::CopyCommandMsg cmd);
   void HandleCopyItem(cluster::CopyItemMsg item);
 
-  // Apply a committed write to the local store, retrying on overload (a
-  // chain obligation cannot be dropped).
+  // Apply a committed write to the local store, retrying on overload with
+  // capped exponential backoff (a chain obligation cannot be silently
+  // dropped); after max_internal_retries the apply fails kUnavailable.
   void ApplyLocal(cluster::VNodeId vnode, bool is_del, std::string key,
-                  std::vector<uint8_t> value, std::function<void(Status)> done);
+                  std::vector<uint8_t> value, std::function<void(Status)> done,
+                  uint32_t attempt = 0);
 
   // tokens_override: pass the engine's tenant-weighted allocation through
   // instead of recomputing the unweighted pool (UINT32_MAX = recompute).
@@ -171,6 +192,7 @@ class Node {
   uint32_t node_id_;
   sim::EndpointId endpoint_;
   bool failed_ = false;
+  bool crashed_ = false;
 
   std::unique_ptr<sim::CpuModel> cpu_;
   std::unique_ptr<engine::IoEngine> leed_engine_;
@@ -215,6 +237,8 @@ class Node {
     obs::Counter* craq_queries_sent;
     obs::Counter* craq_queries_answered;
     obs::Counter* internal_retries;
+    obs::Counter* obligation_retries;
+    obs::Counter* obligation_giveups;
     obs::Counter* view_updates;
     obs::Counter* pending_reforwards;
     obs::Gauge* power_w;

@@ -81,6 +81,22 @@ void CircularLog::Read(uint64_t offset, uint64_t length, ReadCallback callback) 
     callback(ReadResult{Status::InvalidArgument("read outside valid log range"), {}, 0});
     return;
   }
+  DoRead(offset, length, std::move(callback));
+}
+
+void CircularLog::ReadRaw(uint64_t offset, uint64_t length, ReadCallback callback) {
+  if (length == 0) {
+    callback(ReadResult{Status::InvalidArgument("zero-length read"), {}, 0});
+    return;
+  }
+  if (offset < head_ || offset + length > head_ + size_) {
+    callback(ReadResult{Status::InvalidArgument("raw read outside physical window"), {}, 0});
+    return;
+  }
+  DoRead(offset, length, std::move(callback));
+}
+
+void CircularLog::DoRead(uint64_t offset, uint64_t length, ReadCallback callback) {
   ++reads_;
   const uint64_t phys = Physical(offset);
   const uint64_t to_end = base_ + size_ - phys;

@@ -60,6 +60,23 @@ class CircularLog {
   // [head, tail).
   void Read(uint64_t offset, uint64_t length, ReadCallback callback);
 
+  // Recovery-only read past the tail: the range must lie inside
+  // [head, head + size), i.e. within the physical window, but may extend
+  // beyond the checkpointed tail. Lets the crash-recovery scan look for
+  // buckets appended after the last checkpoint; data found there is
+  // validated by checksum, not by the log's pointers.
+  void ReadRaw(uint64_t offset, uint64_t length, ReadCallback callback);
+
+  // Adopt appends discovered beyond the checkpointed tail (recovery-only).
+  // new_tail must not shrink the log or exceed the physical window.
+  Status ExtendTail(uint64_t new_tail) {
+    if (new_tail < tail_ || new_tail - head_ > size_) {
+      return Status::InvalidArgument("tail extension out of range");
+    }
+    tail_ = new_tail;
+    return Status::Ok();
+  }
+
   // Reclaim everything before new_head (exclusive). new_head must lie in
   // [head, tail]. Compactions re-append live data first, then advance.
   Status AdvanceHead(uint64_t new_head);
@@ -105,6 +122,10 @@ class CircularLog {
 
  private:
   uint64_t Physical(uint64_t logical) const { return base_ + logical % size_; }
+
+  // Issue the device IO(s) for a validated logical range (shared by Read
+  // and ReadRaw).
+  void DoRead(uint64_t offset, uint64_t length, ReadCallback callback);
 
   BlockDevice& device_;
   uint64_t base_;

@@ -16,6 +16,10 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kSwapActivate: return "swap_activate";
     case TraceKind::kSwapReclaim: return "swap_reclaim";
     case TraceKind::kCopyItem: return "copy_item";
+    case TraceKind::kNetDrop: return "net_drop";
+    case TraceKind::kDevFault: return "dev_fault";
+    case TraceKind::kNodeCrash: return "node_crash";
+    case TraceKind::kNodeRestart: return "node_restart";
   }
   return "?";
 }

@@ -34,6 +34,10 @@ enum class TraceKind : uint8_t {
   kSwapActivate,  // unit=ssd,   arg=donor ssd
   kSwapReclaim,   // unit=ssd
   kCopyItem,      // unit=vnode, id=copy id
+  kNetDrop,       // unit=src ep, id=dst ep,  arg=0 structural/1 injected/2 partition
+  kDevFault,      // unit=ssd,   id=io seq,   arg=fault kind (sim::IoFault)
+  kNodeCrash,     // id=node id
+  kNodeRestart,   // id=node id
 };
 
 const char* TraceKindName(TraceKind kind);

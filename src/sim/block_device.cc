@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include "common/bytes.h"
+#include "sim/fault.h"
 
 namespace leed::sim {
 
@@ -54,8 +55,36 @@ std::vector<uint8_t> PageStore::Read(uint64_t offset, uint64_t length) const {
 Status MemBlockDevice::Submit(IoRequest request, IoCallback callback) {
   uint64_t length = request.length ? request.length : request.data.size();
   LEED_RETURN_IF_ERROR(store_.CheckRange(request.offset, length));
-  ++inflight_;
   SimTime submitted = sim_.Now();
+  if (faults_ != nullptr) {
+    const bool is_write = request.type == IoType::kWrite;
+    double latency_factor = 1.0;  // no service model here; spikes ignored
+    uint64_t keep = 0;
+    switch (faults_->OnIo(is_write, length, &latency_factor, &keep)) {
+      case IoFault::kNone:
+        break;
+      case IoFault::kCrash:
+        // Power loss: a write persists its torn prefix, then the device
+        // goes silent — the callback never fires.
+        if (is_write && keep > 0) store_.Write(request.offset, request.data, keep);
+        return Status::Ok();
+      case IoFault::kTorn:
+        store_.Write(request.offset, request.data, keep);
+        [[fallthrough]];
+      case IoFault::kError:
+        ++inflight_;
+        sim_.Schedule(0, [this, submitted, cb = std::move(callback)]() mutable {
+          --inflight_;
+          IoResult r;
+          r.status = Status::IoError("injected device fault");
+          r.submitted_at = submitted;
+          r.completed_at = sim_.Now();
+          cb(std::move(r));
+        });
+        return Status::Ok();
+    }
+  }
+  ++inflight_;
   if (request.type == IoType::kWrite) {
     store_.Write(request.offset, request.data, length);
     sim_.Schedule(0, [this, submitted, cb = std::move(callback)]() mutable {

@@ -25,6 +25,8 @@
 
 namespace leed::sim {
 
+class DeviceFaults;  // sim/fault.h
+
 enum class IoType : uint8_t { kRead, kWrite };
 
 // Hint used by the SSD service model: sequential writes stream through the
@@ -67,6 +69,14 @@ class BlockDevice {
 
   // Number of IOs submitted but not yet completed.
   virtual uint32_t inflight() const = 0;
+
+  // Attach (or detach, with nullptr) an injectable fault layer; consulted
+  // on every Submit. See sim/fault.h.
+  void set_faults(DeviceFaults* faults) { faults_ = faults; }
+  DeviceFaults* faults() const { return faults_; }
+
+ protected:
+  DeviceFaults* faults_ = nullptr;
 };
 
 // Sparse in-memory byte store shared by device implementations.

@@ -1,6 +1,9 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "sim/fault.h"
 
 namespace leed::sim {
 
@@ -30,10 +33,46 @@ Status Network::Send(EndpointId src, EndpointId dst, uint64_t wire_bytes,
   if (src >= endpoints_.size() || dst >= endpoints_.size()) {
     return Status::InvalidArgument("unknown endpoint");
   }
+  const SimTime now = sim_.Now();
+
+  SimTime extra_delay = 0;
+  NetVerdict verdict = NetVerdict::kDeliver;
+  if (faults_ != nullptr) {
+    verdict = faults_->OnSend(src, dst, now, &extra_delay);
+  }
+  if (verdict == NetVerdict::kDropInjected ||
+      verdict == NetVerdict::kDropPartition) {
+    // The message left the sender (it counts as sent) but never transits
+    // the fabric: no pipe occupancy at either NIC, no delivery event.
+    Endpoint& s = endpoints_[src];
+    s.stats.messages_sent++;
+    s.stats.bytes_sent += wire_bytes;
+    if (metrics_.msgs_sent) {
+      metrics_.msgs_sent->Inc();
+      metrics_.bytes_sent->Add(wire_bytes);
+    }
+    ++dropped_;
+    if (metrics_.msgs_dropped) metrics_.msgs_dropped->Inc();
+    trace_->Record(now, obs::TraceKind::kNetDrop, obs::TraceEvent::kNoNode,
+                   src, dst,
+                   verdict == NetVerdict::kDropInjected ? 1 : 2);
+    return Status::Ok();
+  }
+
+  if (verdict == NetVerdict::kDuplicate) {
+    // The fabric delivers the message twice: two full pipe transits, two
+    // delivery events. Layers above must tolerate replays.
+    DeliverOne(src, dst, wire_bytes, payload, now, extra_delay);
+  }
+  DeliverOne(src, dst, wire_bytes, std::move(payload), now, extra_delay);
+  return Status::Ok();
+}
+
+void Network::DeliverOne(EndpointId src, EndpointId dst, uint64_t wire_bytes,
+                         std::any payload, SimTime now, SimTime extra_delay) {
   Endpoint& s = endpoints_[src];
   Endpoint& d = endpoints_[dst];
 
-  const SimTime now = sim_.Now();
   // Egress serialization at the sender NIC.
   SimTime tx_time = static_cast<SimTime>(
       static_cast<double>(wire_bytes) / s.spec.bandwidth_bpns);
@@ -52,6 +91,10 @@ Status Network::Send(EndpointId src, EndpointId dst, uint64_t wire_bytes,
   SimTime rx_end = rx_start + rx_time;
   d.ingress_free_at = rx_end;
 
+  // Injected delay is added after the pipes: the fabric held the message,
+  // the NICs are not occupied for longer.
+  SimTime deliver_at = rx_end + extra_delay;
+
   s.stats.messages_sent++;
   s.stats.bytes_sent += wire_bytes;
   if (metrics_.msgs_sent) {
@@ -66,7 +109,7 @@ Status Network::Send(EndpointId src, EndpointId dst, uint64_t wire_bytes,
   msg.sent_at = now;
   msg.payload = std::move(payload);
 
-  sim_.At(rx_end, [this, dst, m = std::move(msg)]() mutable {
+  sim_.At(deliver_at, [this, dst, m = std::move(msg)]() mutable {
     Endpoint& e = endpoints_[dst];
     e.stats.messages_received++;
     e.stats.bytes_received += m.wire_bytes;
@@ -74,11 +117,14 @@ Status Network::Send(EndpointId src, EndpointId dst, uint64_t wire_bytes,
       if (metrics_.msgs_delivered) metrics_.msgs_delivered->Inc();
       e.receiver(std::move(m));
     } else {
+      // Structural drop: nothing listening at this endpoint. Traced with
+      // the same kind as injected drops so no loss is ever silent.
       ++dropped_;
       if (metrics_.msgs_dropped) metrics_.msgs_dropped->Inc();
+      trace_->Record(sim_.Now(), obs::TraceKind::kNetDrop,
+                     obs::TraceEvent::kNoNode, m.src, dst, 0);
     }
   });
-  return Status::Ok();
 }
 
 }  // namespace leed::sim

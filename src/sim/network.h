@@ -21,9 +21,12 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace leed::sim {
+
+class NetFaults;  // sim/fault.h
 
 using EndpointId = uint32_t;
 constexpr EndpointId kInvalidEndpoint = UINT32_MAX;
@@ -77,7 +80,20 @@ class Network {
   // is; visible to tests asserting incast behaviour.
   SimTime IngressBacklog(EndpointId id) const;
 
+  // Attach (or detach) the injectable fault layer (drop/duplicate/delay/
+  // partition rules; see sim/fault.h). Null = fault-free fabric.
+  void set_faults(NetFaults* faults) { faults_ = faults; }
+
+  // Every drop — structural (no receiver), injected, or partition — emits
+  // a kNetDrop trace event here so lost messages are debuggable from
+  // --trace-out. Defaults to the process-wide ring.
+  void set_trace(obs::TraceRing* trace) {
+    trace_ = trace ? trace : &obs::TraceRing::Default();
+  }
+
  private:
+  void DeliverOne(EndpointId src, EndpointId dst, uint64_t wire_bytes,
+                  std::any payload, SimTime now, SimTime extra_delay);
   struct Endpoint {
     NicSpec spec;
     Receiver receiver;
@@ -89,6 +105,8 @@ class Network {
   Simulator& sim_;
   std::vector<Endpoint> endpoints_;
   uint64_t dropped_ = 0;
+  NetFaults* faults_ = nullptr;
+  obs::TraceRing* trace_ = &obs::TraceRing::Default();
 
   // Registry handles; null until AttachMetrics.
   struct {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/fault.h"
+
 namespace leed::sim {
 
 SsdSpec Dct983Spec() {
@@ -80,6 +82,41 @@ Status SimSsd::Submit(IoRequest request, IoCallback callback) {
   uint64_t length = request.length ? request.length : request.data.size();
   LEED_RETURN_IF_ERROR(store_.CheckRange(request.offset, length));
   request.length = length;
+
+  // The fault layer decides this IO's fate before any state changes, so a
+  // black-holed IO leaves no trace in the queueing model — exactly like a
+  // device that lost power mid-request.
+  double latency_factor = 1.0;
+  uint64_t keep = 0;
+  IoFault fate = IoFault::kNone;
+  if (faults_ != nullptr) {
+    fate = faults_->OnIo(request.type == IoType::kWrite, length,
+                         &latency_factor, &keep);
+  }
+  if (fate == IoFault::kCrash) {
+    if (request.type == IoType::kWrite && keep > 0) {
+      store_.Write(request.offset, request.data, keep);
+    }
+    return Status::Ok();  // the callback never fires
+  }
+  if (fate == IoFault::kError || fate == IoFault::kTorn) {
+    if (fate == IoFault::kTorn) store_.Write(request.offset, request.data, keep);
+    const SimTime base = request.type == IoType::kWrite ? spec_.write_base_ns
+                                                        : spec_.read_base_ns;
+    ++inflight_;
+    stats_.peak_inflight = std::max(stats_.peak_inflight, inflight_);
+    SimTime submitted = sim_.Now();
+    sim_.Schedule(base, [this, submitted, cb = std::move(callback)]() mutable {
+      --inflight_;
+      IoResult r;
+      r.status = Status::IoError("injected device fault");
+      r.submitted_at = submitted;
+      r.completed_at = sim_.Now();
+      cb(std::move(r));
+    });
+    return Status::Ok();
+  }
+
   ++inflight_;
   stats_.peak_inflight = std::max(stats_.peak_inflight, inflight_);
 
@@ -104,7 +141,7 @@ Status SimSsd::Submit(IoRequest request, IoCallback callback) {
     SimTime occupancy = static_cast<SimTime>(
         std::max(effective_bytes / spec_.write_bandwidth_bpns,
                  static_cast<double>(spec_.write_min_occupancy_ns)) *
-        JitterFactor());
+        JitterFactor() * latency_factor);
     SimTime start = std::max(sim_.Now(), write_pipe_free_at_);
     write_pipe_free_at_ = start + occupancy;
     stats_.write_busy_ns += occupancy;
@@ -122,7 +159,8 @@ Status SimSsd::Submit(IoRequest request, IoCallback callback) {
   }
 
   // Read: queue behind the channel servers.
-  read_queue_.push_back(Pending{std::move(request), std::move(callback), sim_.Now()});
+  read_queue_.push_back(
+      Pending{std::move(request), std::move(callback), sim_.Now(), latency_factor});
   TryStartReads();
   return Status::Ok();
 }
@@ -145,7 +183,8 @@ void SimSsd::StartRead(Pending p) {
                            (spec_.read_bandwidth_bpns / spec_.read_channels)
                      : 0.0;
   SimTime service = static_cast<SimTime>(
-      (static_cast<double>(spec_.read_base_ns) + extra) * JitterFactor());
+      (static_cast<double>(spec_.read_base_ns) + extra) * JitterFactor() *
+      p.latency_factor);
   stats_.read_busy_ns += service;
   stats_.reads++;
   stats_.read_bytes += length;

@@ -114,6 +114,7 @@ class SimSsd : public BlockDevice {
     IoRequest request;
     IoCallback callback;
     SimTime submitted_at;
+    double latency_factor = 1.0;  // injected spike multiplier (sim/fault.h)
   };
 
   void TryStartReads();

@@ -1,10 +1,15 @@
 #include "common/bytes.h"
+#include "common/crc32.h"
 
 #include "store/format.h"
 
 namespace leed::store {
 
 namespace {
+
+// Byte offset of the header's crc field within an encoded bucket; the CRC
+// covers the full bucket_size buffer with these four bytes zeroed.
+constexpr size_t kBucketCrcPos = BucketHeader::kEncodedSize - sizeof(uint32_t);
 
 // Little-endian scalar write/read helpers over a byte buffer.
 template <typename T>
@@ -93,7 +98,8 @@ Result<std::vector<uint8_t>> EncodeBucket(const Bucket& bucket, uint32_t bucket_
   PutScalar(out, pos, h.log_head);
   PutScalar(out, pos, h.log_tail);
   PutScalar(out, pos, static_cast<uint16_t>(bucket.items.size()));
-  PutScalar(out, pos, static_cast<uint8_t>(0));  // pad / format version
+  PutScalar(out, pos, h.owner_store);
+  PutScalar(out, pos, static_cast<uint32_t>(0));  // crc, patched below
 
   for (const auto& it : bucket.items) {
     PutScalar(out, pos, static_cast<uint16_t>(it.key.size()));
@@ -103,13 +109,34 @@ Result<std::vector<uint8_t>> EncodeBucket(const Bucket& bucket, uint32_t bucket_
     leed::CopyBytes(out.data() + pos, it.key.data(), it.key.size());
     pos += it.key.size();
   }
+  // The crc slot is still zero, so checksumming the whole buffer here
+  // matches what verifiers compute after zeroing the slot.
+  uint32_t crc = leed::Crc32(out.data(), out.size());
+  size_t crc_pos = kBucketCrcPos;
+  PutScalar(out, crc_pos, crc);
   return out;
+}
+
+bool VerifyBucketCrc(const std::vector<uint8_t>& data, size_t at,
+                     uint32_t bucket_size) {
+  if (at + bucket_size > data.size()) return false;
+  if (bucket_size < BucketHeader::kEncodedSize) return false;
+  std::vector<uint8_t> view(data.begin() + static_cast<long>(at),
+                            data.begin() + static_cast<long>(at + bucket_size));
+  size_t pos = kBucketCrcPos;
+  uint32_t stored = 0;
+  if (!GetScalar(view, pos, &stored)) return false;
+  leed::FillBytes(view.data() + kBucketCrcPos, 0, sizeof(uint32_t));
+  return leed::Crc32(view.data(), view.size()) == stored;
 }
 
 Result<Bucket> DecodeBucket(const std::vector<uint8_t>& data, size_t at,
                             uint32_t bucket_size) {
   if (at + bucket_size > data.size()) {
     return Status::Corruption("short bucket read");
+  }
+  if (!VerifyBucketCrc(data, at, bucket_size)) {
+    return Status::Corruption("bucket crc mismatch");
   }
   // Work on a view positioned at `at` by copying offsets; GetScalar bounds-
   // checks against the full buffer which is fine since we checked above.
@@ -119,14 +146,14 @@ Result<Bucket> DecodeBucket(const std::vector<uint8_t>& data, size_t at,
   Bucket b;
   BucketHeader& h = b.header;
   uint16_t count = 0;
-  uint8_t pad = 0;
   if (!GetScalar(view, pos, &h.segment_id) || !GetScalar(view, pos, &h.tag) ||
       !GetScalar(view, pos, &h.chain_len) || !GetScalar(view, pos, &h.position) ||
       !GetScalar(view, pos, &h.contiguous) ||
       !GetScalar(view, pos, &h.value_ssd_hint) ||
       !GetScalar(view, pos, &h.prev_offset) || !GetScalar(view, pos, &h.prev_ssd) ||
       !GetScalar(view, pos, &h.log_head) || !GetScalar(view, pos, &h.log_tail) ||
-      !GetScalar(view, pos, &count) || !GetScalar(view, pos, &pad)) {
+      !GetScalar(view, pos, &count) || !GetScalar(view, pos, &h.owner_store) ||
+      !GetScalar(view, pos, &h.crc)) {
     return Status::Corruption("truncated bucket header");
   }
   h.item_count = count;

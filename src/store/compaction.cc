@@ -209,6 +209,7 @@ void Compactor::WriteMergedSegment(uint32_t segment_id,
     h.prev_ssd = home.ssd_id;
     h.log_head = static_cast<uint32_t>(home.key_log->head());
     h.log_tail = static_cast<uint32_t>(home.key_log->tail());
+    h.owner_store = static_cast<uint8_t>(s_.config().store_id);
     auto enc = EncodeBucket(buckets[i], bucket_size);
     if (!enc.ok()) {
       s_.UnlockAndPump(segment_id);

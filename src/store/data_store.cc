@@ -435,6 +435,7 @@ void DataStore::PutApply(std::shared_ptr<PutOp> op, std::optional<Bucket> head) 
     nb.header.segment_id = op->segment;
     nb.header.log_head = static_cast<uint32_t>(target.key_log->head());
     nb.header.log_tail = static_cast<uint32_t>(target.key_log->tail());
+    nb.header.owner_store = static_cast<uint8_t>(config_.store_id);
 
     auto encoded = EncodeBucket(nb, config_.bucket_size);
     if (!encoded.ok()) {

@@ -64,8 +64,17 @@ struct BucketHeader {
   uint32_t log_head = 0;
   uint32_t log_tail = 0;
   uint16_t item_count = 0;
+  // Which store wrote this bucket. Swap logs are shared between stores, so
+  // a per-store recovery scan needs this to tell its own buckets from a
+  // sibling's (both would otherwise pass the CRC and offset checks).
+  uint8_t owner_store = 0;
+  // CRC-32 over the full encoded bucket with this field zeroed. Rejects
+  // torn appends during recovery by checksum instead of relying solely on
+  // checkpointed tail pointers.
+  uint32_t crc = 0;
 
-  static constexpr uint32_t kEncodedSize = 4 + 4 + 1 + 1 + 1 + 1 + 8 + 1 + 4 + 4 + 2 + 1 /*pad*/;
+  static constexpr uint32_t kEncodedSize =
+      4 + 4 + 1 + 1 + 1 + 1 + 8 + 1 + 4 + 4 + 2 + 1 /*owner*/ + 4 /*crc*/;
 };
 
 // An in-memory bucket: header + items, serialized to exactly
@@ -94,8 +103,15 @@ struct Bucket {
 Result<std::vector<uint8_t>> EncodeBucket(const Bucket& bucket, uint32_t bucket_size);
 
 // Parse one bucket from `data` at byte offset `at` (bucket_size bytes).
+// Verifies the bucket CRC first; a mismatch (torn append, bit rot, or a
+// never-written region) yields Status::Corruption("bucket crc mismatch").
 Result<Bucket> DecodeBucket(const std::vector<uint8_t>& data, size_t at,
                             uint32_t bucket_size);
+
+// CRC check alone, without parsing — lets the recovery scan count
+// checksum rejects separately from structural decode failures.
+bool VerifyBucketCrc(const std::vector<uint8_t>& data, size_t at,
+                     uint32_t bucket_size);
 
 // ---- value log entries ----------------------------------------------------
 

@@ -19,10 +19,15 @@
 //
 // Durability contract: the log head/tail pointers themselves are
 // checkpointed by the caller (in a real deployment, a superblock; here the
-// harness snapshots them — see RecoveryCheckpoint). A PUT is durable once
-// both its appends complete, which is when the client sees OK; buckets
-// after the checkpointed tail are ignored (torn writes), which can only
-// roll back un-acknowledged operations.
+// engine writes one periodically — see RecoveryCheckpoint). A PUT is
+// durable once both its appends complete, which is when the client sees
+// OK. By default buckets after the checkpointed tail are ignored; with
+// RecoverOptions::scan_beyond_tail the scan continues past the tail and
+// adopts every append it can prove complete (per-bucket CRC + the
+// self-identity rule: a bucket's checkpointed log_tail plus its chain
+// position must equal the offset it was found at), so acked writes that
+// landed after the last checkpoint survive a crash. Torn appends fail the
+// CRC and are rolled back — which can only drop un-acked operations.
 //
 // Swapped segments: buckets parked on donor SSDs are rediscovered by
 // scanning each donor's swap log the same way; the scan order (home first,
@@ -58,12 +63,25 @@ struct RecoveryStats {
   uint64_t segments_recovered = 0;
   uint64_t stale_copies_skipped = 0;
   uint64_t torn_buckets_ignored = 0;
+  uint64_t crc_rejected = 0;           // buckets failing the per-bucket CRC
+  uint64_t extended_buckets = 0;       // adopted from beyond the checkpoint
+  uint64_t foreign_buckets_skipped = 0;  // other stores' buckets in swap logs
+};
+
+struct RecoverOptions {
+  // Scan past the checkpointed key-log tails and adopt complete appends
+  // found there (validated by CRC + self-identity). Off by default so a
+  // caller who wants strictly-checkpointed recovery keeps it.
+  bool scan_beyond_tail = false;
 };
 
 // Rebuild `store`'s SegTbl by scanning the key logs named in `checkpoint`.
 // The store must be freshly constructed (empty SegTbl) over the same log
 // regions/devices. Asynchronous: `done` fires with the stats.
 void RecoverSegTbl(DataStore& store, const RecoveryCheckpoint& checkpoint,
+                   std::function<void(Status, RecoveryStats)> done);
+void RecoverSegTbl(DataStore& store, const RecoveryCheckpoint& checkpoint,
+                   const RecoverOptions& options,
                    std::function<void(Status, RecoveryStats)> done);
 
 }  // namespace leed::store

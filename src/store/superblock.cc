@@ -1,6 +1,7 @@
 #include "store/superblock.h"
 
 #include "common/bytes.h"
+#include "common/crc32.h"
 
 namespace leed::store {
 
@@ -23,26 +24,10 @@ bool Get(const std::vector<uint8_t>& buf, size_t& pos, T* v) {
   return true;
 }
 
-uint32_t CrcTableEntry(uint32_t i) {
-  uint32_t c = i;
-  for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-  return c;
-}
-
 }  // namespace
 
 uint32_t Crc32(const uint8_t* data, size_t length) {
-  static uint32_t table[256];
-  static bool init = [] {
-    for (uint32_t i = 0; i < 256; ++i) table[i] = CrcTableEntry(i);
-    return true;
-  }();
-  (void)init;
-  uint32_t crc = 0xffffffffu;
-  for (size_t i = 0; i < length; ++i) {
-    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
+  return leed::Crc32(data, length);
 }
 
 std::vector<uint8_t> EncodeSuperblock(const RecoveryCheckpoint& checkpoint,

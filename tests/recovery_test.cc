@@ -9,6 +9,7 @@
 #include "log/circular_log.h"
 #include "sim/block_device.h"
 #include "sim/cpu_model.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "store/data_store.h"
 #include "store/recovery.h"
@@ -50,6 +51,23 @@ class RecoveryTest : public ::testing::Test {
     RecoveryStats stats;
     bool done = false;
     RecoverSegTbl(ds, cp, [&](Status st, RecoveryStats s) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      stats = s;
+      done = true;
+    });
+    testutil::RunUntilFlag(sim_, done);
+    EXPECT_TRUE(done);
+    return stats;
+  }
+
+  // Extended-scan recovery: adopt acked appends found beyond the
+  // checkpointed tail (CRC + self-identity validated).
+  RecoveryStats RecoverBeyondTail(DataStore& ds, const RecoveryCheckpoint& cp) {
+    RecoveryStats stats;
+    bool done = false;
+    RecoverOptions opts;
+    opts.scan_beyond_tail = true;
+    RecoverSegTbl(ds, cp, opts, [&](Status st, RecoveryStats s) {
       EXPECT_TRUE(st.ok()) << st.ToString();
       stats = s;
       done = true;
@@ -166,6 +184,97 @@ TEST_F(RecoveryTest, IgnoresWritesAfterCheckpoint) {
   Recover(*recovered, cp);
   EXPECT_TRUE(testutil::SyncGet(sim_, *recovered, "stable").ok());
   EXPECT_TRUE(testutil::SyncGet(sim_, *recovered, "lost").IsNotFound());
+}
+
+TEST_F(RecoveryTest, RecoversDurableWritesPastCheckpoint) {
+  auto ds = FreshStore();
+  ASSERT_TRUE(testutil::SyncPut(sim_, *ds, "stable", testutil::TestValue(1, 64)).ok());
+  RecoveryCheckpoint cp = Checkpoint(*ds);
+  // Acked after the checkpoint: the extended scan must re-adopt them.
+  ASSERT_TRUE(testutil::SyncPut(sim_, *ds, "late-1", testutil::TestValue(2, 64)).ok());
+  ASSERT_TRUE(testutil::SyncPut(sim_, *ds, "late-2", testutil::TestValue(3, 96)).ok());
+  ASSERT_TRUE(testutil::SyncDel(sim_, *ds, "stable").ok());
+
+  ds.reset();
+  auto recovered = FreshStore(true, &cp);
+  RecoveryStats stats = RecoverBeyondTail(*recovered, cp);
+  EXPECT_GT(stats.extended_buckets, 0u);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(testutil::SyncGet(sim_, *recovered, "late-1", &out).ok());
+  EXPECT_EQ(out, testutil::TestValue(2, 64));
+  ASSERT_TRUE(testutil::SyncGet(sim_, *recovered, "late-2", &out).ok());
+  EXPECT_EQ(out, testutil::TestValue(3, 96));
+  // The acked post-checkpoint DEL is honoured too.
+  EXPECT_TRUE(testutil::SyncGet(sim_, *recovered, "stable").IsNotFound());
+}
+
+TEST_F(RecoveryTest, TornTailAppendIsRejectedCleanly) {
+  auto ds = FreshStore();
+  ASSERT_TRUE(testutil::SyncPut(sim_, *ds, "stable", testutil::TestValue(1, 64)).ok());
+  RecoveryCheckpoint cp = Checkpoint(*ds);
+  ASSERT_TRUE(testutil::SyncPut(sim_, *ds, "durable", testutil::TestValue(2, 64)).ok());
+
+  // Simulate a torn in-flight append at the tail: a strict prefix of the
+  // next bucket made it to the media before power cut, the rest never did.
+  // 200 bytes of a stale buffer land where the next bucket would start.
+  const uint64_t tail = Checkpoint(*ds).logs[0].key_tail;
+  const uint64_t torn_at = tail % (8 << 20);  // key log occupies [0, 8MB)
+  sim::IoRequest torn;
+  torn.type = sim::IoType::kWrite;
+  torn.offset = torn_at;
+  torn.data.assign(200, 0x5a);
+  torn.length = torn.data.size();
+  bool wrote = false;
+  ASSERT_TRUE(device_.Submit(std::move(torn), [&](sim::IoResult r) {
+    EXPECT_TRUE(r.status.ok());
+    wrote = true;
+  }).ok());
+  testutil::RunUntilFlag(sim_, wrote);
+
+  ds.reset();
+  auto recovered = FreshStore(true, &cp);
+  RecoveryStats stats = RecoverBeyondTail(*recovered, cp);
+  // The acked post-checkpoint PUT is adopted; the torn append fails the
+  // per-bucket CRC and rolls back cleanly instead of resurrecting garbage.
+  EXPECT_GT(stats.extended_buckets, 0u);
+  EXPECT_GT(stats.crc_rejected + stats.torn_buckets_ignored, 0u);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(testutil::SyncGet(sim_, *recovered, "durable", &out).ok());
+  EXPECT_EQ(out, testutil::TestValue(2, 64));
+  ASSERT_TRUE(testutil::SyncGet(sim_, *recovered, "stable", &out).ok());
+  EXPECT_EQ(out, testutil::TestValue(1, 64));
+}
+
+TEST_F(RecoveryTest, RecoversSwappedSegmentsWrittenAfterCheckpoint) {
+  auto ds = FreshStore();
+  auto donor_key = std::make_unique<log::CircularLog>(donor_, 0, 4 << 20);
+  auto donor_value = std::make_unique<log::CircularLog>(donor_, 4 << 20, 4 << 20);
+  ds->AddLogSet(LogSet{1, donor_key.get(), donor_value.get()});
+  ASSERT_TRUE(testutil::SyncPut(sim_, *ds, "home-key", testutil::TestValue(1, 64)).ok());
+  RecoveryCheckpoint cp = Checkpoint(*ds);
+  ASSERT_EQ(cp.logs.size(), 2u);
+  // The swap target moves *after* the checkpoint: the donor's checkpointed
+  // window is empty and the swapped bucket lives wholly beyond its tail.
+  ds->SetSwapTarget(1);
+  ASSERT_TRUE(
+      testutil::SyncPut(sim_, *ds, "swapped-key", testutil::TestValue(2, 64)).ok());
+
+  ds.reset();
+  auto recovered = FreshStore(true, &cp);
+  auto donor_key2 = std::make_unique<log::CircularLog>(donor_, 0, 4 << 20);
+  auto donor_value2 = std::make_unique<log::CircularLog>(donor_, 4 << 20, 4 << 20);
+  ASSERT_TRUE(donor_key2->Restore(cp.logs[1].key_head, cp.logs[1].key_tail).ok());
+  ASSERT_TRUE(
+      donor_value2->Restore(cp.logs[1].value_head, cp.logs[1].value_tail).ok());
+  recovered->AddLogSet(LogSet{1, donor_key2.get(), donor_value2.get()});
+  RecoveryStats stats = RecoverBeyondTail(*recovered, cp);
+  EXPECT_GT(stats.extended_buckets, 0u);
+
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(testutil::SyncGet(sim_, *recovered, "home-key", &out).ok());
+  EXPECT_EQ(out, testutil::TestValue(1, 64));
+  ASSERT_TRUE(testutil::SyncGet(sim_, *recovered, "swapped-key", &out).ok());
+  EXPECT_EQ(out, testutil::TestValue(2, 64));
 }
 
 TEST_F(RecoveryTest, EmptyStoreRecoversToEmpty) {

@@ -20,6 +20,7 @@
 #include "leed/cluster_sim.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/fault.h"
 
 using namespace leed;
 
@@ -42,6 +43,7 @@ struct Options {
   bool verbose = false;
   std::string metrics_out;  // write a registry snapshot (JSON) here
   std::string trace_out;    // enable the event trace and write it here
+  std::string fault_plan;   // sim::ParseFaultPlan grammar (docs/FAULTS.md)
 };
 
 void Usage(const char* argv0) {
@@ -62,7 +64,11 @@ void Usage(const char* argv0) {
       "  --no-data-swap             disable intra-JBOF write swapping\n"
       "  --verbose                  per-node counters\n"
       "  --metrics-out=FILE         write the metrics-registry snapshot (JSON)\n"
-      "  --trace-out=FILE           record the sim event trace and write it (JSON)\n",
+      "  --trace-out=FILE           record the sim event trace and write it (JSON)\n"
+      "  --fault-plan=PLAN          arm a fault schedule, e.g.\n"
+      "                             'dev:read_err=0.01;net:drop=0.001;"
+      "crash:node=2,at_ms=50,restart_ms=120'\n"
+      "                             (see docs/FAULTS.md for the grammar)\n",
       argv0);
 }
 
@@ -107,6 +113,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--no-data-swap") == 0) opt.data_swap = false;
     else if (ParseFlag(argv[i], "--metrics-out", &v)) opt.metrics_out = v;
     else if (ParseFlag(argv[i], "--trace-out", &v)) opt.trace_out = v;
+    else if (ParseFlag(argv[i], "--fault-plan", &v)) opt.fault_plan = v;
     else if (std::strcmp(argv[i], "--verbose") == 0) opt.verbose = true;
     else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       Usage(argv[0]);
@@ -144,10 +151,31 @@ int main(int argc, char** argv) {
 
   if (!opt.trace_out.empty()) obs::TraceRing::Default().set_enabled(true);
 
+  sim::FaultPlan plan;
+  if (!opt.fault_plan.empty()) {
+    auto parsed = sim::ParseFaultPlan(opt.fault_plan);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n",
+                   parsed.status().message().c_str());
+      return 2;
+    }
+    plan = std::move(parsed).value();
+    if (!plan.crashes.empty() && opt.system != "leed") {
+      std::fprintf(stderr,
+                   "crash clauses require --system=leed (crash-restart "
+                   "recovery is a LEED-stack feature)\n");
+      return 2;
+    }
+  }
+
   ClusterSim cluster(std::move(cfg));
   cluster.Bootstrap();
   std::printf("preloading...\n");
   cluster.Preload(opt.keys, opt.value_size);
+  if (!plan.Empty()) {
+    cluster.ArmFaultPlan(plan);
+    std::printf("fault plan armed: %s\n", opt.fault_plan.c_str());
+  }
 
   workload::YcsbConfig wc;
   wc.mix = ParseMix(opt.mix);
