@@ -6,22 +6,23 @@
 
 namespace leed {
 
-Histogram::Histogram() : buckets_((kMaxExponent + 1) * kSubBuckets, 0) {}
+Histogram::Histogram()
+    : buckets_((kMaxExponent - kMinExponent + 1) * kSubBuckets, 0) {}
 
 int Histogram::BucketIndex(double value) {
   if (value <= 0.0) return 0;
   int exponent;
   double mantissa = std::frexp(value, &exponent);  // mantissa in [0.5, 1)
-  if (exponent < 0) exponent = 0;
+  if (exponent < kMinExponent) exponent = kMinExponent;
   if (exponent > kMaxExponent) exponent = kMaxExponent;
   // Map mantissa [0.5, 1) -> [0, kSubBuckets).
   int sub = static_cast<int>((mantissa - 0.5) * 2.0 * kSubBuckets);
   sub = std::clamp(sub, 0, kSubBuckets - 1);
-  return exponent * kSubBuckets + sub;
+  return (exponent - kMinExponent) * kSubBuckets + sub;
 }
 
 double Histogram::BucketMidpoint(int index) {
-  int exponent = index / kSubBuckets;
+  int exponent = kMinExponent + index / kSubBuckets;
   int sub = index % kSubBuckets;
   double lo = std::ldexp(0.5 + 0.5 * sub / kSubBuckets, exponent);
   double hi = std::ldexp(0.5 + 0.5 * (sub + 1) / kSubBuckets, exponent);

@@ -45,6 +45,11 @@ class Histogram {
  private:
   static constexpr int kSubBucketBits = 6;  // 64 sub-buckets => <=1.6% error
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  // Exponent range [kMinExponent, kMaxExponent]: values from ~2^-20 (~1e-6,
+  // sub-nanosecond when recording microseconds) up to ~2^40. Clamping
+  // negative exponents to 0 used to alias every value in (0, 1) into the
+  // exponent-0 buckets, wrecking percentiles for fractional-unit samples.
+  static constexpr int kMinExponent = -20;
   static constexpr int kMaxExponent = 40;   // values up to ~2^40
 
   static int BucketIndex(double value);

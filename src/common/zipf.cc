@@ -12,13 +12,32 @@ double ZetaSum(uint64_t n, double theta) {
   return sum;
 }
 
+namespace {
+// Euler–Mascheroni constant, for the harmonic-number inversion H_k ~ ln k +
+// gamma used on the theta ~= 1 path.
+constexpr double kEulerGamma = 0.5772156649015329;
+// Width of the theta window treated as "exactly 1": inside it the Gray
+// et al. constants alpha = 1/(1-theta) and eta blow up to inf/NaN.
+constexpr double kThetaOneEps = 1e-6;
+}  // namespace
+
 ZipfGenerator::ZipfGenerator(uint64_t n, double theta, bool scramble)
-    : n_(n == 0 ? 1 : n), theta_(theta), scramble_(scramble) {
+    : n_(n == 0 ? 1 : n), theta_(theta), scramble_(scramble),
+      theta_is_one_(std::abs(theta - 1.0) < kThetaOneEps) {
   zetan_ = ZetaSum(n_, theta_);
   zeta2_ = ZetaSum(2, theta_);
-  alpha_ = 1.0 / (1.0 - theta_);
-  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
-         (1.0 - zeta2_ / zetan_);
+  if (theta_is_one_) {
+    // theta == 1 makes alpha = 1/(1-theta) infinite and eta 0/0: the Gray
+    // et al. tail formula silently collapsed every sample onto ranks
+    // {0, 1, n-1}. Next() inverts the harmonic CDF directly instead, so
+    // these constants are never consulted.
+    alpha_ = 0.0;
+    eta_ = 0.0;
+  } else {
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
 }
 
 uint64_t ZipfGenerator::RankToItem(uint64_t rank) const {
@@ -42,6 +61,13 @@ uint64_t ZipfGenerator::Next(Rng& rng) {
     rank = 0;
   } else if (uz < 1.0 + std::pow(0.5, theta_)) {
     rank = 1;
+  } else if (theta_is_one_) {
+    // Invert the harmonic CDF: find k with H_k ~= uz via H_k ~ ln k + gamma.
+    // Ranks 0 and 1 were handled exactly above; the +-1 error of dropping
+    // the 1/(2k) correction only shifts mass between adjacent cold ranks.
+    double k = std::exp(uz - kEulerGamma);
+    rank = k < 2.0 ? 1 : static_cast<uint64_t>(k) - 1;
+    if (rank >= n_) rank = n_ - 1;
   } else {
     rank = static_cast<uint64_t>(static_cast<double>(n_) *
                                  std::pow(eta_ * u - eta_ + 1.0, alpha_));

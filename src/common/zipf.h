@@ -18,8 +18,10 @@ namespace leed {
 
 class ZipfGenerator {
  public:
-  // n: number of items (>=1). theta: skewness in [0, 1); theta==0 degenerates
-  // to uniform. scramble: map ranks through a hash so hot items are spread.
+  // n: number of items (>=1). theta: skewness in [0, 1]; theta==0 degenerates
+  // to uniform, and theta==1 (the classic-Zipf boundary where the Gray et al.
+  // constants diverge) is handled by a dedicated harmonic-CDF inversion.
+  // scramble: map ranks through a hash so hot items are spread.
   ZipfGenerator(uint64_t n, double theta, bool scramble = true);
 
   // Sample an item id in [0, n).
@@ -41,6 +43,7 @@ class ZipfGenerator {
   uint64_t n_;
   double theta_;
   bool scramble_;
+  bool theta_is_one_;  // |theta - 1| < eps: use the harmonic-CDF path
   double zetan_;    // zeta(n, theta)
   double alpha_;    // 1 / (1 - theta)
   double eta_;

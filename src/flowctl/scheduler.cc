@@ -51,7 +51,10 @@ bool FlowScheduler::Visit(uint32_t tenant) {
   q.pop_front();
 
   SsdAccount& account = view_.Account(req.target);
-  if (static_cast<int64_t>(req.token_cost) < account.tokens) {
+  // Alg. 1's send condition is "tokens >= cost": a request whose cost
+  // exactly matches the advertised tokens is a normal send, not a deferral
+  // or a zero-token probe. Strict `<` here miscounted that boundary case.
+  if (static_cast<int64_t>(req.token_cost) <= account.tokens) {
     // Alg. 1 L5-7: the target advertises capacity — send.
     view_.OnSend(req.target, req.token_cost);
     Count(&SchedulerStats::sent, metrics_.sent);

@@ -154,8 +154,13 @@ void Client::Issue(std::shared_ptr<Inflight> op) {
     stats_.sends++;
     auto it = inflight_.find(req_id);
     if (it == inflight_.end()) return;  // timed out while queued
-    it->second->timeout_event = sim_.Schedule(
-        config_.request_timeout, [this, req_id] { OnTimeout(req_id); });
+    auto timeout = [this, req_id] { OnTimeout(req_id); };
+    // Armed on every send and cancelled on nearly every response: this
+    // pair must stay O(1) and allocation-free end to end.
+    static_assert(sim::EventFitsInline<decltype(timeout)>,
+                  "request timeout event must not heap-allocate");
+    it->second->timeout_event =
+        sim_.Schedule(config_.request_timeout, std::move(timeout));
     net_.Send(endpoint_, node_ep, WireSize(m), std::move(m));
   };
   scheduler_->Enqueue(op->tenant, std::move(out));

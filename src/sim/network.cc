@@ -109,7 +109,7 @@ void Network::DeliverOne(EndpointId src, EndpointId dst, uint64_t wire_bytes,
   msg.sent_at = now;
   msg.payload = std::move(payload);
 
-  sim_.At(deliver_at, [this, dst, m = std::move(msg)]() mutable {
+  auto deliver = [this, dst, m = std::move(msg)]() mutable {
     Endpoint& e = endpoints_[dst];
     e.stats.messages_received++;
     e.stats.bytes_received += m.wire_bytes;
@@ -124,7 +124,12 @@ void Network::DeliverOne(EndpointId src, EndpointId dst, uint64_t wire_bytes,
       trace_->Record(sim_.Now(), obs::TraceKind::kNetDrop,
                      obs::TraceEvent::kNoNode, m.src, dst, 0);
     }
-  });
+  };
+  // Delivery is the single hottest event in the tree (every message is
+  // one); the capture list must keep fitting the inline buffer.
+  static_assert(EventFitsInline<decltype(deliver)>,
+                "network delivery event must not heap-allocate");
+  sim_.At(deliver_at, std::move(deliver));
 }
 
 }  // namespace leed::sim

@@ -1,45 +1,81 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-
 namespace leed::sim {
+
+uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNilSlot) {
+    uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNilSlot;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(uint32_t index) {
+  Slot& s = slots_[index];
+  // Bumping the generation is what invalidates every outstanding EventId
+  // for this slot: a later Cancel with a stale id mismatches and returns
+  // false instead of corrupting whatever event reuses the slot.
+  ++s.gen;
+  if (s.gen == 0) s.gen = 1;  // 0 is reserved so EventId 0 stays invalid
+  s.live = false;
+  s.daemon = false;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
 
 EventId Simulator::AtImpl(SimTime when, EventFn fn, bool daemon) {
   if (when < now_) when = now_;
-  EventId id = next_seq_;
-  queue_.push(Event{when, next_seq_, id, daemon, std::move(fn)});
+  const uint32_t index = AllocSlot();
+  Slot& s = slots_[index];
+  s.fn = std::move(fn);
+  s.live = true;
+  s.daemon = daemon;
+  queue_.push(HeapEntry{when, next_seq_, index, s.gen});
   ++next_seq_;
   if (!daemon) ++live_pending_;
-  return id;
+  return MakeId(index, s.gen);
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == 0 || id >= next_seq_) return false;
-  // We cannot remove from the middle of a binary heap; record the id and
-  // skip it when popped. live_pending_ is adjusted at dispatch time
-  // (Dispatch knows the event's daemon flag).
-  return cancelled_.insert(id).second;
+  const uint32_t index = SlotOf(id);
+  if (index >= slots_.size()) return false;
+  Slot& s = slots_[index];
+  // Generation mismatch covers every "too late" case with one compare: the
+  // event fired (firing released the slot), was already cancelled, or the
+  // slot now belongs to a different event entirely.
+  if (!s.live || s.gen != GenOf(id)) return false;
+  if (!s.daemon && live_pending_ > 0) --live_pending_;
+  // Move the callable out before releasing so its destructor (which may
+  // drop shared state) runs after the slot bookkeeping is consistent.
+  EventCallback dead = std::move(s.fn);
+  ReleaseSlot(index);
+  return true;
 }
 
-bool Simulator::Dispatch(Event& ev) {
-  auto it = cancelled_.find(ev.id);
-  if (it != cancelled_.end()) {
-    cancelled_.erase(it);
-    if (!ev.daemon && live_pending_ > 0) --live_pending_;
-    return false;
-  }
-  now_ = ev.when;
-  if (!ev.daemon && live_pending_ > 0) --live_pending_;
+bool Simulator::Dispatch(const HeapEntry& entry) {
+  Slot& s = slots_[entry.slot];
+  if (!s.live || s.gen != entry.gen) return false;  // stale: was cancelled
+  // Move the callable out and release the slot *before* invoking: the
+  // callback may schedule new events, which can recycle this slot or grow
+  // the slab (relocating every Slot) while we are still running.
+  EventCallback fn = std::move(s.fn);
+  const bool daemon = s.daemon;
+  ReleaseSlot(entry.slot);
+  now_ = entry.when;
+  if (!daemon && live_pending_ > 0) --live_pending_;
   ++executed_;
-  ev.fn();
+  fn();
   return true;
 }
 
 SimTime Simulator::Run() {
   while (!queue_.empty() && live_pending_ > 0) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const HeapEntry entry = queue_.top();
     queue_.pop();
-    Dispatch(ev);
+    Dispatch(entry);
   }
   return now_;
 }
@@ -47,9 +83,9 @@ SimTime Simulator::Run() {
 uint64_t Simulator::RunUntil(SimTime deadline) {
   uint64_t n = 0;
   while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const HeapEntry entry = queue_.top();
     queue_.pop();
-    if (Dispatch(ev)) ++n;
+    if (Dispatch(entry)) ++n;
   }
   if (now_ < deadline) now_ = deadline;
   return n;
@@ -57,9 +93,9 @@ uint64_t Simulator::RunUntil(SimTime deadline) {
 
 bool Simulator::Step() {
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const HeapEntry entry = queue_.top();
     queue_.pop();
-    if (Dispatch(ev)) return true;
+    if (Dispatch(entry)) return true;
   }
   return false;
 }

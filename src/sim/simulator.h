@@ -11,22 +11,43 @@
 // prototype is an event-based asynchronous framework with per-command state
 // machines, so the simulation host and the system-under-test share the same
 // idiom — continuation callbacks scheduled at future instants.
+//
+// Hot-path layout (see DESIGN.md §8 for the determinism argument):
+//
+//   * Callables live in a slot slab, one EventCallback per pending event
+//     (small-buffer optimized, so the common captures never allocate).
+//     Slots are recycled through a free list; each reuse bumps the slot's
+//     generation counter.
+//   * The binary heap orders 24-byte POD entries {when, seq, slot, gen} —
+//     sift operations move trivially-copyable structs, never callables.
+//   * An EventId encodes (slot, generation). Cancel is an O(1) generation
+//     check + slot release: no tombstone set, no hashing on dispatch, and
+//     the id of an event that already fired can never cancel anything
+//     because firing bumped the generation. Cancelled events leave a stale
+//     heap entry behind that dispatch skips with one integer compare.
+//
+// None of this changes what executes when: event order is (when, seq), seq
+// is assigned in Schedule order, and cancellation only ever removes work.
+// Replay therefore stays byte-identical for a given seed.
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
+#include <type_traits>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/event_callback.h"
 
 namespace leed::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = EventCallback;
 
-// Opaque handle for cancellation. 0 is never a valid id.
+// Opaque handle for cancellation: high 32 bits slot index, low 32 bits the
+// slot's generation at schedule time. Generations start at 1, so 0 is never
+// a valid id.
 using EventId = uint64_t;
 
 class Simulator {
@@ -52,7 +73,9 @@ class Simulator {
     return AtImpl(now_ + delay, std::move(fn), true);
   }
 
-  // Cancel a pending event. Returns false if it already ran or was cancelled.
+  // Cancel a pending event. Returns false if it already ran, was already
+  // cancelled, or the id was never issued. O(1): flips the slot's
+  // generation; the heap entry is skipped when it surfaces.
   bool Cancel(EventId id);
 
   // Run until the event queue drains. Returns the final time.
@@ -66,35 +89,61 @@ class Simulator {
   bool Step();
 
   uint64_t events_executed() const { return executed_; }
-  // Live non-daemon events: the count that keeps Run() going.
+  // Live non-daemon events: the count that keeps Run() going. A cancelled
+  // event leaves this count immediately (it will never run).
   uint64_t events_pending() const { return live_pending_; }
 
+  // Introspection for tests: the slab never grows past the peak number of
+  // simultaneously-pending events — cancelled/fired slots are recycled, so
+  // unbounded growth here is the regression the generation scheme fixed.
+  size_t slab_size() const { return slots_.size(); }
+
  private:
-  struct Event {
-    SimTime when;
-    uint64_t seq;  // tie-breaker: FIFO among same-instant events
-    EventId id;
-    bool daemon;
-    EventFn fn;
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+
+  struct Slot {
+    EventCallback fn;
+    uint32_t gen = 1;
+    uint32_t next_free = kNilSlot;
+    bool live = false;
+    bool daemon = false;
   };
 
-  EventId AtImpl(SimTime when, EventFn fn, bool daemon);
+  // What the binary heap actually sorts. POD on purpose: a sift swap is a
+  // 24-byte move instead of relocating a callable.
+  struct HeapEntry {
+    SimTime when;
+    uint64_t seq;  // tie-breaker: FIFO among same-instant events
+    uint32_t slot;
+    uint32_t gen;
+  };
+  static_assert(std::is_trivially_copyable_v<HeapEntry>);
+
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  bool Dispatch(Event& ev);
+  static constexpr EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+  static constexpr uint32_t SlotOf(EventId id) {
+    return static_cast<uint32_t>(id >> 32);
+  }
+  static constexpr uint32_t GenOf(EventId id) {
+    return static_cast<uint32_t>(id);
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Ids of cancelled-but-still-queued events; lazily skipped at pop time.
-  // Hash set: timeout timers are cancelled on nearly every completed
-  // request, so this is consulted on every dispatch.
-  // leed-lint: allow(unordered-iter): insert/find/erase only; dispatch
-  // order comes from the priority queue, never from this set
-  std::unordered_set<EventId> cancelled_;
+  EventId AtImpl(SimTime when, EventFn fn, bool daemon);
+  uint32_t AllocSlot();
+  void ReleaseSlot(uint32_t index);
+  bool Dispatch(const HeapEntry& entry);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> queue_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNilSlot;
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t executed_ = 0;

@@ -106,14 +106,17 @@ Status SimSsd::Submit(IoRequest request, IoCallback callback) {
     ++inflight_;
     stats_.peak_inflight = std::max(stats_.peak_inflight, inflight_);
     SimTime submitted = sim_.Now();
-    sim_.Schedule(base, [this, submitted, cb = std::move(callback)]() mutable {
+    auto fault_done = [this, submitted, cb = std::move(callback)]() mutable {
       --inflight_;
       IoResult r;
       r.status = Status::IoError("injected device fault");
       r.submitted_at = submitted;
       r.completed_at = sim_.Now();
       cb(std::move(r));
-    });
+    };
+    static_assert(EventFitsInline<decltype(fault_done)>,
+                  "SSD fault completion must not heap-allocate");
+    sim_.Schedule(base, std::move(fault_done));
     return Status::Ok();
   }
 
@@ -148,13 +151,16 @@ Status SimSsd::Submit(IoRequest request, IoCallback callback) {
     SimTime done = write_pipe_free_at_ + spec_.write_base_ns;
     SimTime submitted = sim_.Now();
     if (metrics_.write_us) metrics_.write_us->Record(ToMicros(done - submitted));
-    sim_.At(done, [this, submitted, cb = std::move(callback)]() mutable {
+    auto write_done = [this, submitted, cb = std::move(callback)]() mutable {
       --inflight_;
       IoResult r;
       r.submitted_at = submitted;
       r.completed_at = sim_.Now();
       cb(std::move(r));
-    });
+    };
+    static_assert(EventFitsInline<decltype(write_done)>,
+                  "SSD write completion must not heap-allocate");
+    sim_.At(done, std::move(write_done));
     return Status::Ok();
   }
 
@@ -195,8 +201,8 @@ void SimSsd::StartRead(Pending p) {
 
   SimTime submitted = p.submitted_at;
   uint64_t offset = p.request.offset;
-  sim_.Schedule(service, [this, submitted, offset, length,
-                          cb = std::move(p.callback)]() mutable {
+  auto read_done = [this, submitted, offset, length,
+                    cb = std::move(p.callback)]() mutable {
     --reads_in_service_;
     --inflight_;
     if (metrics_.read_us) metrics_.read_us->Record(ToMicros(sim_.Now() - submitted));
@@ -206,7 +212,12 @@ void SimSsd::StartRead(Pending p) {
     r.completed_at = sim_.Now();
     cb(std::move(r));
     TryStartReads();
-  });
+  };
+  // this + 3 scalars + an IoCallback: exactly the inline budget. Growing
+  // this capture list puts an allocation on every simulated read.
+  static_assert(EventFitsInline<decltype(read_done)>,
+                "SSD read completion must not heap-allocate");
+  sim_.Schedule(service, std::move(read_done));
 }
 
 }  // namespace leed::sim

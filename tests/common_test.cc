@@ -246,6 +246,41 @@ TEST(ZipfTest, SamplesStayInRange) {
   for (int i = 0; i < 50000; ++i) EXPECT_LT(gen.Next(rng), 1000u);
 }
 
+// Regression: theta == 1.0 used to divide by zero (alpha = 1/(1-theta)),
+// silently collapsing the whole distribution onto ranks {0, 1, n-1}.
+// Sanity-check the distribution shape for theta in {0.99, 1.0}.
+TEST(ZipfTest, ThetaNearOneDistributionSanity) {
+  for (double theta : {0.99, 1.0}) {
+    constexpr uint64_t kN = 1000;
+    constexpr int kSamples = 200000;
+    ZipfGenerator gen(kN, theta, /*scramble=*/false);
+    Rng rng(6);
+    std::vector<int> counts(kN, 0);
+    for (int i = 0; i < kSamples; ++i) {
+      uint64_t v = gen.Next(rng);
+      ASSERT_LT(v, kN) << "theta=" << theta;
+      counts[v]++;
+    }
+    // Head share matches 1/zeta(n): the uz < 1 branch is exact for both.
+    const double expected = gen.TopItemProbability();
+    EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, expected,
+                expected * 0.12)
+        << "theta=" << theta;
+    // The tail must not be collapsed: the old bug left only {0, 1, n-1}
+    // populated. A healthy zipfian hits hundreds of distinct ranks here.
+    int distinct = 0;
+    for (int c : counts) distinct += (c > 0) ? 1 : 0;
+    EXPECT_GT(distinct, 300) << "theta=" << theta;
+    // Monotone head: rank 0 strictly hotter than rank 1, which beats the
+    // middle of the tail by a wide margin.
+    EXPECT_GT(counts[0], counts[1]) << "theta=" << theta;
+    EXPECT_GT(counts[1], counts[kN / 2] * 2) << "theta=" << theta;
+    // No artificial mass spike on the last rank (the old collapse dumped
+    // the whole tail there).
+    EXPECT_LT(counts[kN - 1], counts[0] / 4) << "theta=" << theta;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Histogram
 // ---------------------------------------------------------------------------
@@ -309,6 +344,23 @@ TEST(HistogramTest, RecordNWeights) {
   h.RecordN(100.0, 50);
   EXPECT_EQ(h.count(), 50u);
   EXPECT_NEAR(h.Mean(), 100.0, 1e-9);
+}
+
+// Regression: negative frexp exponents used to clamp to 0, so every value
+// in (0, 1) aliased into the exponent-0 buckets — 0.3 and 0.6 shared a
+// midpoint and sub-unity percentiles were fiction.
+TEST(HistogramTest, SubUnityValuesResolve) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(0.3);
+  for (int i = 0; i < 1000; ++i) h.Record(0.6);
+  // The two populations land in different buckets, so the quartiles
+  // straddle them instead of reporting one shared midpoint.
+  EXPECT_NEAR(h.Percentile(0.25), 0.3, 0.3 * 0.05);
+  EXPECT_NEAR(h.Percentile(0.75), 0.6, 0.6 * 0.05);
+  // Relative error holds across the sub-unity decades too.
+  Histogram fine;
+  fine.Record(0.001);
+  EXPECT_NEAR(fine.P50(), 0.001, 0.001 * 0.02);
 }
 
 TEST(HistogramTest, SummaryMentionsStats) {

@@ -102,6 +102,22 @@ TEST_F(SchedulerTest, NagleProbeFiresWhenNothingOutstanding) {
   EXPECT_EQ(sched_.QueuedTotal(), 1u);
 }
 
+// Regression: Visit used strict `<`, so a request whose cost exactly
+// equaled the advertised tokens was deferred (or sent as a zero-token
+// probe) instead of a normal send — against Algorithm 1's "tokens >= cost".
+TEST_F(SchedulerTest, BoundaryCostEqualToTokensSendsNormally) {
+  SsdRef t{2, 0};
+  view_.Account(t).tokens = 3;
+  view_.Account(t).outstanding = 4;  // deferral arm would trigger if taken
+  sched_.Enqueue(tenant_, Req(t, 3, 7));
+  EXPECT_EQ(sent_, (std::vector<int>{7}));
+  EXPECT_EQ(sched_.stats().sent_with_tokens, 1u);
+  EXPECT_EQ(sched_.stats().sent_as_probe, 0u);
+  EXPECT_EQ(sched_.stats().deferrals, 0u);
+  // OnSend charged the exact cost: the account is drained, not probed to 0.
+  EXPECT_EQ(view_.Account(t).tokens, 0);
+}
+
 TEST_F(SchedulerTest, RoundRobinAcrossTenants) {
   uint32_t t2 = sched_.AddTenant();
   SsdRef a{0, 0}, b{1, 0};

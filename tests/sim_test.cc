@@ -102,10 +102,46 @@ TEST(SimulatorTest, PendingCountTracksLiveEvents) {
   EventId a = s.Schedule(10, [] {});
   s.Schedule(20, [] {});
   EXPECT_EQ(s.events_pending(), 2u);
-  s.Cancel(a);  // lazily reclaimed at dispatch time
+  s.Cancel(a);  // leaves the live count immediately: it will never run
+  EXPECT_EQ(s.events_pending(), 1u);
   s.Run();
   EXPECT_EQ(s.events_pending(), 0u);
   EXPECT_EQ(s.events_executed(), 1u);
+}
+
+// Regression: Cancel used to accept the id of an event that had already
+// fired (it only checked id < next_seq_), report success, and leak a
+// tombstone into an unordered_set that nothing ever erased. The generation
+// scheme makes the stale id unmatchable and recycles the slot.
+TEST(SimulatorTest, CancelAfterFireReturnsFalseWithoutStateGrowth) {
+  Simulator s;
+  int fired = 0;
+  EventId id = s.Schedule(5, [&] { fired++; });
+  s.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.Cancel(id));  // already ran: must not report success
+  // Repeated fire-then-cancel churn must not grow any internal state: the
+  // single slot is recycled every round.
+  for (int i = 0; i < 1000; ++i) {
+    EventId e = s.Schedule(1, [] {});
+    s.Run();
+    EXPECT_FALSE(s.Cancel(e));
+  }
+  EXPECT_EQ(s.slab_size(), 1u);
+}
+
+// Regression companion: a stale id must never cancel the event that reused
+// its slot.
+TEST(SimulatorTest, StaleIdCannotCancelSlotReuser) {
+  Simulator s;
+  EventId a = s.Schedule(5, [] {});
+  s.Run();  // slot released, generation bumped
+  int fired = 0;
+  EventId b = s.Schedule(5, [&] { fired++; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(s.Cancel(a));  // stale id aims at b's slot but wrong gen
+  s.Run();
+  EXPECT_EQ(fired, 1);  // b survived
 }
 
 TEST(SimulatorTest, DaemonEventsDoNotKeepRunAlive) {
