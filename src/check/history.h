@@ -1,0 +1,117 @@
+// Client-visible operation history capture (consistency checking, see
+// docs/CHECKING.md).
+//
+// Every front-end operation is recorded as an invoke/response pair: the
+// invoke when leed::Client starts the op, the response when the final
+// callback fires. Values are stored as 64-bit digests (the checker only
+// needs identity, not bytes), times are simulated nanoseconds, and ids are
+// assigned in invoke order — so for a fixed (seed, fault plan) the dump is
+// byte-identical across runs and the replay gate can cover it.
+//
+// Operations whose callback never fires before the run ends stay "open":
+// they may or may not have taken effect, and the checker treats them as
+// indeterminate (free to linearize at any point after their invoke, or for
+// reads, to be dropped).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace leed::check {
+
+enum class OpKind : uint8_t { kGet, kPut, kDel };
+
+// Terminal outcome of an operation as the client saw it.
+//   kOk / kNotFound  determinate: the response defines the op's semantics.
+//   kError           the client got a definite failure (e.g. Unavailable
+//                    after retries) — but a replica may still have applied
+//                    the write, so writes stay indeterminate.
+//   kOpen            no response before the run ended (indeterminate).
+enum class Outcome : uint8_t { kOk, kNotFound, kError, kOpen };
+
+std::string_view OpKindName(OpKind k);
+std::string_view OutcomeName(Outcome o);
+
+// Sentinel response time for ops that never completed.
+constexpr SimTime kNoResponse = -1;
+
+struct HistoryOp {
+  uint64_t id = 0;        // 1-based, assigned in invoke order
+  uint32_t client = 0;    // recording client ("process" for linearizability)
+  OpKind kind = OpKind::kGet;
+  std::string key;
+  // PUT: digest of the written value. GET with Outcome::kOk: digest of the
+  // returned value. Otherwise 0.
+  uint64_t value_digest = 0;
+  uint32_t value_size = 0;
+  SimTime invoke = 0;
+  SimTime response = kNoResponse;
+  Outcome outcome = Outcome::kOpen;
+};
+
+// 64-bit digest of a value payload (FNV-1a, same as the store's key hash
+// family — cheap and stable across platforms).
+inline uint64_t ValueDigest(const std::vector<uint8_t>& value) {
+  return Fnv1a64(std::string_view(reinterpret_cast<const char*>(value.data()),
+                                  value.size()));
+}
+
+// Bounded append-only history log. Not thread-safe (the simulator is
+// single-threaded); recording order follows simulated event order, which
+// is deterministic per seed.
+class HistoryLog {
+ public:
+  explicit HistoryLog(size_t max_ops = 1u << 20) : max_ops_(max_ops) {}
+
+  // Returns the op id (>= 1), or 0 if the log is full (the op is counted
+  // in dropped() and never recorded).
+  uint64_t RecordInvoke(uint32_t client, OpKind kind, const std::string& key,
+                        uint64_t value_digest, uint32_t value_size,
+                        SimTime now);
+
+  // Fills in the response half of `op_id` (ignored for id 0 / unknown ids).
+  void RecordResponse(uint64_t op_id, SimTime now, Outcome outcome,
+                      uint64_t value_digest, uint32_t value_size);
+
+  const std::vector<HistoryOp>& ops() const { return ops_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t size() const { return ops_.size(); }
+  bool truncated() const { return dropped_ > 0; }
+  void Clear() {
+    ops_.clear();
+    dropped_ = 0;
+  }
+
+  // --- versioned dump format ---
+  // Line 1:  "leed-history v1 ops=<n> dropped=<d>"
+  // Then one line per op in id order:
+  //   "<id> c<client> <kind> <key> d=<digest hex> n=<size> i=<invoke>
+  //    r=<response|-> <outcome>"   (one physical line per op)
+  // Keys are percent-escaped so the format stays line- and space-delimited.
+  std::string Dump() const;
+  bool WriteFile(const std::string& path) const;
+
+  // Parses a v1 dump (e.g. a corpus file or a triage dump). Returns a
+  // status error on malformed input.
+  static Result<std::vector<HistoryOp>> Parse(const std::string& text);
+  static Result<std::vector<HistoryOp>> ParseFile(const std::string& path);
+
+ private:
+  size_t max_ops_;
+  std::vector<HistoryOp> ops_;
+  uint64_t dropped_ = 0;
+};
+
+// Formats one op as a dump line (shared by Dump and violation dumps).
+std::string FormatOp(const HistoryOp& op);
+// Formats a complete dump for an arbitrary op list (violation sub-histories
+// round-trip through the same parser as full logs).
+std::string FormatDump(const std::vector<HistoryOp>& ops, uint64_t dropped);
+
+}  // namespace leed::check

@@ -1,0 +1,510 @@
+#include "check/linearize.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_set>
+
+namespace leed::check {
+
+namespace {
+
+constexpr SimTime kInfTime = INT64_MAX;
+
+// One checkable operation of the per-key register model.
+struct Call {
+  const HistoryOp* src = nullptr;
+  bool is_write = false;   // PUT or DEL
+  bool is_del = false;     // write of "absent"
+  bool reads_absent = false;  // GET -> not_found
+  uint64_t digest = 0;     // written (PUT) or observed (GET ok) value
+  SimTime invoke = 0;
+  SimTime response = kInfTime;  // kInfTime: indeterminate (may apply later)
+};
+
+struct RegState {
+  bool present = false;
+  uint64_t value = 0;
+
+  bool operator==(const RegState&) const = default;
+};
+
+// Applies `c` to `s`. Returns false if the model forbids it (reads only;
+// writes always apply).
+bool StepModel(const RegState& s, const Call& c, RegState* out) {
+  if (c.is_write) {
+    out->present = !c.is_del;
+    out->value = c.is_del ? 0 : c.digest;
+    return true;
+  }
+  if (c.reads_absent) {
+    if (s.present) return false;
+  } else {
+    if (!s.present || s.value != c.digest) return false;
+  }
+  *out = s;
+  return true;
+}
+
+// Lowers history ops to model calls. Indeterminate reads return nullopt
+// (dropped); indeterminate writes keep an open response interval.
+std::vector<Call> LowerCalls(const std::vector<const HistoryOp*>& ops) {
+  std::vector<Call> calls;
+  calls.reserve(ops.size());
+  for (const HistoryOp* op : ops) {
+    const bool determinate =
+        op->outcome == Outcome::kOk || op->outcome == Outcome::kNotFound;
+    Call c;
+    c.src = op;
+    c.invoke = op->invoke;
+    c.response = determinate ? op->response : kInfTime;
+    switch (op->kind) {
+      case OpKind::kGet:
+        if (!determinate) continue;  // unconstrained, drop
+        c.reads_absent = (op->outcome == Outcome::kNotFound);
+        c.digest = op->value_digest;
+        break;
+      case OpKind::kPut:
+        c.is_write = true;
+        c.digest = op->value_digest;
+        break;
+      case OpKind::kDel:
+        // DEL -> not_found is still a successful delete of an absent key.
+        c.is_write = true;
+        c.is_del = true;
+        break;
+    }
+    calls.push_back(c);
+  }
+  return calls;
+}
+
+// ---------------------------------------------------------------------------
+// Wing–Gong search (Lowe's algorithm with a memoized configuration cache,
+// as popularized by Knossos/Porcupine).
+// ---------------------------------------------------------------------------
+
+struct EventNode {
+  EventNode* prev = nullptr;
+  EventNode* next = nullptr;
+  int call = -1;             // index into calls
+  EventNode* match = nullptr;  // call event -> its return event; else null
+};
+
+struct CacheKey {
+  std::vector<uint64_t> bits;
+  RegState state;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    uint64_t h = Mix64(k.state.value ^ (k.state.present ? 0x9e37u : 0));
+    for (uint64_t w : k.bits) h = Mix64(h ^ w);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct WgResult {
+  Verdict verdict = Verdict::kLinearizable;
+  uint64_t steps = 0;
+  int blocked_call = -1;  // violation: the op that could not linearize
+};
+
+// Checks one per-key sub-history against the register model. `budget`
+// bounds the number of explored configurations.
+WgResult WingGongCheck(const std::vector<Call>& calls, uint64_t budget) {
+  WgResult result;
+  const size_t n = calls.size();
+  if (n == 0) return result;
+
+  // Event list: one call event and one return event per op, ordered by
+  // time. Call events sort before return events at equal times, making
+  // same-instant ops overlap — the permissive (sound) tie-break.
+  struct Ev {
+    SimTime time;
+    int type;  // 0 = call, 1 = return
+    int call;
+  };
+  std::vector<Ev> evs;
+  evs.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    evs.push_back({calls[i].invoke, 0, static_cast<int>(i)});
+    evs.push_back({calls[i].response, 1, static_cast<int>(i)});
+  }
+  std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.type != b.type) return a.type < b.type;
+    return a.call < b.call;
+  });
+
+  std::vector<std::unique_ptr<EventNode>> storage;
+  storage.reserve(2 * n + 1);
+  auto make = [&storage]() {
+    storage.push_back(std::make_unique<EventNode>());
+    return storage.back().get();
+  };
+  EventNode* root = make();  // sentinel head
+  EventNode* tail = root;
+  std::vector<EventNode*> call_node(n), return_node(n);
+  for (const Ev& e : evs) {
+    EventNode* node = make();
+    node->call = e.call;
+    node->prev = tail;
+    tail->next = node;
+    tail = node;
+    if (e.type == 0) {
+      call_node[e.call] = node;
+    } else {
+      return_node[e.call] = node;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) call_node[i]->match = return_node[i];
+
+  auto lift = [](EventNode* call) {
+    call->prev->next = call->next;
+    if (call->next) call->next->prev = call->prev;
+    EventNode* ret = call->match;
+    ret->prev->next = ret->next;
+    if (ret->next) ret->next->prev = ret->prev;
+  };
+  auto unlift = [](EventNode* call) {
+    EventNode* ret = call->match;
+    ret->prev->next = ret;
+    if (ret->next) ret->next->prev = ret;
+    call->prev->next = call;
+    if (call->next) call->next->prev = call;
+  };
+
+  const size_t words = (n + 63) / 64;
+  std::vector<uint64_t> linearized(words, 0);
+  RegState state;
+  // Explored configurations; membership-only, never iterated.
+  // leed-lint: allow(unordered-iter): membership probes only
+  std::unordered_set<CacheKey, CacheKeyHash> cache;
+  struct Frame {
+    EventNode* call;
+    RegState prev_state;
+  };
+  std::vector<Frame> stack;
+
+  EventNode* entry = root->next;
+  while (root->next != nullptr) {
+    if (result.steps >= budget) {
+      result.verdict = Verdict::kInconclusive;
+      return result;
+    }
+    if (entry == nullptr) {
+      // Fell off the end without consuming everything: backtrack.
+      if (stack.empty()) {
+        result.verdict = Verdict::kViolation;
+        result.blocked_call = root->next->call;
+        return result;
+      }
+      Frame f = stack.back();
+      stack.pop_back();
+      state = f.prev_state;
+      const int c = f.call->call;
+      linearized[c / 64] &= ~(1ull << (c % 64));
+      unlift(f.call);
+      entry = f.call->next;
+      continue;
+    }
+    if (entry->match != nullptr) {
+      // Call event: try to linearize this op here.
+      ++result.steps;
+      RegState next_state;
+      bool ok = StepModel(state, calls[entry->call], &next_state);
+      if (ok) {
+        CacheKey key{linearized, next_state};
+        key.bits[entry->call / 64] |= 1ull << (entry->call % 64);
+        if (!cache.insert(std::move(key)).second) ok = false;
+      }
+      if (ok) {
+        stack.push_back({entry, state});
+        state = next_state;
+        linearized[entry->call / 64] |= 1ull << (entry->call % 64);
+        lift(entry);
+        entry = root->next;
+      } else {
+        entry = entry->next;
+      }
+    } else {
+      // Return event at the search frontier: the ops before it are pinned;
+      // if nothing is left to undo the history is not linearizable.
+      if (stack.empty()) {
+        result.verdict = Verdict::kViolation;
+        result.blocked_call = entry->call;
+        return result;
+      }
+      Frame f = stack.back();
+      stack.pop_back();
+      state = f.prev_state;
+      const int c = f.call->call;
+      linearized[c / 64] &= ~(1ull << (c % 64));
+      unlift(f.call);
+      entry = f.call->next;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Cheap targeted pass: stale / phantom / non-monotonic reads.
+// ---------------------------------------------------------------------------
+
+bool DigestsUniquePerKey(const std::vector<Call>& calls) {
+  std::vector<uint64_t> digests;
+  for (const Call& c : calls) {
+    if (c.is_write && !c.is_del) digests.push_back(c.digest);
+  }
+  std::sort(digests.begin(), digests.end());
+  return std::adjacent_find(digests.begin(), digests.end()) == digests.end();
+}
+
+std::vector<HistoryOp> CollectOps(std::initializer_list<const Call*> calls) {
+  std::vector<HistoryOp> ops;
+  for (const Call* c : calls) ops.push_back(*c->src);
+  std::sort(ops.begin(), ops.end(),
+            [](const HistoryOp& a, const HistoryOp& b) { return a.id < b.id; });
+  ops.erase(std::unique(ops.begin(), ops.end(),
+                        [](const HistoryOp& a, const HistoryOp& b) {
+                          return a.id == b.id;
+                        }),
+            ops.end());
+  return ops;
+}
+
+// Appends read-semantics violations for one key. Only called when PUT
+// digests are unique on the key (soundness precondition).
+void ReadSemanticsCheck(const std::string& key, const std::vector<Call>& calls,
+                        std::vector<Violation>* out) {
+  // Writers by digest (determinate and indeterminate PUTs).
+  std::map<uint64_t, const Call*> writer;
+  std::vector<const Call*> determinate_writes;  // PUT and DEL
+  std::vector<const Call*> reads;               // determinate GET -> value
+  for (const Call& c : calls) {
+    if (c.is_write) {
+      if (!c.is_del) writer[c.digest] = &c;
+      if (c.response != kInfTime) determinate_writes.push_back(&c);
+    } else if (!c.reads_absent) {
+      reads.push_back(&c);
+    }
+  }
+
+  for (const Call* r : reads) {
+    auto w_it = writer.find(r->digest);
+    if (w_it == writer.end()) {
+      Violation v;
+      v.key = key;
+      v.kind = "phantom-read";
+      v.detail = "op " + std::to_string(r->src->id) +
+                 " observed a value no PUT in the history ever wrote";
+      v.sub_history = CollectOps({r});
+      out->push_back(std::move(v));
+      continue;
+    }
+    const Call* w = w_it->second;
+    if (w->response == kInfTime) continue;  // indeterminate writer: no bound
+    for (const Call* w2 : determinate_writes) {
+      if (w2 == w) continue;
+      // w completed before w2 began, and w2 completed before the read
+      // began: the read observed a value that was definitely overwritten.
+      if (w->response < w2->invoke && w2->response < r->invoke) {
+        Violation v;
+        v.key = key;
+        v.kind = "stale-read";
+        v.detail = "op " + std::to_string(r->src->id) +
+                   " read the value of op " + std::to_string(w->src->id) +
+                   " although op " + std::to_string(w2->src->id) +
+                   " overwrote it strictly earlier";
+        v.sub_history = CollectOps({w, w2, r});
+        out->push_back(std::move(v));
+        break;  // one witness per read is enough
+      }
+    }
+  }
+
+  // Monotonic reads per client: a later read (same client, real-time
+  // ordered) must not observe a strictly older write.
+  std::map<uint32_t, std::vector<const Call*>> by_client;
+  for (const Call* r : reads) by_client[r->src->client].push_back(r);
+  for (auto& [client, rs] : by_client) {
+    (void)client;
+    std::sort(rs.begin(), rs.end(), [](const Call* a, const Call* b) {
+      if (a->invoke != b->invoke) return a->invoke < b->invoke;
+      return a->src->id < b->src->id;
+    });
+    for (size_t i = 0; i + 1 < rs.size(); ++i) {
+      const Call* r1 = rs[i];
+      const Call* r2 = rs[i + 1];
+      if (r1->response == kInfTime || r1->response >= r2->invoke) continue;
+      const Call* w1 =
+          writer.count(r1->digest) ? writer.at(r1->digest) : nullptr;
+      const Call* w2 =
+          writer.count(r2->digest) ? writer.at(r2->digest) : nullptr;
+      if (!w1 || !w2 || w2->response == kInfTime) continue;
+      if (w2->response < w1->invoke) {
+        Violation v;
+        v.key = key;
+        v.kind = "non-monotonic-read";
+        v.detail = "client " + std::to_string(r1->src->client) + " read op " +
+                   std::to_string(w1->src->id) + "'s value (op " +
+                   std::to_string(r1->src->id) + ") then went back to op " +
+                   std::to_string(w2->src->id) +
+                   "'s strictly older value (op " +
+                   std::to_string(r2->src->id) + ")";
+        v.sub_history = CollectOps({w1, w2, r1, r2});
+        out->push_back(std::move(v));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Violation minimization
+// ---------------------------------------------------------------------------
+
+Verdict CheckOps(const std::vector<const HistoryOp*>& ops, uint64_t budget,
+                 uint64_t* steps_used) {
+  std::vector<Call> calls = LowerCalls(ops);
+  WgResult r = WingGongCheck(calls, budget);
+  if (steps_used) *steps_used += r.steps;
+  return r.verdict;
+}
+
+// Greedy delta-debugging: drop ops whose removal keeps the sub-history
+// failing. PUTs still observed by a retained read are pinned so the
+// minimized history never contains a read of a value nobody wrote.
+std::vector<HistoryOp> MinimizeViolation(std::vector<const HistoryOp*> ops,
+                                         const CheckOptions& options,
+                                         uint64_t* steps_used) {
+  if (options.minimize_budget > 0 && ops.size() <= options.minimize_max_ops) {
+    for (size_t i = ops.size(); i-- > 0;) {
+      const HistoryOp* candidate = ops[i];
+      if (candidate->kind == OpKind::kPut) {
+        bool observed = false;
+        for (const HistoryOp* o : ops) {
+          if (o != candidate && o->kind == OpKind::kGet &&
+              o->outcome == Outcome::kOk &&
+              o->value_digest == candidate->value_digest) {
+            observed = true;
+            break;
+          }
+        }
+        if (observed) continue;
+      }
+      std::vector<const HistoryOp*> without = ops;
+      without.erase(without.begin() + static_cast<ptrdiff_t>(i));
+      if (CheckOps(without, options.minimize_budget, steps_used) ==
+          Verdict::kViolation) {
+        ops = std::move(without);
+      }
+    }
+  }
+  std::vector<HistoryOp> out;
+  out.reserve(ops.size());
+  for (const HistoryOp* op : ops) out.push_back(*op);
+  std::sort(out.begin(), out.end(),
+            [](const HistoryOp& a, const HistoryOp& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace
+
+std::string_view VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kLinearizable:
+      return "linearizable";
+    case Verdict::kViolation:
+      return "violation";
+    case Verdict::kInconclusive:
+      return "inconclusive";
+  }
+  return "?";
+}
+
+std::string CheckReport::Summary() const {
+  std::string s = std::string(VerdictName(verdict)) + ": " +
+                  std::to_string(keys_checked) + " keys, " +
+                  std::to_string(steps_used) + " steps";
+  if (inconclusive_keys > 0) {
+    s += ", " + std::to_string(inconclusive_keys) + " inconclusive";
+  }
+  if (!violations.empty()) {
+    s += ", " + std::to_string(violations.size()) + " violations (first: " +
+         violations[0].kind + " on key '" + violations[0].key + "' — " +
+         violations[0].detail + ")";
+  }
+  return s;
+}
+
+CheckReport CheckHistory(const std::vector<HistoryOp>& history,
+                         const CheckOptions& options) {
+  CheckReport report;
+
+  // P-compositionality: partition per key (sorted for determinism).
+  std::map<std::string, std::vector<const HistoryOp*>> by_key;
+  for (const HistoryOp& op : history) by_key[op.key].push_back(&op);
+
+  uint64_t budget_left = options.step_budget;
+  for (auto& [key, ops] : by_key) {
+    ++report.keys_checked;
+    std::sort(ops.begin(), ops.end(),
+              [](const HistoryOp* a, const HistoryOp* b) {
+                if (a->invoke != b->invoke) return a->invoke < b->invoke;
+                return a->id < b->id;
+              });
+    std::vector<Call> calls = LowerCalls(ops);
+
+    size_t violations_before = report.violations.size();
+    if (options.read_semantics && DigestsUniquePerKey(calls)) {
+      ReadSemanticsCheck(key, calls, &report.violations);
+    }
+    if (report.violations.size() > violations_before) {
+      // The cheap pass already convicted this key; skip the search and
+      // spend the budget on the remaining keys.
+      continue;
+    }
+
+    if (options.step_budget == 0) continue;
+    if (budget_left == 0) {
+      ++report.inconclusive_keys;
+      continue;
+    }
+    WgResult wg = WingGongCheck(calls, budget_left);
+    report.steps_used += wg.steps;
+    budget_left -= std::min(budget_left, wg.steps);
+    switch (wg.verdict) {
+      case Verdict::kLinearizable:
+        break;
+      case Verdict::kInconclusive:
+        ++report.inconclusive_keys;
+        break;
+      case Verdict::kViolation: {
+        Violation v;
+        v.key = key;
+        v.kind = "linearizability";
+        uint64_t blocked_id =
+            wg.blocked_call >= 0 ? calls[wg.blocked_call].src->id : 0;
+        v.detail = "no linearization order exists (search blocked at op " +
+                   std::to_string(blocked_id) + ")";
+        uint64_t min_steps = 0;
+        v.sub_history = MinimizeViolation(ops, options, &min_steps);
+        report.steps_used += min_steps;
+        report.violations.push_back(std::move(v));
+        break;
+      }
+    }
+  }
+
+  if (!report.violations.empty()) {
+    report.verdict = Verdict::kViolation;
+  } else if (report.inconclusive_keys > 0) {
+    report.verdict = Verdict::kInconclusive;
+  }
+  return report;
+}
+
+}  // namespace leed::check

@@ -1,0 +1,84 @@
+// P-compositional linearizability checking over captured client histories
+// (docs/CHECKING.md).
+//
+// The checked model is a map of independent registers: each key is a
+// register holding one value digest (or "absent"); PUT writes it, DEL
+// clears it, GET observes it. Linearizability is compositional over
+// independent objects (Herlihy & Wing), so the history is partitioned per
+// key and each per-key sub-history is checked on its own — this is what
+// makes Wing–Gong search tractable on cluster-scale histories.
+//
+// Two passes run per key:
+//  1. A cheap targeted read-semantics pass (stale reads, phantom reads,
+//     non-monotonic reads per client) that is sound whenever value digests
+//     are unique per key — the nemesis workload guarantees this. This is
+//     the pass aimed squarely at CRRS shipped reads (§3.7): a dirty-read
+//     bug shows up as a stale read long before full search is needed.
+//  2. A Wing–Gong / Knossos-style search with memoized state sets and a
+//     configurable step budget. Budget exhaustion reports kInconclusive
+//     for that key instead of hanging.
+//
+// Indeterminate operations (client saw an error or no response): writes
+// may still have taken effect, so they enter the search with an unbounded
+// response interval (they can linearize at any later point — including
+// "effectively never", i.e. after every read). Indeterminate reads impose
+// no constraint and are dropped.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "common/status.h"
+
+namespace leed::check {
+
+enum class Verdict : uint8_t { kLinearizable, kViolation, kInconclusive };
+
+std::string_view VerdictName(Verdict v);
+
+struct CheckOptions {
+  // Total Wing–Gong state expansions across all keys; exhausted keys
+  // report kInconclusive. 0 disables the search pass entirely.
+  uint64_t step_budget = 4'000'000;
+  // Run the cheap stale/phantom/monotonic pass (auto-skipped per key when
+  // write digests are not unique on that key).
+  bool read_semantics = true;
+  // Budget for each checker call made while auto-minimizing a violating
+  // sub-history (greedy op removal); 0 skips minimization.
+  uint64_t minimize_budget = 100'000;
+  // Per-key op-count ceiling for greedy minimization (quadratic).
+  size_t minimize_max_ops = 400;
+};
+
+struct Violation {
+  std::string key;
+  std::string kind;    // "linearizability", "stale-read", "phantom-read",
+                       // "non-monotonic-read"
+  std::string detail;  // human-readable one-liner
+  // Minimized per-key sub-history that still fails (dumpable via
+  // FormatDump and re-checkable via HistoryLog::Parse + CheckHistory).
+  std::vector<HistoryOp> sub_history;
+};
+
+struct CheckReport {
+  Verdict verdict = Verdict::kLinearizable;
+  uint64_t keys_checked = 0;
+  uint64_t steps_used = 0;
+  uint32_t inconclusive_keys = 0;
+  std::vector<Violation> violations;
+
+  std::string Summary() const;
+};
+
+// Checks a complete history (any key mix). Deterministic: keys are
+// processed in sorted order and all reported detail derives from op ids.
+// A truncated capture (HistoryLog::dropped() > 0) must not be passed here
+// blindly — the caller should treat it as inconclusive (missing invokes
+// can hide violations); see NemesisRunner.
+CheckReport CheckHistory(const std::vector<HistoryOp>& history,
+                         const CheckOptions& options = {});
+
+}  // namespace leed::check

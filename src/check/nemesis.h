@@ -1,0 +1,98 @@
+// Nemesis seed-sweep harness: drives a full ClusterSim under a fault plan
+// plus scripted membership churn, captures the client-visible history, and
+// runs the linearizability checker on every seed (docs/CHECKING.md).
+//
+// This is the consistency oracle built on PR 3's fault injection: the same
+// plans that only proved durability (acked => durable) now also prove
+// ordering. leedsim --check=linearizability and the checker self-tests
+// both run through this entry point so the CI gate and the unit tests
+// exercise the identical pipeline.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/linearize.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/fault.h"
+
+namespace leed::check {
+
+// A fault plan plus scripted join/leave churn (churn is not expressible in
+// the dev:/net:/part:/crash: grammar — it needs ClusterSim membership
+// calls).
+struct NemesisPlan {
+  std::string name;      // "crash", "partition", "churn", or "custom"
+  sim::FaultPlan faults;  // armed relative to measurement start
+  SimTime join_at = -1;   // >= 0: JoinNode() at this offset
+  SimTime leave_at = -1;  // >= 0: LeaveNode(leave_node) at this offset
+  uint32_t leave_node = 1;
+};
+
+// Resolves a plan spec: one of the named plans ("crash", "partition",
+// "churn", "none") or a raw fault-plan grammar string (docs/FAULTS.md).
+Result<NemesisPlan> ResolveNemesisPlan(const std::string& spec);
+
+// Names of the canned plans, in sweep order.
+std::vector<std::string> NamedNemesisPlans();
+
+struct NemesisOptions {
+  uint64_t base_seed = 1;
+  uint32_t seeds = 8;
+  std::string plan = "partition";  // ResolveNemesisPlan spec
+
+  // Workload shape: small hot keyspace + write-heavy mix maximizes
+  // read/write races, which is what a consistency check wants.
+  uint32_t num_keys = 24;
+  uint32_t num_clients = 3;
+  uint32_t ops_per_client = 240;
+  uint32_t value_size = 64;
+  uint32_t put_permille = 400;  // of the remaining, a slice is DELs
+  uint32_t del_permille = 60;
+  SimTime run_for = 200 * kMillisecond;  // hard deadline for the drive phase
+
+  CheckOptions check;
+
+  // TEST-ONLY mutation switch: serve possibly-dirty reads from mid-chain
+  // replicas (disables CRRS dirty-bit shipping). The sweep must then
+  // report violations — this is the end-to-end self-test of the pipeline.
+  bool unsafe_dirty_reads = false;
+
+  // Non-empty: violating (minimized, per-key) sub-histories plus the full
+  // violating history are written here for triage.
+  std::string dump_dir;
+  // Non-empty: the full history of the *first* seed is always written here
+  // (the replay gate diffs it across runs).
+  std::string history_out;
+  bool verbose = false;
+};
+
+struct SeedResult {
+  uint64_t seed = 0;
+  Verdict verdict = Verdict::kLinearizable;
+  uint64_t ops = 0;           // recorded history length
+  uint64_t completed = 0;     // ops with a determinate outcome
+  uint64_t steps = 0;         // checker steps spent
+  std::vector<Violation> violations;
+  std::vector<std::string> dump_paths;
+};
+
+struct NemesisResult {
+  std::vector<SeedResult> seeds;
+  uint32_t violating_seeds = 0;
+  uint32_t inconclusive_seeds = 0;
+
+  bool AllLinearizable() const {
+    return violating_seeds == 0 && inconclusive_seeds == 0;
+  }
+};
+
+// Runs `options.seeds` independent simulations (seed = base_seed + i) and
+// checks each captured history. Deterministic: the same options produce
+// byte-identical histories and dumps.
+NemesisResult RunNemesisSweep(const NemesisOptions& options);
+
+}  // namespace leed::check

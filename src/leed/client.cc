@@ -67,6 +67,19 @@ void Client::StartOp(std::shared_ptr<Inflight> op) {
   stats_.issued++;
   op->first_issued = sim_.Now();
   op->tenant = tenant_rr_++ % std::max(1u, config_.num_tenants);
+  if (config_.history) {
+    check::OpKind kind = check::OpKind::kGet;
+    uint64_t digest = 0;
+    if (op->op == engine::OpType::kPut) {
+      kind = check::OpKind::kPut;
+      digest = check::ValueDigest(op->value);
+    } else if (op->op == engine::OpType::kDel) {
+      kind = check::OpKind::kDel;
+    }
+    op->history_op = config_.history->RecordInvoke(
+        config_.history_client_id, kind, op->key, digest,
+        static_cast<uint32_t>(op->value.size()), sim_.Now());
+  }
   Issue(std::move(op));
 }
 
@@ -244,6 +257,23 @@ void Client::RetryLater(std::shared_ptr<Inflight> op, SimTime delay) {
 void Client::Complete(std::shared_ptr<Inflight> op, Status st,
                       std::vector<uint8_t> value) {
   const SimTime latency = sim_.Now() - op->first_issued;
+  if (config_.history && op->history_op != 0) {
+    check::Outcome outcome = check::Outcome::kError;
+    if (st.ok()) {
+      outcome = check::Outcome::kOk;
+    } else if (st.IsNotFound()) {
+      outcome = check::Outcome::kNotFound;
+    }
+    uint64_t digest = 0;
+    uint32_t size = 0;
+    if (op->op == engine::OpType::kGet && st.ok()) {
+      digest = check::ValueDigest(value);
+      size = static_cast<uint32_t>(value.size());
+    }
+    config_.history->RecordResponse(op->history_op, sim_.Now(), outcome,
+                                    digest, size);
+    op->history_op = 0;
+  }
   if (st.ok()) {
     stats_.ok++;
   } else if (st.IsNotFound()) {

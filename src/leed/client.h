@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "check/history.h"
 #include "cluster/membership.h"
 #include "cluster/wire.h"
 #include "common/histogram.h"
@@ -52,6 +53,13 @@ struct ClientConfig {
   // "client<i>"); empty leaves standalone clients unregistered.
   obs::Registry* metrics_registry = nullptr;
   std::string metrics_prefix;
+  // Consistency checking (src/check): when non-null, every operation's
+  // invoke/response is recorded under `history_client_id` (ClusterSim wires
+  // one shared log across its clients when ClusterConfig::record_history is
+  // set). Retries stay inside one recorded op: the interval runs from first
+  // issue to final completion, which is exactly the client-visible window.
+  check::HistoryLog* history = nullptr;
+  uint32_t history_client_id = 0;
 };
 
 struct ClientStats {
@@ -109,6 +117,7 @@ class Client {
     uint32_t tenant = 0;
     flowctl::SsdRef last_target;
     sim::EventId timeout_event = 0;
+    uint64_t history_op = 0;
   };
 
   void StartOp(std::shared_ptr<Inflight> op);

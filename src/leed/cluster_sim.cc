@@ -30,10 +30,15 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
     n->set_node_endpoints(&node_endpoints_);
     nodes_.push_back(std::move(n));
   }
+  if (config_.record_history) {
+    history_ = std::make_unique<check::HistoryLog>(config_.history_max_ops);
+  }
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
     ClientConfig cc = config_.client;
     cc.metrics_registry = config_.node.metrics_registry;
     cc.metrics_prefix = "client" + std::to_string(c);
+    cc.history = history_.get();
+    cc.history_client_id = c;
     auto cl = std::make_unique<Client>(*sim_, *net_, cp_->endpoint(),
                                        &node_endpoints_, std::move(cc));
     cp_->RegisterClient(cl->endpoint());

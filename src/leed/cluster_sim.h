@@ -30,6 +30,10 @@ struct ClusterConfig {
   ClientConfig client;
   cluster::ControlPlaneConfig control_plane;
   uint64_t seed = 0x1eed;
+  // Consistency checking (src/check): record every client operation into a
+  // shared HistoryLog (client i records as history client i).
+  bool record_history = false;
+  size_t history_max_ops = 1u << 20;
 };
 
 struct RunResult {
@@ -104,6 +108,9 @@ class ClusterSim {
   Client& client(uint32_t i) { return *clients_[i]; }
   uint32_t num_clients() const { return static_cast<uint32_t>(clients_.size()); }
   const ClusterConfig& config() const { return config_; }
+  // Non-null iff ClusterConfig::record_history was set.
+  const check::HistoryLog* history() const { return history_.get(); }
+  check::HistoryLog* mutable_history() { return history_.get(); }
 
   // Mean power over a window given per-core busy-time deltas.
   double ClusterPowerWatts(const std::vector<std::vector<SimTime>>& busy_at_start,
@@ -121,6 +128,7 @@ class ClusterSim {
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<sim::FaultInjector> faults_;
   std::unique_ptr<cluster::ControlPlane> cp_;
+  std::unique_ptr<check::HistoryLog> history_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::map<uint32_t, sim::EndpointId> node_endpoints_;

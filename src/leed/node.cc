@@ -268,7 +268,8 @@ void Node::HandleGet(ClientRequestMsg req) {
   auto& rep = Replica(req.vnode);
   const bool is_tail = (idx == static_cast<int>(chain.size()) - 1);
   const bool filling = view_.IsFilling(req.vnode, keypos);
-  const bool dirty = rep.IsDirty(req.key);
+  const bool dirty =
+      !config_.test_only_serve_dirty_reads && rep.IsDirty(req.key);
   // CRAQ ablation: a dirty (but data-complete) replica resolves the read
   // with a version query to the tail instead of shipping it.
   if (config_.crrs && config_.craq_version_query && dirty && !filling &&
@@ -325,7 +326,58 @@ void Node::HandleGet(ClientRequestMsg req) {
     return;
   }
 
+  if (req.shipped && dirty && !is_tail) {
+    // A shipped read normally lands at the tail, whose store always holds
+    // the latest committed value. This one landed on a dirty *mid* replica
+    // instead (the true tail is filling, so the shipper picked the
+    // tail-most data-complete member). Serving the store now could return
+    // the pre-commit value even though the tail already acked the writer —
+    // a client-visible stale read (found by the linearizability checker,
+    // docs/CHECKING.md). Park until the key's pending writes drain; the
+    // client's request timeout bounds the wait.
+    parked_reads_[{req.vnode, req.key}].push_back(std::move(req));
+    return;
+  }
+
   ServeGetLocally(std::move(req), info->local_store);
+}
+
+void Node::ServeParkedReads(VNodeId vnode, const std::string& key) {
+  auto it = parked_reads_.find(std::make_pair(vnode, key));
+  if (it == parked_reads_.end()) return;
+  if (Replica(vnode).IsDirty(key)) return;  // a pending write remains
+  std::vector<ClientRequestMsg> reqs = std::move(it->second);
+  parked_reads_.erase(it);
+  const cluster::VNodeInfo* info = OwnedVNode(vnode);
+  for (auto& req : reqs) {
+    if (!info) {
+      SendNack(req.reply_to, req.req_id);
+      continue;
+    }
+    ServeGetLocally(std::move(req), info->local_store);
+  }
+}
+
+void Node::SweepParkedReads() {
+  // Snapshot the keys first: serving/nacking mutates the map.
+  std::vector<std::pair<VNodeId, std::string>> keys;
+  keys.reserve(parked_reads_.size());
+  for (const auto& [k, reqs] : parked_reads_) {
+    (void)reqs;
+    keys.push_back(k);
+  }
+  for (auto& [vnode, key] : keys) {
+    if (!OwnedVNode(vnode)) {
+      // Ownership moved away with the view; bounce the reads back to the
+      // clients so they re-resolve against the new chain.
+      auto it = parked_reads_.find(std::make_pair(vnode, key));
+      if (it == parked_reads_.end()) continue;
+      for (auto& req : it->second) SendNack(req.reply_to, req.req_id);
+      parked_reads_.erase(it);
+      continue;
+    }
+    ServeParkedReads(vnode, key);
+  }
 }
 
 void Node::ServeGetLocally(ClientRequestMsg req, uint32_t local_store) {
@@ -435,13 +487,18 @@ void Node::CommitAsTail(VNodeId vnode, PendingWrite w,
     const cluster::VNodeInfo* info = OwnedVNode(vnode);
     const uint32_t store = info ? info->local_store : 0;
     RespondToClient(shared->reply_to, shared->req_id, st.code(), {}, store, true);
-    SendAckBackward(chain, vnode, shared->write_id, shared->key, st.ok());
+    // The commit stamp is assigned in apply-completion order: that order
+    // IS the commitment order clients observe, and replicas behind us
+    // replay acked writes in stamp order per key.
+    replication::CommitStamp stamp{view_.epoch, ++commit_seq_[vnode]};
+    SendAckBackward(chain, vnode, shared->write_id, shared->key, st.ok(),
+                    stamp);
   });
 }
 
 void Node::SendAckBackward(const std::vector<VNodeId>& chain, VNodeId self,
                            uint64_t write_id, const std::string& key,
-                           bool success) {
+                           bool success, replication::CommitStamp commit) {
   VNodeId prev = replication::PrevIn(chain, self);
   if (prev == cluster::kInvalidVNode) return;
   const cluster::VNodeInfo* pinfo = view_.Find(prev);
@@ -452,6 +509,8 @@ void Node::SendAckBackward(const std::vector<VNodeId>& chain, VNodeId self,
   ack.key = key;
   ack.vnode = prev;
   ack.success = success;
+  ack.commit_epoch = commit.epoch;
+  ack.commit_seq = commit.seq;
   SendMsg(node_endpoints_->at(pinfo->owner_node), std::move(ack));
 }
 
@@ -460,20 +519,62 @@ void Node::HandleChainAck(ChainAckMsg ack) {
   const cluster::VNodeInfo* info = OwnedVNode(ack.vnode);
   if (!info) return;
   auto& rep = Replica(ack.vnode);
-  auto pw = rep.TakePending(ack.write_id);
-  if (!pw) return;
-  auto chain = ChainForKey(ack.key);
   if (!ack.success) {
     // Aborted at the tail: roll back by dropping the pending buffer
     // (§3.8.2's failed-tail old-value semantics) and propagate.
-    SendAckBackward(chain, ack.vnode, ack.write_id, ack.key, false);
+    if (!rep.TakePending(ack.write_id)) return;
+    auto chain = ChainForKey(ack.key);
+    SendAckBackward(chain, ack.vnode, ack.write_id, ack.key, false, {});
+    ServeParkedReads(ack.vnode, ack.key);
     return;
   }
-  auto shared = std::make_shared<PendingWrite>(std::move(*pw));
-  ApplyLocal(ack.vnode, shared->is_del, shared->key, shared->value,
-             [this, vnode = ack.vnode, shared, chain](Status) {
-    Replica(vnode).MarkApplied(shared->write_id);
-    SendAckBackward(chain, vnode, shared->write_id, shared->key, true);
+  const replication::CommitStamp stamp{ack.commit_epoch, ack.commit_seq};
+  bool superseded = false;
+  auto to_apply = rep.AdmitAck(ack.write_id, stamp, &superseded);
+  if (superseded) {
+    // Acks reordered on the wire: a strictly newer commit on this key was
+    // already applied (or is applying) here, so the buffered value is
+    // obsolete — drop it without touching the store and keep propagating.
+    rep.TakePending(ack.write_id);
+    auto chain = ChainForKey(ack.key);
+    SendAckBackward(chain, ack.vnode, ack.write_id, ack.key, true, stamp);
+    ServeParkedReads(ack.vnode, ack.key);
+    return;
+  }
+  if (to_apply) ApplyAckedWrite(ack.vnode, *to_apply, ack.key);
+}
+
+void Node::ApplyAckedWrite(VNodeId vnode, uint64_t write_id, std::string key) {
+  auto& rep = Replica(vnode);
+  const PendingWrite* pw = rep.PeekPending(write_id);
+  if (!pw) {
+    // Resolved elsewhere (promotion drain / vnode drop): release the slot
+    // and keep the per-key queue moving.
+    if (auto next = rep.FinishApply(key)) {
+      ApplyAckedWrite(vnode, *next, key);
+    } else {
+      ServeParkedReads(vnode, key);
+    }
+    return;
+  }
+  // The pending entry (and with it the key's dirty bit) must survive until
+  // the local apply completes: the tail has already acked the client, so a
+  // clear dirty bit with the old value still in the store is a
+  // client-visible stale read (caught by the linearizability checker).
+  auto shared = std::make_shared<PendingWrite>(*pw);
+  ApplyLocal(vnode, shared->is_del, shared->key, shared->value,
+             [this, vnode, shared](Status) {
+    auto& r = Replica(vnode);
+    r.MarkApplied(shared->write_id);
+    r.TakePending(shared->write_id);
+    auto chain = ChainForKey(shared->key);
+    SendAckBackward(chain, vnode, shared->write_id, shared->key, true,
+                    shared->commit);
+    if (auto next = r.FinishApply(shared->key)) {
+      ApplyAckedWrite(vnode, *next, shared->key);
+    } else {
+      ServeParkedReads(vnode, shared->key);
+    }
   });
 }
 
@@ -564,6 +665,9 @@ void Node::HandleViewUpdate(cluster::ViewUpdateMsg update) {
   serving_ring_ = view_.ServingRing();
   RefreshFillTracking();
   ReforwardPending();
+  // Re-forwarding drops/promotes pending writes, which can close dirty
+  // windows; ownership may also have moved away entirely.
+  SweepParkedReads();
 }
 
 void Node::RefreshFillTracking() {

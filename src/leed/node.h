@@ -21,6 +21,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/executor.h"
@@ -50,6 +51,12 @@ struct NodeConfig {
   // Ablation: resolve dirty reads with a CRAQ-style version query to the
   // tail instead of shipping the read (§3.7's rejected alternative).
   bool craq_version_query = false;
+  // TEST-ONLY (mutation switch for the consistency harness, docs/CHECKING.md):
+  // pretend every key is clean, so mid-chain replicas answer reads from
+  // their last *applied* version even while a newer write is still
+  // propagating. The nemesis sweep must flag this as non-linearizable —
+  // it is the end-to-end proof the checker can see a CRRS dirty-read bug.
+  bool test_only_serve_dirty_reads = false;
   // Per-message network-stack cycle costs on the reference core.
   uint64_t net_rx_cycles = 1200;
   uint64_t net_tx_cycles = 700;
@@ -168,9 +175,19 @@ class Node {
   void SendNack(sim::EndpointId reply_to, uint64_t req_id);
   void SendAckBackward(const std::vector<cluster::VNodeId>& chain,
                        cluster::VNodeId self, uint64_t write_id,
-                       const std::string& key, bool success);
+                       const std::string& key, bool success,
+                       replication::CommitStamp commit);
   void CommitAsTail(cluster::VNodeId vnode, replication::PendingWrite w,
                     const std::vector<cluster::VNodeId>& chain);
+  // Apply an ack-admitted pending write (commit-stamp order per key), then
+  // release the key's apply slot and continue with any queued successor.
+  void ApplyAckedWrite(cluster::VNodeId vnode, uint64_t write_id,
+                       std::string key);
+  // Serve reads parked on (vnode, key) once the key's dirty window closed;
+  // no-op while pending writes remain. SweepParkedReads re-evaluates all
+  // parked reads after a view change (ownership may be gone entirely).
+  void ServeParkedReads(cluster::VNodeId vnode, const std::string& key);
+  void SweepParkedReads();
 
   // Send any message to another node/client, charging tx cycles.
   template <typename M>
@@ -211,12 +228,24 @@ class Node {
     bool done_sent = false;
   };
   std::map<uint64_t, CopyIn> copy_in_;
+  // Shipped reads that landed on a *dirty* non-tail replica. That only
+  // happens when the true tail is filling (the shipper picks the tail-most
+  // data-complete member), and §3.7's "the ship target holds the latest
+  // committed value" no longer holds there: the tail may have acked the
+  // client while this replica's apply is still in flight. Such reads wait
+  // until the key's pending writes drain; the client's request timeout
+  // bounds the wait if the ack never arrives.
+  std::map<std::pair<cluster::VNodeId, std::string>,
+           std::vector<ClientRequestMsg>>
+      parked_reads_;
   // Reads parked on an outstanding CRAQ version query.
   std::map<uint64_t, ClientRequestMsg> craq_pending_;
   uint64_t next_craq_id_ = 1;
 
   uint32_t net_core_rr_ = 0;
   uint64_t next_write_seq_ = 1;
+  // Per-vnode tail commit sequence (stamped into backward acks).
+  std::map<cluster::VNodeId, uint64_t> commit_seq_;
   std::unique_ptr<sim::PeriodicTimer> hb_timer_;
 
   obs::Scope scope_;

@@ -75,6 +75,11 @@ struct ChainAckMsg {
   std::string key;
   cluster::VNodeId vnode = cluster::kInvalidVNode;  // receiver's vnode
   bool success = true;
+  // Tail commit stamp (replication::CommitStamp, carried flat to keep the
+  // wire structs header-light): acks can reorder on the wire, so replicas
+  // apply in stamp order per key instead of ack-arrival order.
+  uint64_t commit_epoch = 0;
+  uint64_t commit_seq = 0;
 };
 
 struct ResponseMsg {

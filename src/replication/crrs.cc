@@ -27,6 +27,45 @@ std::optional<PendingWrite> ReplicaState::TakePending(uint64_t write_id) {
   return w;
 }
 
+std::optional<uint64_t> ReplicaState::AdmitAck(uint64_t write_id,
+                                               CommitStamp stamp,
+                                               bool* superseded) {
+  *superseded = false;
+  auto it = pending_.find(write_id);
+  if (it == pending_.end()) return std::nullopt;
+  ApplySlot& slot = apply_[it->second.key];
+  if (stamp < slot.scheduled) {
+    *superseded = true;
+    return std::nullopt;
+  }
+  it->second.commit = stamp;
+  slot.scheduled = stamp;
+  if (slot.busy) {
+    slot.waiting.emplace(stamp, write_id);
+    return std::nullopt;
+  }
+  slot.busy = true;
+  return write_id;
+}
+
+std::optional<uint64_t> ReplicaState::FinishApply(const std::string& key) {
+  auto it = apply_.find(key);
+  if (it == apply_.end()) return std::nullopt;
+  ApplySlot& slot = it->second;
+  slot.busy = false;
+  if (!slot.waiting.empty()) {
+    auto next = slot.waiting.begin();
+    const uint64_t id = next->second;
+    slot.waiting.erase(next);
+    slot.busy = true;
+    return id;
+  }
+  // Acks only arrive for buffered writes, so once the key has no pending
+  // writes the watermark can never matter again — drop the bookkeeping.
+  if (!IsDirty(key)) apply_.erase(it);
+  return std::nullopt;
+}
+
 std::vector<PendingWrite> ReplicaState::TakeAllPending() {
   std::vector<PendingWrite> out;
   out.reserve(pending_.size());
@@ -38,6 +77,9 @@ std::vector<PendingWrite> ReplicaState::TakeAllPending() {
   if (dirty_gauge_) dirty_gauge_->Add(-static_cast<double>(dirty_.size()));
   pending_.clear();
   dirty_.clear();
+  // Promotion re-commits the drained writes as tail; per-key ack slots are
+  // obsolete (in-flight apply callbacks tolerate the missing entries).
+  apply_.clear();
   return out;
 }
 

@@ -34,6 +34,22 @@
 
 namespace leed::replication {
 
+// Commit order stamped by the tail at its commitment point: view epoch
+// first (tail promotion bumps the epoch), then a per-vnode sequence. The
+// backward-ack path is NOT FIFO under injected network delays, so replicas
+// must apply acked writes in stamp order per key, not in ack-arrival order
+// (found by the linearizability checker, docs/CHECKING.md).
+struct CommitStamp {
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+  friend bool operator<(const CommitStamp& a, const CommitStamp& b) {
+    return a.epoch != b.epoch ? a.epoch < b.epoch : a.seq < b.seq;
+  }
+  friend bool operator==(const CommitStamp& a, const CommitStamp& b) {
+    return a.epoch == b.epoch && a.seq == b.seq;
+  }
+};
+
 struct PendingWrite {
   uint64_t write_id = 0;
   bool is_del = false;
@@ -43,6 +59,8 @@ struct PendingWrite {
   sim::EndpointId reply_to = sim::kInvalidEndpoint;
   uint64_t req_id = 0;
   uint64_t view_epoch = 0;
+  // Set by AdmitAck when the tail's commitment ack arrives.
+  CommitStamp commit;
 };
 
 class ReplicaState {
@@ -73,6 +91,22 @@ class ReplicaState {
 
   // Promotion to tail: drain everything in write-id (arrival) order.
   std::vector<PendingWrite> TakeAllPending();
+
+  // --- commit-ordered apply admission (backward-ack path) ---
+  // A successful ack for buffered write `write_id` arrived carrying the
+  // tail's commit stamp. Returns the write to apply now (the key's apply
+  // slot was acquired; stamp recorded on the entry), or nullopt when
+  //  * the write is unknown (already resolved),
+  //  * a strictly newer commit was already applied/admitted on this key —
+  //    then *superseded is set and the caller should drop the buffer
+  //    without touching the store (the store already holds a later value),
+  //  * an earlier-stamped apply is still running — the write waits and is
+  //    handed out by FinishApply later.
+  std::optional<uint64_t> AdmitAck(uint64_t write_id, CommitStamp stamp,
+                                   bool* superseded);
+  // The in-flight apply on `key` finished (the entry was TakePending-ed).
+  // Returns the next admitted write to apply, if one queued up meanwhile.
+  std::optional<uint64_t> FinishApply(const std::string& key);
 
   // Inspection for view-change re-forwarding.
   const std::map<uint64_t, PendingWrite>& pending() const { return pending_; }
@@ -123,6 +157,16 @@ class ReplicaState {
   // leed-lint: allow(unordered-iter): write-id dedup set, membership only
   std::unordered_set<uint64_t> applied_;
   std::deque<uint64_t> applied_order_;  // FIFO eviction for applied_
+  // Per-key apply serialization for the backward-ack path. `scheduled` is
+  // the highest admitted stamp (admission watermark); `waiting` holds
+  // admitted writes queued behind a running apply, in stamp order. Entries
+  // are erased once the key has no pending writes left.
+  struct ApplySlot {
+    bool busy = false;
+    CommitStamp scheduled;
+    std::map<CommitStamp, uint64_t> waiting;
+  };
+  std::map<std::string, ApplySlot> apply_;
   bool fill_tracking_ = false;
   // leed-lint: allow(unordered-iter): test-only membership probe, no iteration
   std::unordered_set<std::string> chain_written_;

@@ -1,0 +1,288 @@
+// Self-tests for the consistency-checking subsystem (docs/CHECKING.md):
+//
+//  * the corpus under tests/check_corpus/ — known-linearizable histories
+//    must pass, known-violating ones (stale read, lost update,
+//    non-monotonic read) must be convicted;
+//  * HistoryLog mechanics: bounded capture, dump/parse round-trip;
+//  * checker mechanics: step-budget inconclusiveness (never hangs),
+//    violation minimization, per-key compositionality;
+//  * the nemesis sweep end-to-end, including the mutation smoke test: a
+//    build that serves dirty reads MUST be reported non-linearizable,
+//    and the unmodified pipeline must come back clean and byte-identical
+//    across runs.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "check/linearize.h"
+#include "check/nemesis.h"
+
+#ifndef LEED_CHECK_CORPUS_DIR
+#error "build must define LEED_CHECK_CORPUS_DIR"
+#endif
+
+namespace leed::check {
+namespace {
+
+std::vector<HistoryOp> LoadCorpus(const std::string& name) {
+  const std::string path = std::string(LEED_CHECK_CORPUS_DIR) + "/" + name;
+  auto parsed = HistoryLog::ParseFile(path);
+  EXPECT_TRUE(parsed.ok()) << path << ": " << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+TEST(CheckCorpus, LinearizableHistoriesPass) {
+  for (const char* name :
+       {"linearizable.history", "indeterminate_ok.history"}) {
+    auto ops = LoadCorpus(name);
+    ASSERT_FALSE(ops.empty()) << name;
+    CheckReport report = CheckHistory(ops);
+    EXPECT_EQ(report.verdict, Verdict::kLinearizable)
+        << name << ": " << report.Summary();
+    EXPECT_TRUE(report.violations.empty()) << name;
+  }
+}
+
+TEST(CheckCorpus, ViolatingHistoriesAreConvicted) {
+  struct Case {
+    const char* file;
+    const char* key;
+  };
+  for (const auto& c : {Case{"stale_read.history", "k0"},
+                        Case{"lost_update.history", "k0"},
+                        Case{"nonmonotonic_read.history", "k0"}}) {
+    auto ops = LoadCorpus(c.file);
+    ASSERT_FALSE(ops.empty()) << c.file;
+    CheckReport report = CheckHistory(ops);
+    EXPECT_EQ(report.verdict, Verdict::kViolation)
+        << c.file << ": " << report.Summary();
+    ASSERT_FALSE(report.violations.empty()) << c.file;
+    EXPECT_EQ(report.violations[0].key, c.key) << c.file;
+  }
+}
+
+TEST(CheckCorpus, ViolationsConvictedWithoutCheapPassesToo) {
+  // The Wing–Gong search alone (read-semantics pass disabled) must reach
+  // the same verdicts: the cheap passes are an optimization, not the oracle.
+  CheckOptions opt;
+  opt.read_semantics = false;
+  for (const char* name : {"stale_read.history", "lost_update.history",
+                           "nonmonotonic_read.history"}) {
+    auto ops = LoadCorpus(name);
+    CheckReport report = CheckHistory(ops, opt);
+    EXPECT_EQ(report.verdict, Verdict::kViolation)
+        << name << ": " << report.Summary();
+  }
+  auto ok_ops = LoadCorpus("linearizable.history");
+  EXPECT_EQ(CheckHistory(ok_ops, opt).verdict, Verdict::kLinearizable);
+}
+
+TEST(CheckCorpus, MinimizedSubHistoryStillFails) {
+  auto ops = LoadCorpus("stale_read.history");
+  CheckReport report = CheckHistory(ops);
+  ASSERT_EQ(report.verdict, Verdict::kViolation);
+  ASSERT_FALSE(report.violations.empty());
+  const auto& sub = report.violations[0].sub_history;
+  ASSERT_FALSE(sub.empty());
+  EXPECT_LE(sub.size(), ops.size());
+  // The minimized sub-history must round-trip through the dump format and
+  // still be convicted on its own.
+  auto reparsed = HistoryLog::Parse(FormatDump(sub, 0));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(CheckHistory(reparsed.value()).verdict, Verdict::kViolation);
+}
+
+// ---------------------------------------------------------------------------
+// HistoryLog mechanics
+// ---------------------------------------------------------------------------
+
+TEST(HistoryLog, RecordsAndRoundTrips) {
+  HistoryLog log(/*max_ops=*/16);
+  uint64_t a =
+      log.RecordInvoke(0, OpKind::kPut, "key with space", 0xabcd, 8, 100);
+  uint64_t b = log.RecordInvoke(1, OpKind::kGet, "key with space", 0, 0, 150);
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  log.RecordResponse(a, 200, Outcome::kOk, 0xabcd, 8);
+  // b stays open (no response) on purpose.
+  std::string dump = log.Dump();
+  auto parsed = HistoryLog::Parse(dump);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].key, "key with space");
+  EXPECT_EQ(parsed.value()[0].value_digest, 0xabcdu);
+  EXPECT_EQ(parsed.value()[0].outcome, Outcome::kOk);
+  EXPECT_EQ(parsed.value()[1].outcome, Outcome::kOpen);
+  EXPECT_EQ(parsed.value()[1].response, kNoResponse);
+  // Byte-stable: re-dumping the parsed ops reproduces the text.
+  EXPECT_EQ(FormatDump(parsed.value(), 0), dump);
+}
+
+TEST(HistoryLog, BoundedCaptureCountsDrops) {
+  HistoryLog log(/*max_ops=*/2);
+  EXPECT_NE(log.RecordInvoke(0, OpKind::kPut, "a", 1, 1, 1), 0u);
+  EXPECT_NE(log.RecordInvoke(0, OpKind::kPut, "b", 2, 1, 2), 0u);
+  EXPECT_EQ(log.RecordInvoke(0, OpKind::kPut, "c", 3, 1, 3), 0u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_TRUE(log.truncated());
+  // Responses for dropped ops (id 0) are ignored without crashing.
+  log.RecordResponse(0, 4, Outcome::kOk, 0, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Checker mechanics
+// ---------------------------------------------------------------------------
+
+// A same-key history where every op overlaps every other: worst case for
+// the search, used to prove the step budget bites instead of hanging.
+std::vector<HistoryOp> DenseConcurrentHistory(int writers) {
+  std::vector<HistoryOp> ops;
+  for (int i = 0; i < writers; ++i) {
+    HistoryOp op;
+    op.id = ops.size() + 1;
+    op.client = static_cast<uint32_t>(i);
+    op.kind = OpKind::kPut;
+    op.key = "hot";
+    op.value_digest = 0x100 + static_cast<uint64_t>(i);
+    op.value_size = 8;
+    op.invoke = 10;
+    op.response = 1000;
+    op.outcome = Outcome::kOk;
+    ops.push_back(op);
+  }
+  HistoryOp read;
+  read.id = ops.size() + 1;
+  read.client = 99;
+  read.kind = OpKind::kGet;
+  read.key = "hot";
+  read.value_digest = 0x100;
+  read.value_size = 8;
+  read.invoke = 20;
+  read.response = 990;
+  read.outcome = Outcome::kOk;
+  ops.push_back(read);
+  return ops;
+}
+
+TEST(Checker, StepBudgetReportsInconclusive) {
+  auto ops = DenseConcurrentHistory(12);
+  CheckOptions opt;
+  opt.step_budget = 1;  // starved on purpose
+  opt.read_semantics = false;
+  opt.minimize_budget = 0;
+  CheckReport report = CheckHistory(ops, opt);
+  EXPECT_EQ(report.verdict, Verdict::kInconclusive) << report.Summary();
+  EXPECT_GE(report.inconclusive_keys, 1u);
+  // With a real budget the same history resolves.
+  opt.step_budget = 4'000'000;
+  EXPECT_EQ(CheckHistory(ops, opt).verdict, Verdict::kLinearizable);
+}
+
+TEST(Checker, PerKeyCompositionality) {
+  // A violation on one key must not implicate the other keys.
+  auto bad = LoadCorpus("stale_read.history");
+  auto good = LoadCorpus("linearizable.history");
+  std::vector<HistoryOp> merged;
+  for (auto& op : good) {
+    op.key = "other-" + op.key;  // keep keyspaces disjoint
+    op.id = merged.size() + 1;
+    merged.push_back(op);
+  }
+  for (auto& op : bad) {
+    op.id = merged.size() + 1;
+    merged.push_back(op);
+  }
+  CheckReport report = CheckHistory(merged);
+  EXPECT_EQ(report.verdict, Verdict::kViolation);
+  ASSERT_FALSE(report.violations.empty());
+  for (const auto& v : report.violations) EXPECT_EQ(v.key, "k0");
+  EXPECT_GE(report.keys_checked, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Nemesis sweep end-to-end
+// ---------------------------------------------------------------------------
+
+NemesisOptions SmokeOptions() {
+  NemesisOptions opt;
+  opt.base_seed = 0x1eed;
+  opt.seeds = 2;
+  opt.plan = "none";
+  opt.ops_per_client = 120;
+  return opt;
+}
+
+TEST(NemesisSweep, CleanPipelineIsLinearizable) {
+  NemesisResult result = RunNemesisSweep(SmokeOptions());
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_TRUE(result.AllLinearizable())
+      << result.violating_seeds << " violating, " << result.inconclusive_seeds
+      << " inconclusive";
+  for (const auto& s : result.seeds) EXPECT_GT(s.completed, 0u);
+}
+
+TEST(NemesisSweep, MutationSmokeDirtyReadsAreFlagged) {
+  // The end-to-end self-test of the whole pipeline: disabling CRRS
+  // dirty-bit handling (mid-chain replicas answer reads from their last
+  // applied version while a write is in flight) must surface as a
+  // linearizability violation. If this test fails, the checker could not
+  // see a real consistency bug and the CI gate is vacuous.
+  NemesisOptions opt = SmokeOptions();
+  opt.seeds = 4;
+  opt.unsafe_dirty_reads = true;
+  NemesisResult result = RunNemesisSweep(opt);
+  EXPECT_GT(result.violating_seeds, 0u);
+  bool saw_violation_detail = false;
+  for (const auto& s : result.seeds) {
+    for (const auto& v : s.violations) {
+      EXPECT_FALSE(v.key.empty());
+      EXPECT_FALSE(v.sub_history.empty());
+      saw_violation_detail = true;
+    }
+  }
+  EXPECT_TRUE(saw_violation_detail);
+}
+
+TEST(NemesisSweep, HistoryDumpIsDeterministic) {
+  NemesisOptions opt = SmokeOptions();
+  opt.seeds = 1;
+  auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string p1 = ::testing::TempDir() + "/nemesis_run1.history";
+  const std::string p2 = ::testing::TempDir() + "/nemesis_run2.history";
+  opt.history_out = p1;
+  RunNemesisSweep(opt);
+  opt.history_out = p2;
+  RunNemesisSweep(opt);
+  const std::string d1 = read_file(p1);
+  const std::string d2 = read_file(p2);
+  ASSERT_FALSE(d1.empty());
+  EXPECT_EQ(d1, d2) << "same (seed, plan) must produce a byte-identical dump";
+}
+
+TEST(NemesisSweep, PlanSpecsResolve) {
+  for (const auto& name : NamedNemesisPlans()) {
+    auto plan = ResolveNemesisPlan(name);
+    ASSERT_TRUE(plan.ok()) << name;
+    EXPECT_EQ(plan.value().name, name);
+  }
+  EXPECT_TRUE(ResolveNemesisPlan("net:delay_p=0.5,delay_us=100").ok());
+  EXPECT_FALSE(ResolveNemesisPlan("bogus:nonsense").ok());
+}
+
+}  // namespace
+}  // namespace leed::check

@@ -302,7 +302,7 @@ ClusterConfig TortureCluster() {
   ClusterConfig cfg;
   cfg.num_nodes = 3;
   cfg.num_clients = 1;
-  cfg.seed = 0xfa17;
+  cfg.seed = testutil::TestSeed(0xfa17);
 
   cfg.node.platform = sim::StingrayJbof();
   cfg.node.stack = StackKind::kLeed;

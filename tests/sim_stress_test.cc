@@ -20,6 +20,7 @@
 
 #include "common/rand.h"
 #include "sim/simulator.h"
+#include "test_util.h"
 
 namespace leed::sim {
 namespace {
@@ -30,7 +31,7 @@ namespace {
 // return value is checkable after every action.
 TEST(SimStressTest, ScheduleCancelChurnAgainstShadowModel) {
   Simulator s;
-  Rng rng(0xbeef);
+  Rng rng(testutil::TestSeed(0xbeef));
 
   struct Rec {
     EventId id = 0;
@@ -101,7 +102,7 @@ TEST(SimStressTest, ScheduleCancelChurnAgainstShadowModel) {
 // punch holes into the batch and force slot reuse between rounds.
 TEST(SimStressTest, FifoTieBreakSurvivesCancelHoles) {
   Simulator s;
-  Rng rng(0x7a57e);
+  Rng rng(testutil::TestSeed(0x7a57e));
   for (int round = 0; round < 200; ++round) {
     std::vector<int> order;
     std::vector<EventId> batch;
@@ -166,7 +167,7 @@ TEST(SimStressTest, ChurnReplaysIdentically) {
 // must stay correct across slot reuse.
 TEST(SimStressTest, DaemonTimerChurn) {
   Simulator s;
-  Rng rng(0xdae);
+  Rng rng(testutil::TestSeed(0xdae));
   int ticks = 0;
   PeriodicTimer timer(s, 7, [&ticks] { ++ticks; });
   for (int round = 0; round < 500; ++round) {

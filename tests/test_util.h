@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -14,6 +16,19 @@
 #include "sim/simulator.h"
 
 namespace leed::testutil {
+
+// Seed for randomized tests: `default_seed` unless the LEED_TEST_SEED
+// environment variable overrides it (decimal or 0x-hex). Always announced
+// on stdout, so a failing run's log (ctest --output-on-failure) names the
+// exact seed to replay: LEED_TEST_SEED=<seed> ./some_test.
+inline uint64_t TestSeed(uint64_t default_seed) {
+  uint64_t seed = default_seed;
+  if (const char* env = std::getenv("LEED_TEST_SEED"); env && *env) {
+    seed = std::strtoull(env, nullptr, 0);
+  }
+  std::printf("LEED_TEST_SEED=%llu\n", static_cast<unsigned long long>(seed));
+  return seed;
+}
 
 // Run the simulator until `done` is true or the event queue drains.
 // Returns true if `done` became true.

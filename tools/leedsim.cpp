@@ -17,6 +17,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "check/nemesis.h"
 #include "leed/cluster_sim.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,6 +45,15 @@ struct Options {
   std::string metrics_out;  // write a registry snapshot (JSON) here
   std::string trace_out;    // enable the event trace and write it here
   std::string fault_plan;   // sim::ParseFaultPlan grammar (docs/FAULTS.md)
+
+  // Consistency-checking mode (docs/CHECKING.md): --check=linearizability
+  // switches leedsim from benchmarking to a nemesis seed sweep.
+  std::string check;
+  uint32_t seeds = 8;           // sweep width (seed, seed+1, ...)
+  std::string check_plan;       // named plan, raw grammar, or "all"
+  std::string check_dump_dir;   // violating histories land here
+  std::string history_out;      // full history of the first seed
+  bool unsafe_dirty_reads = false;  // TEST-ONLY mutation switch
 };
 
 void Usage(const char* argv0) {
@@ -68,7 +78,19 @@ void Usage(const char* argv0) {
       "  --fault-plan=PLAN          arm a fault schedule, e.g.\n"
       "                             'dev:read_err=0.01;net:drop=0.001;"
       "crash:node=2,at_ms=50,restart_ms=120'\n"
-      "                             (see docs/FAULTS.md for the grammar)\n",
+      "                             (see docs/FAULTS.md for the grammar)\n"
+      "consistency checking (docs/CHECKING.md):\n"
+      "  --check=linearizability    run a nemesis seed sweep + checker instead\n"
+      "                             of a benchmark; exit 0 = all seeds\n"
+      "                             linearizable, 1 = violation, 4 = inconclusive\n"
+      "  --seeds=N                  sweep width: seeds seed..seed+N-1 (default 8)\n"
+      "  --check-plan=P             nemesis plan: crash|partition|churn|none|all\n"
+      "                             or a raw fault-plan grammar (default: the\n"
+      "                             --fault-plan value, else 'partition')\n"
+      "  --check-dump-dir=DIR       write violating (minimized) histories here\n"
+      "  --history-out=FILE         write the first seed's full history dump\n"
+      "  --unsafe-dirty-reads       TEST-ONLY: disable CRRS dirty-bit handling;\n"
+      "                             the sweep is expected to FAIL (self-test)\n",
       argv0);
 }
 
@@ -90,6 +112,67 @@ workload::Mix ParseMix(const std::string& m) {
   if (m == "WR") return workload::Mix::kWriteOnly;
   std::fprintf(stderr, "unknown mix '%s'\n", m.c_str());
   std::exit(2);
+}
+
+// --check=linearizability: run the nemesis seed sweep instead of a bench.
+// Exit codes: 0 all seeds linearizable, 1 violation(s), 4 inconclusive.
+int RunCheckMode(const Options& opt) {
+  if (opt.check != "linearizability") {
+    std::fprintf(stderr, "unknown --check mode '%s' (try linearizability)\n",
+                 opt.check.c_str());
+    return 2;
+  }
+  std::string spec = opt.check_plan;
+  if (spec.empty()) spec = opt.fault_plan.empty() ? "partition" : opt.fault_plan;
+  std::vector<std::string> plans;
+  if (spec == "all") {
+    plans = check::NamedNemesisPlans();
+  } else {
+    plans.push_back(spec);
+  }
+
+  bool violation = false;
+  bool inconclusive = false;
+  for (size_t p = 0; p < plans.size(); ++p) {
+    check::NemesisOptions no;
+    no.base_seed = opt.seed;
+    no.seeds = opt.seeds;
+    no.plan = plans[p];
+    no.unsafe_dirty_reads = opt.unsafe_dirty_reads;
+    no.dump_dir = opt.check_dump_dir;
+    no.verbose = opt.verbose;
+    if (!opt.history_out.empty()) {
+      no.history_out = plans.size() == 1 ? opt.history_out
+                                         : opt.history_out + "." + plans[p];
+    }
+    std::printf("checking plan '%s': %u seeds from %llu%s\n", plans[p].c_str(),
+                no.seeds, static_cast<unsigned long long>(no.base_seed),
+                opt.unsafe_dirty_reads ? "  [UNSAFE DIRTY READS]" : "");
+    check::NemesisResult res = check::RunNemesisSweep(no);
+    uint32_t clean = 0;
+    for (const check::SeedResult& sr : res.seeds) {
+      if (sr.verdict == check::Verdict::kLinearizable) ++clean;
+      for (const std::string& path : sr.dump_paths) {
+        std::printf("  dump: %s\n", path.c_str());
+      }
+    }
+    std::printf("  plan %-9s: %u/%zu seeds linearizable, %u violating, "
+                "%u inconclusive\n",
+                plans[p].c_str(), clean, res.seeds.size(),
+                res.violating_seeds, res.inconclusive_seeds);
+    violation |= res.violating_seeds > 0;
+    inconclusive |= res.inconclusive_seeds > 0;
+  }
+  if (violation) {
+    std::printf("VERDICT: NOT linearizable\n");
+    return 1;
+  }
+  if (inconclusive) {
+    std::printf("VERDICT: inconclusive (budget or truncated history)\n");
+    return 4;
+  }
+  std::printf("VERDICT: linearizable\n");
+  return 0;
 }
 
 }  // namespace
@@ -114,6 +197,13 @@ int main(int argc, char** argv) {
     else if (ParseFlag(argv[i], "--metrics-out", &v)) opt.metrics_out = v;
     else if (ParseFlag(argv[i], "--trace-out", &v)) opt.trace_out = v;
     else if (ParseFlag(argv[i], "--fault-plan", &v)) opt.fault_plan = v;
+    else if (ParseFlag(argv[i], "--check", &v)) opt.check = v;
+    else if (ParseFlag(argv[i], "--seeds", &v)) opt.seeds = std::stoul(v);
+    else if (ParseFlag(argv[i], "--check-plan", &v)) opt.check_plan = v;
+    else if (ParseFlag(argv[i], "--check-dump-dir", &v)) opt.check_dump_dir = v;
+    else if (ParseFlag(argv[i], "--history-out", &v)) opt.history_out = v;
+    else if (std::strcmp(argv[i], "--unsafe-dirty-reads") == 0)
+      opt.unsafe_dirty_reads = true;
     else if (std::strcmp(argv[i], "--verbose") == 0) opt.verbose = true;
     else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       Usage(argv[0]);
@@ -124,6 +214,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (!opt.check.empty()) return RunCheckMode(opt);
 
   ClusterConfig cfg;
   if (opt.system == "leed") {
