@@ -6,10 +6,18 @@
 // latency by up to ~87%/96% — one hot tail no longer bottlenecks reads,
 // since clean replicas serve them and the client picks the replica with the
 // most tokens.
+//
+// The grid's 20 cluster runs are independent, so they fan out across
+// $LEED_BENCH_JOBS sweep workers (docs/PARALLEL_SIM.md) with a per-run
+// metrics registry each; cells are index-addressed and printed afterwards,
+// so the table and the per-run JSON are identical for any jobs value.
 
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "sim/sweep.h"
 
 using namespace leed;
 
@@ -21,8 +29,10 @@ struct Point {
   double p999_ms;
 };
 
-Point RunOne(workload::Mix mix, double skew, bool crrs) {
+Point RunOne(workload::Mix mix, double skew, bool crrs,
+             obs::Registry* registry) {
   ClusterConfig cfg = bench::LeedCluster(3, 1024);
+  cfg.node.metrics_registry = registry;
   cfg.node.crrs = crrs;
   cfg.client.crrs_reads = crrs;
   ClusterSim cluster(std::move(cfg));
@@ -49,14 +59,38 @@ Point RunOne(workload::Mix mix, double skew, bool crrs) {
 int main() {
   bench::PrintHeader("Figure 7: CRRS on/off vs Zipf skewness (YCSB-B, YCSB-C)");
   const double skews[] = {0.1, 0.5, 0.9, 0.95, 0.99};
-  for (auto mix : {workload::Mix::kB, workload::Mix::kC}) {
+  const workload::Mix mixes[] = {workload::Mix::kB, workload::Mix::kC};
+
+  struct Cell {
+    workload::Mix mix;
+    double skew;
+    bool crrs;
+    Point p{};
+  };
+  std::vector<Cell> grid;
+  for (auto mix : mixes) {
+    for (double skew : skews) {
+      for (bool crrs : {true, false}) grid.push_back({mix, skew, crrs});
+    }
+  }
+
+  sim::ParallelFor(static_cast<uint32_t>(grid.size()), bench::BenchJobs(),
+                   [&](uint32_t i) {
+                     obs::Registry registry;
+                     grid[i].p =
+                         RunOne(grid[i].mix, grid[i].skew, grid[i].crrs,
+                                &registry);
+                   });
+
+  size_t idx = 0;
+  for (auto mix : mixes) {
     std::printf("\n%s:\n", workload::MixName(mix));
     bench::PrintRow({"skew", "thr w/ KQPS", "thr w/o", "avg w/ ms", "avg w/o",
                      "p999 w/ ms", "p999 w/o"},
                     13);
     for (double skew : skews) {
-      Point with = RunOne(mix, skew, true);
-      Point without = RunOne(mix, skew, false);
+      const Point with = grid[idx++].p;
+      const Point without = grid[idx++].p;
       bench::PrintRow({bench::Fmt("%.2f", skew), bench::Fmt("%.1f", with.kqps),
                        bench::Fmt("%.1f", without.kqps),
                        bench::Fmt("%.2f", with.avg_ms),

@@ -6,6 +6,9 @@
 #include <functional>
 
 #include "leed/cluster_sim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/sweep.h"
 
 namespace leed::check {
 
@@ -27,11 +30,17 @@ std::vector<uint8_t> NemesisValue(uint64_t seed, uint32_t client,
 
 std::string NemesisKey(uint32_t i) { return "nk" + std::to_string(i); }
 
-ClusterConfig NemesisCluster(const NemesisOptions& opt, uint64_t seed) {
+ClusterConfig NemesisCluster(const NemesisOptions& opt, uint64_t seed,
+                             obs::Registry* registry, obs::TraceRing* trace) {
   ClusterConfig cfg;
   cfg.num_nodes = 3;
   cfg.num_clients = opt.num_clients;
   cfg.seed = seed;
+  cfg.sharded = opt.sharded;
+  // Never the process-wide defaults: seeds may run on parallel sweep
+  // workers, so all observability state must be per-seed.
+  cfg.node.metrics_registry = registry;
+  cfg.node.trace = trace;
 
   cfg.node.platform = sim::StingrayJbof();
   cfg.node.stack = StackKind::kLeed;
@@ -83,7 +92,9 @@ SeedResult RunNemesisSeed(const NemesisOptions& opt, const NemesisPlan& plan,
   SeedResult result;
   result.seed = seed;
 
-  ClusterSim cluster(NemesisCluster(opt, seed));
+  obs::Registry registry;
+  obs::TraceRing trace(0);  // disabled: nemesis never dumps traces
+  ClusterSim cluster(NemesisCluster(opt, seed, &registry, &trace));
   cluster.Bootstrap();
   sim::Simulator& sim = cluster.simulator();
 
@@ -257,15 +268,23 @@ NemesisResult RunNemesisSweep(const NemesisOptions& options) {
     result.inconclusive_seeds = 1;
     return result;
   }
-  for (uint32_t i = 0; i < options.seeds; ++i) {
-    const uint64_t seed = options.base_seed + i;
-    SeedResult sr = RunNemesisSeed(options, plan.value(), seed, i == 0);
+  // Seeds are independent simulations (per-seed registry/ring, seed-named
+  // dump files), so the sweep runs on the seed-parallel pool. Every worker
+  // writes only its own index-addressed slot; aggregation and verbose
+  // reporting happen afterwards in seed order, so any --jobs value yields
+  // byte-identical output (docs/PARALLEL_SIM.md).
+  result.seeds.resize(options.seeds);
+  sim::ParallelFor(options.seeds, options.jobs, [&](uint32_t i) {
+    result.seeds[i] =
+        RunNemesisSeed(options, plan.value(), options.base_seed + i, i == 0);
+  });
+  for (const SeedResult& sr : result.seeds) {
     if (sr.verdict == Verdict::kViolation) ++result.violating_seeds;
     if (sr.verdict == Verdict::kInconclusive) ++result.inconclusive_seeds;
     if (options.verbose) {
       std::printf("  seed %llu [%s]: %s (%llu ops, %llu determinate, %llu "
                   "steps, %zu violations)\n",
-                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(sr.seed),
                   plan.value().name.c_str(),
                   std::string(VerdictName(sr.verdict)).c_str(),
                   static_cast<unsigned long long>(sr.ops),
@@ -277,7 +296,6 @@ NemesisResult RunNemesisSweep(const NemesisOptions& options) {
                     v.detail.c_str());
       }
     }
-    result.seeds.push_back(std::move(sr));
   }
   return result;
 }

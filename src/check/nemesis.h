@@ -68,6 +68,17 @@ struct NemesisOptions {
   // (the replay gate diffs it across runs).
   std::string history_out;
   bool verbose = false;
+
+  // Worker threads for the seed sweep (docs/PARALLEL_SIM.md): 0 = one per
+  // host core, 1 = serial on the calling thread (the oracle the replay
+  // gate compares against). Seeds are independent simulations with
+  // per-seed registries/rings and index-addressed results, so every jobs
+  // value produces byte-identical histories, dumps, and aggregates.
+  uint32_t jobs = 1;
+  // Run each seed's ClusterSim with the sharded event loop
+  // (ClusterConfig::sharded). Byte-identical to the default loop — the
+  // replay gate diffs the two.
+  bool sharded = false;
 };
 
 struct SeedResult {

@@ -7,8 +7,28 @@
 
 namespace leed {
 
+uint32_t ClusterSim::NodeShard(uint32_t node_id) const {
+  return 1 + (config_.num_nodes ? node_id % config_.num_nodes : 0);
+}
+
+uint32_t ClusterSim::ClientShard(uint32_t client_idx) const {
+  return 1 + config_.num_nodes + client_idx;
+}
+
 ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
   sim_ = std::make_unique<sim::Simulator>();
+  if (config_.sharded) {
+    // Lookahead must lower-bound every cross-shard interaction. All
+    // cross-participant effects travel the fabric, and DeliverOne's base
+    // term is the max of the two endpoints' stacks, so the smallest
+    // base latency any NIC in this deployment declares is conservative.
+    SimTime lookahead = std::min({config_.node.platform.nic.base_latency_ns,
+                                  config_.client.nic.base_latency_ns,
+                                  sim::NicSpec{}.base_latency_ns});
+    if (lookahead < 1) lookahead = 1;
+    sim_->EnableSharding(1 + config_.num_nodes + config_.num_clients,
+                         lookahead);
+  }
   net_ = std::make_unique<sim::Network>(*sim_);
   // Fabric counters live beside the per-node trees: "net.*" in the same
   // registry the nodes will register under.
@@ -21,10 +41,14 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
   cp_ = std::make_unique<cluster::ControlPlane>(*sim_, *net_, config_.control_plane);
 
   for (uint32_t i = 0; i < config_.num_nodes; ++i) {
+    // Everything a node schedules during construction (device init, timer
+    // seeds) belongs to its shard, as do its network deliveries.
+    sim::Simulator::ShardGuard shard(*sim_, NodeShard(i));
     NodeConfig nc = config_.node;
     nc.engine.external_ssds = NodeDevices(i);
     auto n = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(), std::move(nc),
                                     i, config_.seed + 1000 + i);
+    net_->SetEndpointShard(n->endpoint(), NodeShard(i));
     node_endpoints_[i] = n->endpoint();
     cp_->RegisterNode(i, n->endpoint());
     n->set_node_endpoints(&node_endpoints_);
@@ -34,6 +58,7 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
     history_ = std::make_unique<check::HistoryLog>(config_.history_max_ops);
   }
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
+    sim::Simulator::ShardGuard shard(*sim_, ClientShard(c));
     ClientConfig cc = config_.client;
     cc.metrics_registry = config_.node.metrics_registry;
     cc.metrics_prefix = "client" + std::to_string(c);
@@ -41,6 +66,7 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
     cc.history_client_id = c;
     auto cl = std::make_unique<Client>(*sim_, *net_, cp_->endpoint(),
                                        &node_endpoints_, std::move(cc));
+    net_->SetEndpointShard(cl->endpoint(), ClientShard(c));
     cp_->RegisterClient(cl->endpoint());
     clients_.push_back(std::move(cl));
   }
@@ -59,7 +85,10 @@ void ClusterSim::Bootstrap() {
     const uint64_t pos = total ? k * (UINT64_MAX / total) : 0;
     cp_->Bootstrap(node_id, store, pos);
   }
-  for (auto& n : nodes_) n->Start();
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    sim::Simulator::ShardGuard shard(*sim_, NodeShard(i));
+    nodes_[i]->Start();
+  }
   cp_->Start();
   // Deliver the initial view everywhere.
   sim_->RunUntil(sim_->Now() + 5 * kMillisecond);
@@ -329,10 +358,12 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
 
 uint32_t ClusterSim::JoinNode() {
   const uint32_t node_id = static_cast<uint32_t>(nodes_.size());
+  sim::Simulator::ShardGuard shard(*sim_, NodeShard(node_id));
   NodeConfig nc = config_.node;
   nc.engine.external_ssds = NodeDevices(node_id);
   auto n = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(), std::move(nc),
                                   node_id, config_.seed + 1000 + node_id);
+  net_->SetEndpointShard(n->endpoint(), NodeShard(node_id));
   node_endpoints_[node_id] = n->endpoint();
   cp_->RegisterNode(node_id, n->endpoint());
   n->set_node_endpoints(&node_endpoints_);
@@ -388,11 +419,13 @@ void ClusterSim::RestartNode(uint32_t node_id) {
   if (!nodes_[node_id]->crashed()) return;
   faults_->ReviveNode(node_id);
 
+  sim::Simulator::ShardGuard shard(*sim_, NodeShard(node_id));
   NodeConfig nc = config_.node;
   nc.engine.external_ssds = NodeDevices(node_id);
   auto fresh = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(),
                                       std::move(nc), node_id,
                                       config_.seed + 1000 + node_id);
+  net_->SetEndpointShard(fresh->endpoint(), NodeShard(node_id));
   node_endpoints_[node_id] = fresh->endpoint();
   fresh->set_node_endpoints(&node_endpoints_);
   cp_->RegisterNode(node_id, fresh->endpoint());

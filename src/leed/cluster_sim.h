@@ -34,6 +34,13 @@ struct ClusterConfig {
   // shared HistoryLog (client i records as history client i).
   bool record_history = false;
   size_t history_max_ops = 1u << 20;
+  // Sharded event execution (docs/PARALLEL_SIM.md): partition the event
+  // loop into per-participant shards (control plane, each node, each
+  // client) synchronized at the fabric's minimum NIC base latency.
+  // Dispatch order — and therefore every metric, trace, and history byte —
+  // stays identical to the default single-queue mode; CI's replay gate
+  // enforces that rather than assumes it. Off by default.
+  bool sharded = false;
 };
 
 struct RunResult {
@@ -119,6 +126,12 @@ class ClusterSim {
  private:
   std::vector<std::vector<SimTime>> SnapshotBusy() const;
   void PumpUntilIdleOr(SimTime deadline);
+  // Shard layout under ClusterConfig::sharded: 0 is the control plane,
+  // 1..num_nodes the storage nodes, then the clients. Nodes joined past
+  // the initial count fold onto an original node's shard (the shard count
+  // is fixed at construction).
+  uint32_t NodeShard(uint32_t node_id) const;
+  uint32_t ClientShard(uint32_t client_idx) const;
   // Create (or return the surviving) devices for `node_id`'s LEED engine;
   // empty for baseline stacks. Owned here so they outlive node objects.
   std::vector<sim::SimSsd*> NodeDevices(uint32_t node_id);

@@ -1,0 +1,97 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace leed::sim {
+
+namespace {
+uint32_t PoolSize(uint32_t shards, uint32_t jobs) {
+  const uint32_t resolved = ResolveJobs(jobs);
+  return resolved < shards ? resolved : shards;
+}
+}  // namespace
+
+ShardedRunner::ShardedRunner(uint32_t shards, SimTime lookahead, uint32_t jobs)
+    : lookahead_(lookahead), pool_(PoolSize(shards, jobs)) {
+  assert(shards >= 1);
+  assert(lookahead >= 1 && "zero lookahead has no concurrent window");
+  sims_.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  mail_.resize(shards);
+  for (auto& row : mail_) row.resize(shards);
+}
+
+void ShardedRunner::Post(uint32_t src, uint32_t dst, SimTime when,
+                         EventFn fn) {
+  assert(src < num_shards() && dst < num_shards());
+  // The conservative contract: a cross-shard effect posted during window
+  // [T, T+L) cannot land before T+L. window_end_ is written by the driver
+  // before the round starts and only read during it.
+  if (when < window_end_) when = window_end_;
+  mail_[src][dst].push_back(PendingPost{when, std::move(fn)});
+}
+
+void ShardedRunner::DeliverMail() {
+  const uint32_t shards = num_shards();
+  for (uint32_t dst = 0; dst < shards; ++dst) {
+    merge_scratch_.clear();
+    for (uint32_t src = 0; src < shards; ++src) {
+      const auto& box = mail_[src][dst];
+      for (uint32_t i = 0; i < box.size(); ++i) {
+        merge_scratch_.push_back(MailRef{box[i].when, src, i});
+      }
+    }
+    if (merge_scratch_.empty()) continue;
+    // (when, src, idx) is a total order independent of which worker ran
+    // which shard — the whole determinism argument for this runner.
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const MailRef& a, const MailRef& b) {
+                if (a.when != b.when) return a.when < b.when;
+                if (a.src != b.src) return a.src < b.src;
+                return a.idx < b.idx;
+              });
+    for (const MailRef& m : merge_scratch_) {
+      PendingPost& p = mail_[m.src][dst][m.idx];
+      sims_[dst]->At(p.when, std::move(p.fn));
+      ++posts_delivered_;
+    }
+    for (uint32_t src = 0; src < shards; ++src) mail_[src][dst].clear();
+  }
+}
+
+SimTime ShardedRunner::Run() {
+  const uint32_t shards = num_shards();
+  DeliverMail();  // posts queued before Run() (bootstrap traffic)
+  for (;;) {
+    uint64_t live = 0;
+    SimTime next = Simulator::kNoPendingEvent;
+    for (auto& s : sims_) {
+      live += s->events_pending();
+      const SimTime t = s->NextEventTime();
+      if (t < next) next = t;
+    }
+    if (live == 0 || next == Simulator::kNoPendingEvent) break;
+    window_end_ = next + lookahead_;
+    const SimTime deadline = window_end_ - 1;
+    ++windows_;
+    pool_.Run(shards,
+              [this, deadline](uint32_t s) { sims_[s]->RunUntil(deadline); });
+    DeliverMail();
+  }
+  SimTime end = 0;
+  for (auto& s : sims_) {
+    if (s->Now() > end) end = s->Now();
+  }
+  return end;
+}
+
+uint64_t ShardedRunner::events_executed() const {
+  uint64_t total = 0;
+  for (const auto& s : sims_) total += s->events_executed();
+  return total;
+}
+
+}  // namespace leed::sim

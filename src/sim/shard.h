@@ -1,0 +1,101 @@
+// ShardedRunner: genuinely parallel conservative-lookahead execution
+// (docs/PARALLEL_SIM.md, Tier B).
+//
+// Simulator's sharded mode sequences a k-way merge on one thread so that a
+// sharded run is byte-identical to the serial oracle even when callbacks
+// share state (metrics registries, history logs, fault RNGs). When the
+// workload is *shard-pure* — every callback touches only its own shard's
+// state, and all cross-shard effects flow through Post() — that sequencing
+// is unnecessary, and this runner executes the shards on real worker
+// threads instead:
+//
+//   * each shard is its own Simulator (own heap, own slot slab, own clock);
+//   * execution proceeds in synchronization windows [T, T+L): T is the
+//     earliest pending instant across all shards, L the lookahead — the
+//     minimum latency of any cross-shard interaction. Within a window the
+//     shards are causally independent, so they run concurrently;
+//   * a cross-shard effect is a Post(src, dst, when, fn). Posts land in a
+//     per-(src, dst) mailbox that only shard src's worker writes during a
+//     window — no locks on the simulation path. `when` earlier than the
+//     window's end is clamped to it (a cross-shard effect cannot arrive
+//     sooner than one lookahead away, by definition of L);
+//   * at the window barrier the driver thread merges every mailbox into
+//     the destination shards in (when, src, FIFO-within-src) order. The
+//     merge order is a function of the posts alone, never of thread
+//     scheduling, so a run's outcome is identical for every jobs value —
+//     jobs=1 being the serial oracle the determinism tests compare against.
+//
+// The cluster simulation does NOT run on this runner (its callbacks are not
+// shard-pure; it uses Simulator's sequenced sharded mode). This runner is
+// exercised by the stress/TSan suites and the parallel-scaling bench, and
+// is the substrate for future shard-pure workloads.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+
+namespace leed::sim {
+
+class ShardedRunner {
+ public:
+  // `shards` independent Simulators, synchronized at horizon `lookahead`
+  // (>= 1), executed on up to `jobs` threads (0 = one per host core; the
+  // effective pool never exceeds the shard count).
+  ShardedRunner(uint32_t shards, SimTime lookahead, uint32_t jobs);
+
+  ShardedRunner(const ShardedRunner&) = delete;
+  ShardedRunner& operator=(const ShardedRunner&) = delete;
+
+  Simulator& shard(uint32_t i) { return *sims_[i]; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(sims_.size()); }
+  SimTime lookahead() const { return lookahead_; }
+
+  // Cross-shard event: run fn on shard dst at `when`. Safe to call from
+  // inside shard src's callbacks while a window is executing (the (src,
+  // dst) mailbox belongs to src's worker) and from the driver thread
+  // between windows. `when` below the current window's end clamps up to it.
+  void Post(uint32_t src, uint32_t dst, SimTime when, EventFn fn);
+
+  // Run synchronization windows until every shard's non-daemon work
+  // drains (daemon-only remainders do not keep it alive, matching
+  // Simulator::Run). Returns the latest shard clock.
+  SimTime Run();
+
+  // Synchronization windows completed (one barrier each).
+  uint64_t windows() const { return windows_; }
+  // Cross-shard posts merged into destination shards so far.
+  uint64_t posts_delivered() const { return posts_delivered_; }
+  uint64_t events_executed() const;
+
+ private:
+  struct PendingPost {
+    SimTime when;
+    EventCallback fn;
+  };
+  // Sort key for the barrier merge; idx preserves FIFO within one source.
+  struct MailRef {
+    SimTime when;
+    uint32_t src;
+    uint32_t idx;
+  };
+
+  // Drain every mailbox into the destination shards, deterministically.
+  void DeliverMail();
+
+  const SimTime lookahead_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  TaskPool pool_;
+  std::vector<std::vector<std::vector<PendingPost>>> mail_;  // [src][dst]
+  std::vector<MailRef> merge_scratch_;
+  SimTime window_end_ = 0;
+  uint64_t windows_ = 0;
+  uint64_t posts_delivered_ = 0;
+};
+
+}  // namespace leed::sim

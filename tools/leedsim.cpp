@@ -46,6 +46,13 @@ struct Options {
   std::string trace_out;    // enable the event trace and write it here
   std::string fault_plan;   // sim::ParseFaultPlan grammar (docs/FAULTS.md)
 
+  // Parallel execution (docs/PARALLEL_SIM.md). jobs drives the seed sweep
+  // in check mode (0 = one per host core); sharded switches the event loop
+  // to the per-participant sharded mode. Both are byte-identical to the
+  // serial defaults — CI's replay gate diffs them every push.
+  uint32_t jobs = 1;
+  bool sharded = false;
+
   // Consistency-checking mode (docs/CHECKING.md): --check=linearizability
   // switches leedsim from benchmarking to a nemesis seed sweep.
   std::string check;
@@ -79,6 +86,12 @@ void Usage(const char* argv0) {
       "                             'dev:read_err=0.01;net:drop=0.001;"
       "crash:node=2,at_ms=50,restart_ms=120'\n"
       "                             (see docs/FAULTS.md for the grammar)\n"
+      "parallel execution (docs/PARALLEL_SIM.md):\n"
+      "  --jobs=N                   seed-sweep worker threads in check mode\n"
+      "                             (default 1 = serial; 0 = all host cores)\n"
+      "  --sharded                  sharded event loop (per-node shards,\n"
+      "                             conservative lookahead); byte-identical\n"
+      "                             to the default serial loop\n"
       "consistency checking (docs/CHECKING.md):\n"
       "  --check=linearizability    run a nemesis seed sweep + checker instead\n"
       "                             of a benchmark; exit 0 = all seeds\n"
@@ -141,6 +154,8 @@ int RunCheckMode(const Options& opt) {
     no.unsafe_dirty_reads = opt.unsafe_dirty_reads;
     no.dump_dir = opt.check_dump_dir;
     no.verbose = opt.verbose;
+    no.jobs = opt.jobs;
+    no.sharded = opt.sharded;
     if (!opt.history_out.empty()) {
       no.history_out = plans.size() == 1 ? opt.history_out
                                          : opt.history_out + "." + plans[p];
@@ -197,6 +212,8 @@ int main(int argc, char** argv) {
     else if (ParseFlag(argv[i], "--metrics-out", &v)) opt.metrics_out = v;
     else if (ParseFlag(argv[i], "--trace-out", &v)) opt.trace_out = v;
     else if (ParseFlag(argv[i], "--fault-plan", &v)) opt.fault_plan = v;
+    else if (ParseFlag(argv[i], "--jobs", &v)) opt.jobs = std::stoul(v);
+    else if (std::strcmp(argv[i], "--sharded") == 0) opt.sharded = true;
     else if (ParseFlag(argv[i], "--check", &v)) opt.check = v;
     else if (ParseFlag(argv[i], "--seeds", &v)) opt.seeds = std::stoul(v);
     else if (ParseFlag(argv[i], "--check-plan", &v)) opt.check_plan = v;
@@ -232,6 +249,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.client.flow_control = opt.flow_control;
+  cfg.sharded = opt.sharded;
 
   std::printf("leedsim: %s x%u, %s, %uB values, %llu keys, skew %.2f, %s\n",
               opt.system.c_str(), opt.nodes, ("YCSB-" + opt.mix).c_str(),
