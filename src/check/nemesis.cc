@@ -52,6 +52,7 @@ ClusterConfig NemesisCluster(const NemesisOptions& opt, uint64_t seed,
   cfg.node.engine.store_template.bucket_size = 512;
   cfg.node.engine.checkpoint_period = 5 * kMillisecond;
   cfg.node.test_only_serve_dirty_reads = opt.unsafe_dirty_reads;
+  cfg.node.test_only_cross_shard_touch = opt.cross_shard_touch;
 
   cfg.client.stores_per_ssd = 2;
   cfg.client.request_timeout = 10 * kMillisecond;
@@ -270,9 +271,13 @@ NemesisResult RunNemesisSweep(const NemesisOptions& options) {
   }
   // Seeds are independent simulations (per-seed registry/ring, seed-named
   // dump files), so the sweep runs on the seed-parallel pool. Every worker
-  // writes only its own index-addressed slot; aggregation and verbose
-  // reporting happen afterwards in seed order, so any --jobs value yields
-  // byte-identical output (docs/PARALLEL_SIM.md).
+  // writes only its own index-addressed slot — result.seeds[i] is owned by
+  // the worker holding index i for the round, the same ownership-not-locks
+  // discipline the shard annotations (common/shard_annotations.h) name,
+  // with TaskPool's round barrier as the happens-before edge back to this
+  // thread. Aggregation and verbose reporting happen afterwards in seed
+  // order, so any --jobs value yields byte-identical output
+  // (docs/PARALLEL_SIM.md).
   result.seeds.resize(options.seeds);
   sim::ParallelFor(options.seeds, options.jobs, [&](uint32_t i) {
     result.seeds[i] =

@@ -61,6 +61,13 @@ struct NemesisOptions {
   // report violations — this is the end-to-end self-test of the pipeline.
   bool unsafe_dirty_reads = false;
 
+  // TEST-ONLY mutation switch (NodeConfig::test_only_cross_shard_touch):
+  // every node dispatches received messages under the wrong shard's
+  // context. With `sharded` set, a debug build's ShardAccessChecker must
+  // abort on the very first message — the end-to-end self-test of the
+  // shard-purity race detector (docs/PARALLEL_SIM.md).
+  bool cross_shard_touch = false;
+
   // Non-empty: violating (minimized, per-key) sub-histories plus the full
   // violating history are written here for triage.
   std::string dump_dir;

@@ -1,0 +1,53 @@
+// Shard-affinity annotation macros (leed::).
+//
+// The parallel-simulation contract (docs/PARALLEL_SIM.md) is that a
+// shard-pure workload's callbacks touch only their own shard's state and
+// route every cross-shard effect through `Simulator::AtOnShard` /
+// `ShardedRunner::Post`. These macros give that contract a spelling the
+// tooling can see, mirroring common/thread_annotations.h: where a
+// `leed::Mutex` field is GUARDED_BY a capability, sharded state is either
+// LEED_SHARD_AFFINE (owned by exactly one shard) or LEED_SHARD_SHARED
+// (deliberately shared, with a stated reason).
+//
+// Unlike the thread-safety macros there is no compiler backing — no
+// mainstream compiler models shard ownership — so every macro expands to
+// nothing. They are lexical markers consumed by two enforcement layers:
+//
+//   leed-lint (tools/lint)        builds a per-TU declaration table from
+//                                 them and checks the `shard-affine-capture`,
+//                                 `unannotated-sim-shared` and
+//                                 `cross-shard-call` rules (tree-is-clean is
+//                                 a blocking CI gate).
+//   sim::ShardAccessChecker       the debug-runtime half (sim/shard_check.h):
+//                                 annotated objects also register their owner
+//                                 shard and assert it at hot entry points via
+//                                 LEED_ASSERT_SHARD.
+//
+// Placement convention (what the linter parses):
+//
+//   class LEED_SHARD_AFFINE Node { ... };          // whole class is affine
+//   std::vector<NodePtr> nodes_ LEED_SHARD_AFFINE; // field: elements affine
+//   check::HistoryLog history_ LEED_SHARD_SHARED(
+//       "single log; sequenced merge serializes writers");
+//   cp_->RegisterNode(id, ep);  // LEED_CROSS_SHARD_OK: bootstrap, pre-Run
+//
+// LEED_CROSS_SHARD_OK marks one line as a reviewed cross-shard access; use
+// it for sequenced bootstrap wiring and for state transfers that happen
+// while the simulation is quiesced. Anything else should either be affine,
+// be LEED_SHARD_SHARED with a reason, or flow through a mailbox.
+
+#pragma once
+
+// On classes and fields: this state belongs to exactly one shard; only
+// events running on that shard may touch it.
+#define LEED_SHARD_AFFINE
+
+// On fields and globals: this state is intentionally visible to several
+// shards. The reason must say why that is safe today (e.g. "sequenced
+// merge serializes access") and what splits it before ShardedRunner.
+#define LEED_SHARD_SHARED(reason)
+
+// On a single line: a reviewed, deliberate cross-shard access (bootstrap
+// wiring, quiesced-state merges). Suppresses the shard lint rules for
+// that line only.
+#define LEED_CROSS_SHARD_OK

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/shard_check.h"
 #include "store/superblock.h"
 
 namespace leed::engine {
@@ -119,9 +120,12 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
         sim_, config_.checkpoint_period, [this] { WriteCheckpoints(); });
     checkpoint_timer_->Start();
   }
+  // The engine inherits its owning node's shard (it is constructed inside
+  // the node's ShardGuard). Compiles out under NDEBUG.
+  LEED_REGISTER_SHARD_OWNER(sim_, this, config_.metrics_prefix);
 }
 
-IoEngine::~IoEngine() = default;
+IoEngine::~IoEngine() { LEED_UNREGISTER_SHARD_OWNER(sim_, this); }
 
 void IoEngine::Quiesce() {
   if (swap_timer_) swap_timer_->Stop();
@@ -283,6 +287,7 @@ void IoEngine::set_data_swap_enabled(bool on) {
 }
 
 void IoEngine::Submit(Request req) {
+  LEED_ASSERT_SHARD(sim_, this, "IoEngine::Submit");
   m_.submitted->Inc();
   req.enqueued_at = sim_.Now();
   req.trace_id = next_op_seq_++;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "replication/chain.h"
+#include "sim/shard_check.h"
 
 namespace leed {
 
@@ -28,9 +29,14 @@ Client::Client(sim::Simulator& simulator, sim::Network& network,
         obs::Scope(config_.metrics_registry, config_.metrics_prefix)
             .Sub("sched"));
   }
+  // Claim this client for the current shard (ClusterSim constructs each
+  // client inside its ShardGuard). Compiles out under NDEBUG.
+  LEED_REGISTER_SHARD_OWNER(
+      sim_, this,
+      config_.metrics_prefix.empty() ? "client" : config_.metrics_prefix);
 }
 
-Client::~Client() = default;
+Client::~Client() { LEED_UNREGISTER_SHARD_OWNER(sim_, this); }
 
 void Client::AdoptView(cluster::ClusterView view) {
   if (view.epoch <= view_.epoch) return;
@@ -180,6 +186,7 @@ void Client::Issue(std::shared_ptr<Inflight> op) {
 }
 
 void Client::OnMessage(sim::Message msg) {
+  LEED_ASSERT_SHARD(sim_, this, "Client::OnMessage");
   if (auto* view = std::any_cast<cluster::ViewUpdateMsg>(&msg.payload)) {
     AdoptView(std::move(view->view));
     return;

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "sim/power.h"
+#include "sim/shard_check.h"
 
 namespace leed {
 
@@ -28,6 +29,16 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
     if (lookahead < 1) lookahead = 1;
     sim_->EnableSharding(1 + config_.num_nodes + config_.num_clients,
                          lookahead);
+#ifndef NDEBUG
+    // Debug builds arm the dynamic half of the shard-purity contract:
+    // nodes, clients, and engines register their owner shard as they are
+    // constructed below, and LEED_ASSERT_SHARD hooks in their dispatch
+    // paths verify every access. Fatal by default — a violation prints its
+    // deterministic report and aborts (CI's sharded nemesis smoke relies on
+    // the nonzero exit).
+    shard_checker_ = std::make_unique<sim::ShardAccessChecker>(*sim_);
+    shard_checker_->set_trace(config_.node.trace);
+#endif
   }
   net_ = std::make_unique<sim::Network>(*sim_);
   // Fabric counters live beside the per-node trees: "net.*" in the same
@@ -40,18 +51,25 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
   if (config_.node.trace) net_->set_trace(config_.node.trace);
   cp_ = std::make_unique<cluster::ControlPlane>(*sim_, *net_, config_.control_plane);
 
+  // Read outside the per-node guards below: the control plane is shard 0's
+  // object, and the shard-purity lint holds guard regions to that.
+  const sim::EndpointId cp_ep = cp_->endpoint();
   for (uint32_t i = 0; i < config_.num_nodes; ++i) {
     // Everything a node schedules during construction (device init, timer
     // seeds) belongs to its shard, as do its network deliveries.
     sim::Simulator::ShardGuard shard(*sim_, NodeShard(i));
     NodeConfig nc = config_.node;
     nc.engine.external_ssds = NodeDevices(i);
-    auto n = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(), std::move(nc),
+    auto n = std::make_unique<Node>(*sim_, *net_, cp_ep, std::move(nc),
                                     i, config_.seed + 1000 + i);
     net_->SetEndpointShard(n->endpoint(), NodeShard(i));
     node_endpoints_[i] = n->endpoint();
+    // LEED_CROSS_SHARD_OK: pre-Run control-plane wiring on the driver; the
+    // guard only scopes the node's own construction.
     cp_->RegisterNode(i, n->endpoint());
     n->set_node_endpoints(&node_endpoints_);
+    // LEED_CROSS_SHARD_OK: the container lives on the driver; the element
+    // it now owns is the shard-affine object.
     nodes_.push_back(std::move(n));
   }
   if (config_.record_history) {
@@ -64,10 +82,12 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
     cc.metrics_prefix = "client" + std::to_string(c);
     cc.history = history_.get();
     cc.history_client_id = c;
-    auto cl = std::make_unique<Client>(*sim_, *net_, cp_->endpoint(),
+    auto cl = std::make_unique<Client>(*sim_, *net_, cp_ep,
                                        &node_endpoints_, std::move(cc));
     net_->SetEndpointShard(cl->endpoint(), ClientShard(c));
+    // LEED_CROSS_SHARD_OK: pre-Run control-plane wiring on the driver.
     cp_->RegisterClient(cl->endpoint());
+    // LEED_CROSS_SHARD_OK: driver-side container bookkeeping.
     clients_.push_back(std::move(cl));
   }
 }
@@ -113,6 +133,10 @@ void ClusterSim::Preload(uint64_t num_keys, uint32_t value_size) {
         const cluster::VNodeInfo* info = cp_->view().Find(v);
         if (!info) continue;
         ++completed;  // decremented on completion below via counter trick
+        // A preload write belongs to the owner's shard: the store events it
+        // schedules are that node's work, and the debug shard checker holds
+        // DirectPut to the same contract as the network path.
+        sim::Simulator::ShardGuard shard(*sim_, NodeShard(info->owner_node));
         nodes_[info->owner_node]->DirectPut(
             info->local_store, key, gen.MakeValue(issued),
             [&completed](Status) { --completed; });
@@ -358,18 +382,23 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
 
 uint32_t ClusterSim::JoinNode() {
   const uint32_t node_id = static_cast<uint32_t>(nodes_.size());
+  const sim::EndpointId cp_ep = cp_->endpoint();  // shard 0's object; read pre-guard
   sim::Simulator::ShardGuard shard(*sim_, NodeShard(node_id));
   NodeConfig nc = config_.node;
   nc.engine.external_ssds = NodeDevices(node_id);
-  auto n = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(), std::move(nc),
+  auto n = std::make_unique<Node>(*sim_, *net_, cp_ep, std::move(nc),
                                   node_id, config_.seed + 1000 + node_id);
   net_->SetEndpointShard(n->endpoint(), NodeShard(node_id));
   node_endpoints_[node_id] = n->endpoint();
+  // LEED_CROSS_SHARD_OK: driver-side join wiring (see constructor).
   cp_->RegisterNode(node_id, n->endpoint());
   n->set_node_endpoints(&node_endpoints_);
   n->Start();
   const uint32_t stores = n->storage().num_stores();
+  // LEED_CROSS_SHARD_OK: driver-side container bookkeeping.
   nodes_.push_back(std::move(n));
+  // LEED_CROSS_SHARD_OK: the join protocol starts on the control plane's
+  // shard; its first event lands there via the control endpoint.
   for (uint32_t s = 0; s < stores; ++s) cp_->StartJoin(node_id, s);
   return node_id;
 }
@@ -419,15 +448,17 @@ void ClusterSim::RestartNode(uint32_t node_id) {
   if (!nodes_[node_id]->crashed()) return;
   faults_->ReviveNode(node_id);
 
+  const sim::EndpointId cp_ep = cp_->endpoint();  // shard 0's object; read pre-guard
   sim::Simulator::ShardGuard shard(*sim_, NodeShard(node_id));
   NodeConfig nc = config_.node;
   nc.engine.external_ssds = NodeDevices(node_id);
-  auto fresh = std::make_unique<Node>(*sim_, *net_, cp_->endpoint(),
+  auto fresh = std::make_unique<Node>(*sim_, *net_, cp_ep,
                                       std::move(nc), node_id,
                                       config_.seed + 1000 + node_id);
   net_->SetEndpointShard(fresh->endpoint(), NodeShard(node_id));
   node_endpoints_[node_id] = fresh->endpoint();
   fresh->set_node_endpoints(&node_endpoints_);
+  // LEED_CROSS_SHARD_OK: driver-side restart wiring (see constructor).
   cp_->RegisterNode(node_id, fresh->endpoint());
   graveyard_.push_back(std::move(nodes_[node_id]));
   nodes_[node_id] = std::move(fresh);
@@ -438,8 +469,11 @@ void ClusterSim::RestartNode(uint32_t node_id) {
     // tell the control plane, and rejoin the ring through the normal join
     // path so chain repair re-replicates anything this node missed.
     n->Start();
+    // LEED_CROSS_SHARD_OK: this completion runs long after the guard above
+    // is gone; the lexical guard region over-approximates.
     cp_->ReviveNode(node_id, n->endpoint());
     const uint32_t stores = n->storage().num_stores();
+    // LEED_CROSS_SHARD_OK: join protocol starts on the control plane's shard.
     for (uint32_t s = 0; s < stores; ++s) cp_->StartJoin(node_id, s);
   });
 }

@@ -36,6 +36,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/shard_annotations.h"
 #include "common/units.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
@@ -89,11 +90,22 @@ class ShardedRunner {
   void DeliverMail();
 
   const SimTime lookahead_;
-  std::vector<std::unique_ptr<Simulator>> sims_;
+  // sims_[i] is shard i's whole world: only shard i's worker touches it
+  // while a window executes, only the driver between windows.
+  std::vector<std::unique_ptr<Simulator>> sims_ LEED_SHARD_AFFINE;
   TaskPool pool_;
-  std::vector<std::vector<std::vector<PendingPost>>> mail_;  // [src][dst]
-  std::vector<MailRef> merge_scratch_;
-  SimTime window_end_ = 0;
+  // Mailboxes, [src][dst]: lock-free by ownership, not by accident — slot
+  // (s, d) is written only by shard s's worker during a window and drained
+  // only by the driver at the barrier; the TaskPool round handoff is the
+  // happens-before edge between those phases.
+  std::vector<std::vector<std::vector<PendingPost>>> mail_ LEED_SHARD_SHARED(
+      "per-(src,dst) slot ownership + barrier phases; see comment");
+  std::vector<MailRef> merge_scratch_;  // driver-only, barrier phase
+  // Written by the driver between windows; workers only read it (Post's
+  // clamp) while a window executes.
+  SimTime window_end_ LEED_SHARD_SHARED(
+      "window-stable: driver writes at the barrier, workers read during "
+      "the window") = 0;
   uint64_t windows_ = 0;
   uint64_t posts_delivered_ = 0;
 };

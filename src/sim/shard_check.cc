@@ -1,0 +1,76 @@
+#include "sim/shard_check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace leed::sim {
+
+ShardAccessChecker::ShardAccessChecker(Simulator& simulator) : sim_(simulator) {
+  sim_.set_shard_checker(this);
+}
+
+ShardAccessChecker::~ShardAccessChecker() {
+  if (sim_.shard_checker() == this) sim_.set_shard_checker(nullptr);
+}
+
+void ShardAccessChecker::RegisterOwner(const void* obj, std::string label) {
+  RegisterOwner(obj, std::move(label), sim_.current_shard());
+}
+
+void ShardAccessChecker::RegisterOwner(const void* obj, std::string label,
+                                       uint32_t shard) {
+  owners_[obj] = Owner{shard, std::move(label)};
+}
+
+void ShardAccessChecker::Unregister(const void* obj) { owners_.erase(obj); }
+
+void ShardAccessChecker::CheckAccess(const void* obj, const char* site) {
+  ++checks_;
+  auto it = owners_.find(obj);
+  if (it == owners_.end()) return;
+  const uint32_t actual = sim_.current_shard();
+  if (actual == it->second.shard) return;
+  ++violations_;
+  if (violations_ > 1) return;  // first violation is the latched one
+  report_ = BuildReport(it->second, actual, site);
+  if (fatal_) {
+    std::fprintf(stderr, "%s", report_.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+std::string ShardAccessChecker::BuildReport(const Owner& owner, uint32_t actual,
+                                            const char* site) const {
+  std::string out;
+  out += "=== shard-access violation ===\n";
+  out += "object:          " + owner.label + "\n";
+  out += "owner shard:     " + std::to_string(owner.shard) + "\n";
+  out += "actual shard:    " + std::to_string(actual) + "\n";
+  out += "site:            ";
+  out += site;
+  out += "\n";
+  out += "sim time (ns):   " + std::to_string(sim_.Now()) + "\n";
+  out += "events executed: " + std::to_string(sim_.events_executed()) + "\n";
+  if (trace_ != nullptr) {
+    auto events = trace_->Events();
+    constexpr size_t kTail = 8;
+    const size_t start = events.size() > kTail ? events.size() - kTail : 0;
+    out += "trace tail (last " + std::to_string(events.size() - start) +
+           " of " + std::to_string(trace_->total_recorded()) + "):\n";
+    for (size_t i = start; i < events.size(); ++i) {
+      const obs::TraceEvent& e = events[i];
+      out += "  t=" + std::to_string(e.t) + " kind=" +
+             obs::TraceKindName(e.kind) + " node=" + std::to_string(e.node) +
+             " unit=" + std::to_string(e.unit) + " id=" + std::to_string(e.id) +
+             " arg=" + std::to_string(e.arg) + "\n";
+    }
+  }
+  out += "==============================\n";
+  return out;
+}
+
+}  // namespace leed::sim

@@ -1,0 +1,130 @@
+// Debug-mode shard-access race detector (docs/PARALLEL_SIM.md).
+//
+// The sharded event loop's correctness rests on the shard-purity contract:
+// a callback dispatched on shard S touches only state owned by shard S.
+// leed-lint enforces the lexical half of that contract (shard-affine-capture,
+// cross-shard-call); this checker enforces the dynamic half. Shard-affine
+// objects register their owner shard at construction (inside the same
+// ShardGuard that places their timers), and LEED_ASSERT_SHARD() hooks in the
+// hot entry points — Node/Client message dispatch, store submission — verify
+// that Simulator::current_shard() matches the registered owner.
+//
+// The class is always compiled (unit tests exercise it in any build type);
+// only the macros vanish under NDEBUG, so release hot paths carry zero
+// instructions for it. The Simulator holds an unowned pointer that is null
+// unless a checker attached, so even debug builds pay nothing until one is
+// armed (ClusterSim arms it for sharded debug runs).
+//
+// Determinism: the first violation is latched with the simulated clock,
+// the event count, owner vs. actual shard, the object's label, the call
+// site, and the tail of the trace ring — all functions of the seed, never
+// of host addresses — so Report() is byte-stable across runs and suitable
+// for golden assertions. In fatal mode (the default, what the nemesis
+// smoke relies on) the report goes to stderr and the process aborts.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/units.h"
+
+namespace leed::obs {
+class TraceRing;
+}
+
+namespace leed::sim {
+
+class Simulator;
+
+class ShardAccessChecker {
+ public:
+  // Attaches to `simulator` (Simulator::shard_checker() returns this until
+  // destruction detaches it). One checker per simulator.
+  explicit ShardAccessChecker(Simulator& simulator);
+  ~ShardAccessChecker();
+
+  ShardAccessChecker(const ShardAccessChecker&) = delete;
+  ShardAccessChecker& operator=(const ShardAccessChecker&) = delete;
+
+  // Non-fatal mode records the first violation and keeps running (tests
+  // assert on Report()); fatal mode prints the report and aborts.
+  void set_fatal(bool fatal) { fatal_ = fatal; }
+  bool fatal() const { return fatal_; }
+
+  // Optional: Report() appends the last few events of `trace` so a
+  // violation arrives with its causal history attached.
+  void set_trace(const obs::TraceRing* trace) { trace_ = trace; }
+
+  // Claim `obj` for the *current* shard (call during construction, inside
+  // the owner's ShardGuard). Re-registering an address overwrites — a
+  // restarted node's replacement legitimately reuses freed memory.
+  void RegisterOwner(const void* obj, std::string label);
+  // Explicit-shard variant for owners created outside a guard.
+  void RegisterOwner(const void* obj, std::string label, uint32_t shard);
+  void Unregister(const void* obj);
+
+  // Verify the current shard matches obj's registered owner. Unregistered
+  // objects pass (annotation can be adopted incrementally); `site` names
+  // the hook for the report ("Node::Dispatch").
+  void CheckAccess(const void* obj, const char* site);
+
+  uint64_t checks() const { return checks_; }
+  uint64_t violations() const { return violations_; }
+  bool violated() const { return violations_ > 0; }
+
+  // Human-readable description of the first violation (empty string if
+  // none). Byte-stable for a given seed: contains no host addresses.
+  const std::string& Report() const { return report_; }
+
+ private:
+  struct Owner {
+    uint32_t shard = 0;
+    std::string label;
+  };
+
+  std::string BuildReport(const Owner& owner, uint32_t actual,
+                          const char* site) const;
+
+  Simulator& sim_;
+  const obs::TraceRing* trace_ = nullptr;
+  // leed-lint: allow(pointer-order): keyed lookups only — nothing ever
+  // iterates owners_, and reports carry labels, never addresses
+  std::map<const void*, Owner> owners_;
+  uint64_t checks_ = 0;
+  uint64_t violations_ = 0;
+  std::string report_;
+  bool fatal_ = true;
+};
+
+}  // namespace leed::sim
+
+// The hooks sit permanently in hot paths; under NDEBUG they compile to
+// nothing, and in debug builds they cost one null check until a checker is
+// armed. `sim` is a Simulator (or reference), `obj` any pointer identifying
+// the shard-affine object (conventionally `this`).
+#ifndef NDEBUG
+#define LEED_REGISTER_SHARD_OWNER(simulator, obj, label)             \
+  do {                                                               \
+    if (::leed::sim::ShardAccessChecker* leed_shard_checker =        \
+            (simulator).shard_checker())                             \
+      leed_shard_checker->RegisterOwner((obj), (label));             \
+  } while (0)
+#define LEED_UNREGISTER_SHARD_OWNER(simulator, obj)                  \
+  do {                                                               \
+    if (::leed::sim::ShardAccessChecker* leed_shard_checker =        \
+            (simulator).shard_checker())                             \
+      leed_shard_checker->Unregister((obj));                         \
+  } while (0)
+#define LEED_ASSERT_SHARD(simulator, obj, site)                      \
+  do {                                                               \
+    if (::leed::sim::ShardAccessChecker* leed_shard_checker =        \
+            (simulator).shard_checker())                             \
+      leed_shard_checker->CheckAccess((obj), (site));                \
+  } while (0)
+#else
+#define LEED_REGISTER_SHARD_OWNER(simulator, obj, label) ((void)0)
+#define LEED_UNREGISTER_SHARD_OWNER(simulator, obj) ((void)0)
+#define LEED_ASSERT_SHARD(simulator, obj, site) ((void)0)
+#endif

@@ -56,6 +56,8 @@
 
 namespace leed::sim {
 
+class ShardAccessChecker;
+
 using EventFn = EventCallback;
 
 // Opaque handle for cancellation: high 32 bits slot index, low 32 bits the
@@ -173,6 +175,12 @@ class Simulator {
   // unbounded growth here is the regression the generation scheme fixed.
   size_t slab_size() const { return slots_.size(); }
 
+  // Debug shard-purity checker hook (sim/shard_check.h). Unowned; null
+  // unless a ShardAccessChecker attached itself. The LEED_ASSERT_SHARD
+  // macros consult this, so the dispatcher itself never pays for it.
+  void set_shard_checker(ShardAccessChecker* checker) { checker_ = checker; }
+  ShardAccessChecker* shard_checker() const { return checker_; }
+
  private:
   static constexpr uint32_t kNilSlot = 0xffffffffu;
 
@@ -250,6 +258,7 @@ class Simulator {
   SimTime lookahead_ = 0;
   SimTime round_horizon_ = 0;
   uint64_t rounds_ = 0;
+  ShardAccessChecker* checker_ = nullptr;
 };
 
 // A periodic timer built on Simulator; used for heartbeats and token

@@ -20,7 +20,7 @@ TaskPool::TaskPool(uint32_t jobs) : jobs_(jobs == 0 ? 1 : jobs) {
 
 TaskPool::~TaskPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   round_start_.notify_all();
@@ -36,7 +36,7 @@ void TaskPool::DrainCursor() {
     ++done;
   }
   if (done > 0) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     completed_ += done;
     if (completed_ == count_) round_done_.notify_all();
   }
@@ -46,9 +46,11 @@ void TaskPool::WorkerLoop() {
   uint64_t seen_round = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      round_start_.wait(
-          lock, [&] { return shutdown_ || round_ != seen_round; });
+      // Plain wait loop (no predicate lambda): every guarded access sits
+      // lexically inside the MutexLock scope, where the analysis can see
+      // the capability is held.
+      MutexLock lock(&mu_);
+      while (!shutdown_ && round_ == seen_round) round_start_.wait(mu_);
       if (shutdown_) return;
       seen_round = round_;
     }
@@ -63,7 +65,7 @@ void TaskPool::Run(uint32_t count, const std::function<void(uint32_t)>& task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     count_ = count;
     task_ = &task;
     completed_ = 0;
@@ -74,8 +76,8 @@ void TaskPool::Run(uint32_t count, const std::function<void(uint32_t)>& task) {
   // The caller is worker zero: it drains the same cursor, so a pool of J
   // never leaves the calling core idle while J-1 workers grind.
   DrainCursor();
-  std::unique_lock<std::mutex> lock(mu_);
-  round_done_.wait(lock, [&] { return completed_ == count_; });
+  MutexLock lock(&mu_);
+  while (completed_ != count_) round_done_.wait(mu_);
   task_ = nullptr;
 }
 

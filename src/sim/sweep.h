@@ -29,9 +29,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace leed::sim {
 
@@ -47,8 +49,9 @@ uint32_t ResolveJobs(uint32_t requested);
 //
 // Synchronization here is intentionally boring (one mutex + two condvars):
 // a sweep round is milliseconds-to-seconds of simulation per index, so
-// wakeup latency is noise. std::mutex (not leed::Mutex) because the
-// condition_variable wait requires std::unique_lock.
+// wakeup latency is noise. The mutex is a leed::Mutex so clang's
+// thread-safety analysis proves the round-state lock discipline; the
+// condvars are condition_variable_any, which can wait on it directly.
 class TaskPool {
  public:
   explicit TaskPool(uint32_t jobs);
@@ -72,15 +75,20 @@ class TaskPool {
   const uint32_t jobs_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable round_start_;
-  std::condition_variable round_done_;
-  uint64_t round_ = 0;            // bumped per Run(); workers wake on change
-  bool shutdown_ = false;
+  Mutex mu_;
+  std::condition_variable_any round_start_;
+  std::condition_variable_any round_done_;
+  uint64_t round_ GUARDED_BY(mu_) = 0;  // bumped per Run(); workers wake on change
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  // Round-stable, deliberately NOT guarded: written under mu_ by Run()
+  // before the round_ bump publishes the round, then only *read* by
+  // workers until the round completes — the mutex handoff on round_ is the
+  // happens-before edge. Annotating them GUARDED_BY would outlaw exactly
+  // the lock-free reads the round protocol exists to permit.
   uint32_t count_ = 0;
   const std::function<void(uint32_t)>* task_ = nullptr;
   std::atomic<uint32_t> cursor_{0};
-  uint32_t completed_ = 0;        // guarded by mu_
+  uint32_t completed_ GUARDED_BY(mu_) = 0;
 };
 
 // One-shot convenience: run task(0..count-1) on up to `jobs` threads

@@ -1,0 +1,26 @@
+// lint_test fixture — cross-shard-call: inside a ShardGuard region, direct
+// method calls on LEED_SHARD_AFFINE objects must target the guarded shard
+// (share an identifier with the guard's shard expression) or carry a
+// reviewed LEED_CROSS_SHARD_OK marker. The affine declarations live in the
+// companion header (guard_calls.h). Expected findings are asserted
+// line-exactly by tests/lint_test.cc; KEEP LINE NUMBERS STABLE or update
+// the golden table.
+#include "cluster/guard_calls.h"
+
+namespace fixture {
+
+void MiniCluster::Bootstrap(int node_id) {
+  Simulator::ShardGuard guard(sim_, NodeShard(node_id));
+  nodes_[node_id]->Start();      // ok: object expression shares node_id
+  cp_->RegisterNode(node_id);    // line 15: fire — cp_ is another shard's
+  // LEED_CROSS_SHARD_OK: fixture — sequenced bootstrap wiring, pre-Run
+  cp_->StartJoin(node_id);
+  // leed-lint: allow(cross-shard-call): fixture proves suppression works
+  cp_->ReviveNode(node_id);
+}
+
+void MiniCluster::Outside(int node_id) {
+  cp_->RegisterNode(node_id);  // no ShardGuard in scope: silent
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// lint_test fixture (companion header) — declares the LEED_SHARD_AFFINE
+// fields that guard_calls.cc's ShardGuard regions touch. The per-TU model
+// must merge these declarations when linting the .cc, exactly as node.cc
+// sees node.h's annotations on the real tree.
+#pragma once
+
+#include "common/shard_annotations.h"
+
+namespace fixture {
+
+class ControlPlane;
+class Replica;
+
+struct MiniCluster {
+  void Bootstrap(int node_id);
+  void Outside(int node_id);
+
+  ControlPlane* cp_ LEED_SHARD_AFFINE;          // lives on shard 0
+  std::vector<Replica*> nodes_ LEED_SHARD_AFFINE;  // element i on shard i+1
+  Simulator sim_;
+};
+
+}  // namespace fixture

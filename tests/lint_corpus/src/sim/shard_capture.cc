@@ -1,0 +1,47 @@
+// lint_test fixture — shard-affine-capture: a lambda handed to a
+// cross-shard scheduler (Simulator::AtOnShard, ShardedRunner::Post) runs
+// on the *target* shard, so touching LEED_SHARD_AFFINE state inside it is
+// the classic wrong-shard mutation (a Node field access moved off its
+// owner shard). Expected findings are asserted line-exactly by
+// tests/lint_test.cc; KEEP LINE NUMBERS STABLE or update the golden table.
+#include "common/shard_annotations.h"
+
+namespace fixture {
+
+class LEED_SHARD_AFFINE MiniNode {
+ public:
+  void WrongShardTouch(Sim& sim, unsigned other) {
+    sim.AtOnShard(other, 10, [this] { applied_ += 1; });  // line 14: fire
+  }
+  long applied_ = 0;
+};
+
+struct Driver {
+  std::vector<int> mailbox_ LEED_SHARD_AFFINE;
+  Sim sim_;
+  Runner runner_;
+
+  void DerefViaDefaultCapture(unsigned shard) {
+    sim_.AtOnShard(shard, 5, [&] { mailbox_.push_back(1); });  // line 25: fire
+  }
+  void NamedInitCapture(unsigned shard) {
+    runner_.Post(0, shard, 7, [m = &mailbox_] { m->clear(); });  // line 28: fire
+  }
+  void SameShardSchedulerIsSilent() {
+    sim_.At(3, [&] { mailbox_.clear(); });  // At inherits the shard: ok
+  }
+  void FreeFunctionPostIsSilent(unsigned shard) {
+    Post(shard, [&] { mailbox_.clear(); });  // not the mailbox API: ok
+  }
+  void Reviewed(unsigned shard) {
+    // LEED_CROSS_SHARD_OK: fixture — reviewed quiesced-state hand-off
+    sim_.AtOnShard(shard, 9, [&] { mailbox_.clear(); });
+  }
+
+  void Allowed(unsigned shard) {
+    // leed-lint: allow(shard-affine-capture): fixture proves suppression
+    sim_.AtOnShard(shard, 11, [&] { mailbox_.clear(); });
+  }
+};
+
+}  // namespace fixture

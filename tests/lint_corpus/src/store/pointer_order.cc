@@ -1,0 +1,33 @@
+// lint_test fixture — pointer-order: ordered containers keyed by raw
+// pointers and explicit pointer `<` comparisons order by allocation
+// address, which differs run to run and breaks the replay gate. Expected
+// findings are asserted line-exactly by tests/lint_test.cc; KEEP LINE
+// NUMBERS STABLE or update the golden table.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Extent {
+  int id;
+};
+
+struct Tracker {
+  std::map<Extent*, int> by_addr_;   // line 16: fire — pointer key
+  std::set<const Extent*> live_;     // line 17: fire — pointer key
+  std::map<int, Extent*> by_id_;     // ok: pointer is the mapped value
+  std::set<int> ids_;                // ok
+
+  // leed-lint: allow(pointer-order): fixture proves suppression works
+  std::map<Extent*, int> reviewed_;
+
+  bool Before(Extent* a, Extent* b) const {
+    return a < b;  // line 25: fire — address comparison
+  }
+  bool ById(Extent* a, Extent* b) const {
+    return a->id < b->id;  // ok: compares members, not addresses
+  }
+  bool Mul(int x, int y) const { return x * y < 4; }  // ok: arithmetic
+};
+
+}  // namespace fixture

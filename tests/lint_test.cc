@@ -54,6 +54,7 @@ TEST(LintCorpusTest, MatchesGoldenTable) {
   // LintTree sorts by (file, line, rule, message); keep this table in that
   // order so a mismatch points at the first divergence.
   const std::vector<Expected> kGolden = {
+      {"src/cluster/guard_calls.cc", 15, "cross-shard-call"},
       {"src/common/no_pragma.h", 1, "pragma-once"},
       {"src/engine/allow_misuse.cc", 6, "unused-allow"},
       {"src/engine/allow_misuse.cc", 9, "allow-syntax"},
@@ -72,6 +73,15 @@ TEST(LintCorpusTest, MatchesGoldenTable) {
       {"src/sim/bad_clock.cc", 15, "determinism"},
       {"src/sim/bad_clock.cc", 16, "determinism"},
       {"src/sim/bad_clock.cc", 17, "determinism"},
+      {"src/sim/shard_capture.cc", 14, "shard-affine-capture"},
+      {"src/sim/shard_capture.cc", 25, "shard-affine-capture"},
+      {"src/sim/shard_capture.cc", 28, "shard-affine-capture"},
+      {"src/sim/static_shared.cc", 10, "unannotated-sim-shared"},
+      {"src/sim/static_shared.cc", 15, "unannotated-sim-shared"},
+      {"src/sim/static_shared.cc", 22, "unannotated-sim-shared"},
+      {"src/store/pointer_order.cc", 16, "pointer-order"},
+      {"src/store/pointer_order.cc", 17, "pointer-order"},
+      {"src/store/pointer_order.cc", 25, "pointer-order"},
       {"src/store/unordered_fixture.h", 18, "unordered-iter"},
       {"src/store/unordered_fixture.h", 28, "unordered-iter"},
   };
@@ -96,7 +106,9 @@ TEST(LintCorpusTest, EveryContentRuleFires) {
   for (const Finding& f : CorpusFindings()) fired.insert(f.rule);
   for (const char* rule :
        {"determinism", "unordered-iter", "pragma-once", "banned-func",
-        "memcpy", "metric-name", "allow-syntax", "unused-allow"}) {
+        "memcpy", "metric-name", "allow-syntax", "unused-allow",
+        "shard-affine-capture", "unannotated-sim-shared", "cross-shard-call",
+        "pointer-order"}) {
     EXPECT_TRUE(fired.count(rule) != 0) << "rule never fired: " << rule;
   }
 }
@@ -119,6 +131,27 @@ TEST(LintCorpusTest, JustifiedAllowsSuppress) {
       << "metric-name allow ignored";
   EXPECT_FALSE(HasFindingAt(findings, "src/common/legacy_guard.h", 1))
       << "pragma-once allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/sim/shard_capture.cc", 42))
+      << "shard-affine-capture allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/cluster/guard_calls.cc", 19))
+      << "cross-shard-call allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/sim/static_shared.cc", 25))
+      << "unannotated-sim-shared allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/store/pointer_order.cc", 22))
+      << "pointer-order allow ignored";
+}
+
+TEST(LintCorpusTest, CrossShardOkMarkerSuppressesShardRules) {
+  const std::vector<Finding> findings = CorpusFindings();
+  // LEED_CROSS_SHARD_OK on (or directly above) a line is the reviewed
+  // cross-shard escape hatch for the shard rules specifically.
+  EXPECT_FALSE(HasFindingAt(findings, "src/sim/shard_capture.cc", 38))
+      << "LEED_CROSS_SHARD_OK marker ignored for shard-affine-capture";
+  EXPECT_FALSE(HasFindingAt(findings, "src/cluster/guard_calls.cc", 17))
+      << "LEED_CROSS_SHARD_OK marker ignored for cross-shard-call";
+  // A reviewed LEED_SHARD_SHARED with a real reason is not a finding.
+  EXPECT_FALSE(HasFindingAt(findings, "src/sim/static_shared.cc", 19));
+  EXPECT_FALSE(HasFindingAt(findings, "src/sim/static_shared.cc", 20));
 }
 
 TEST(LintCorpusTest, ScopedRulesStayInScope) {
@@ -231,6 +264,50 @@ TEST(LintFileTest, FreeFunctionSubIsNotAMetricGetter) {
   EXPECT_TRUE(LintFile("src/obs/x.cc", src).empty());
 }
 
+TEST(LintFileTest, CompanionHeaderFeedsTuModel) {
+  // Annotations live in x.h next to the fields; linting x.cc with the
+  // companion header must apply them — and without it, the same code is
+  // invisible to the shard rules (declaration-driven, not name-guessing).
+  const std::string header =
+      "#pragma once\n"
+      "struct C { Obj* cp_ LEED_SHARD_AFFINE; Sim sim_; };\n";
+  const std::string cc =
+      "void C::Go(int i) {\n"
+      "  Simulator::ShardGuard g(sim_, NodeShard(i));\n"
+      "  cp_->Register(i);\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/cluster/c.cc", cc).empty());
+  const std::vector<Finding> findings =
+      LintFile("src/cluster/c.cc", cc, &header);
+  ASSERT_EQ(findings.size(), 1u) << FormatFindings(findings);
+  EXPECT_EQ(findings[0].rule, "cross-shard-call");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintFileTest, SameShardGuardCallsAreSilent) {
+  // The guarded shard's own object is reachable: the object expression
+  // shares an identifier with the guard's shard argument.
+  const std::string src =
+      "struct C { std::vector<Obj*> nodes_ LEED_SHARD_AFFINE; Sim sim_;\n"
+      "  void Go(int i) {\n"
+      "    Simulator::ShardGuard g(sim_, NodeShard(i));\n"
+      "    nodes_[i]->Start();\n"
+      "  }\n"
+      "};\n";
+  EXPECT_TRUE(LintFile("src/cluster/c.cc", src).empty())
+      << FormatFindings(LintFile("src/cluster/c.cc", src));
+}
+
+TEST(LintFileTest, SharedAnnotationRequiresReason) {
+  const std::string bad = "static long g_x LEED_SHARD_SHARED(\"\") = 0;\n";
+  const std::vector<Finding> findings = LintFile("src/sim/x.cc", bad);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unannotated-sim-shared");
+  const std::string ok =
+      "static long g_x LEED_SHARD_SHARED(\"merged at barrier\") = 0;\n";
+  EXPECT_TRUE(LintFile("src/sim/x.cc", ok).empty());
+}
+
 TEST(LintRulesTest, CatalogIsConsistent) {
   EXPECT_FALSE(Rules().empty());
   for (const RuleInfo& r : Rules()) {
@@ -244,6 +321,36 @@ TEST(LintFormatTest, FormatFindingsShape) {
   const std::string text =
       FormatFindings({{"src/a.cc", 7, "memcpy", "raw memcpy"}});
   EXPECT_EQ(text, "src/a.cc:7: [memcpy] raw memcpy\n");
+}
+
+TEST(LintFormatTest, GitHubAnnotationShape) {
+  const std::string text = FormatFindingsGitHub(
+      {{"src/a.cc", 7, "memcpy", "use leed::CopyBytes, 100% of the time"}});
+  EXPECT_EQ(text,
+            "::error file=src/a.cc,line=7,title=leed-lint memcpy::"
+            "[memcpy] use leed::CopyBytes, 100%25 of the time\n");
+}
+
+TEST(LintFormatTest, GitHubEscapesPropertyValues) {
+  // ':' and ',' in property values would split the workflow command; they
+  // must be %-escaped there but left readable in the message body.
+  const std::string text =
+      FormatFindingsGitHub({{"src/a,b:c.cc", 1, "r", "msg: with, marks"}});
+  EXPECT_EQ(text,
+            "::error file=src/a%2Cb%3Ac.cc,line=1,title=leed-lint r::"
+            "[r] msg: with, marks\n");
+}
+
+TEST(LintTreeTest, FindingOrderIsDeterministic) {
+  // The documented report contract: sorted by (path, line, rule, message).
+  const std::vector<Finding> findings = CorpusFindings();
+  for (size_t i = 1; i < findings.size(); ++i) {
+    const Finding& a = findings[i - 1];
+    const Finding& b = findings[i];
+    EXPECT_LE(std::tie(a.file, a.line, a.rule, a.message),
+              std::tie(b.file, b.line, b.rule, b.message))
+        << "unsorted at index " << i;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,199 @@
+// Unit tests for the debug-mode shard-access race detector
+// (sim/shard_check.h). The ShardAccessChecker class is compiled in every
+// build type — only the LEED_* macros are NDEBUG-gated — so these tests
+// drive the class directly and run everywhere, including the release CI
+// legs. The end-to-end macro path (hooks in Node/Client/IoEngine plus the
+// --cross-shard-touch mutation) is exercised by the Debug nemesis smoke in
+// CI, which must abort; here we pin down the checker's own contract:
+// registration semantics, the first-violation latch, and the byte-stable
+// report that smoke asserts on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+#include "sim/shard_check.h"
+#include "sim/simulator.h"
+
+namespace leed {
+namespace {
+
+TEST(ShardAccessCheckerTest, AttachesAndDetachesFromSimulator) {
+  sim::Simulator sim;
+  EXPECT_EQ(sim.shard_checker(), nullptr);
+  {
+    sim::ShardAccessChecker checker(sim);
+    EXPECT_EQ(sim.shard_checker(), &checker);
+  }
+  EXPECT_EQ(sim.shard_checker(), nullptr);
+}
+
+TEST(ShardAccessCheckerTest, OwnerShardAccessPasses) {
+  sim::Simulator sim;
+  sim.EnableSharding(4, /*lookahead=*/100);
+  sim::ShardAccessChecker checker(sim);
+  checker.set_fatal(false);
+
+  int obj = 0;
+  {
+    sim::Simulator::ShardGuard guard(sim, 2);
+    checker.RegisterOwner(&obj, "node2");
+  }
+  {
+    sim::Simulator::ShardGuard guard(sim, 2);
+    checker.CheckAccess(&obj, "Node::Dispatch");
+  }
+  EXPECT_EQ(checker.checks(), 1u);
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_FALSE(checker.violated());
+  EXPECT_TRUE(checker.Report().empty());
+}
+
+TEST(ShardAccessCheckerTest, UnregisteredObjectsPass) {
+  // Incremental adoption: hooks may fire on objects that never registered
+  // (e.g. a subsystem not yet annotated). Those must never trip.
+  sim::Simulator sim;
+  sim.EnableSharding(2, /*lookahead=*/100);
+  sim::ShardAccessChecker checker(sim);
+  checker.set_fatal(false);
+
+  int stranger = 0;
+  sim::Simulator::ShardGuard guard(sim, 1);
+  checker.CheckAccess(&stranger, "Node::Dispatch");
+  EXPECT_EQ(checker.checks(), 1u);
+  EXPECT_FALSE(checker.violated());
+}
+
+TEST(ShardAccessCheckerTest, WrongShardLatchesFirstViolationOnly) {
+  sim::Simulator sim;
+  sim.EnableSharding(4, /*lookahead=*/100);
+  sim::ShardAccessChecker checker(sim);
+  checker.set_fatal(false);
+
+  int obj = 0;
+  checker.RegisterOwner(&obj, "node0", /*shard=*/1);
+
+  {
+    sim::Simulator::ShardGuard guard(sim, 3);
+    checker.CheckAccess(&obj, "Node::Dispatch");
+  }
+  ASSERT_TRUE(checker.violated());
+  const std::string first = checker.Report();
+  EXPECT_NE(first.find("=== shard-access violation ==="), std::string::npos);
+  EXPECT_NE(first.find("object:          node0"), std::string::npos);
+  EXPECT_NE(first.find("owner shard:     1"), std::string::npos);
+  EXPECT_NE(first.find("actual shard:    3"), std::string::npos);
+  EXPECT_NE(first.find("site:            Node::Dispatch"), std::string::npos);
+
+  // A later violation from a different site counts but does not replace
+  // the latched report: the first trip is the root cause, everything after
+  // is fallout.
+  {
+    sim::Simulator::ShardGuard guard(sim, 2);
+    checker.CheckAccess(&obj, "Node::DirectPut");
+  }
+  EXPECT_EQ(checker.violations(), 2u);
+  EXPECT_EQ(checker.Report(), first);
+}
+
+TEST(ShardAccessCheckerTest, ReRegistrationMovesOwnershipAndUnregisterClears) {
+  // A restarted node's replacement can legitimately land on the same
+  // address; re-registration must overwrite, and unregistration must make
+  // the address pass again (incremental adoption).
+  sim::Simulator sim;
+  sim.EnableSharding(4, /*lookahead=*/100);
+  sim::ShardAccessChecker checker(sim);
+  checker.set_fatal(false);
+
+  int obj = 0;
+  checker.RegisterOwner(&obj, "old", /*shard=*/1);
+  checker.RegisterOwner(&obj, "new", /*shard=*/2);
+  {
+    sim::Simulator::ShardGuard guard(sim, 2);
+    checker.CheckAccess(&obj, "Node::OnMessage");
+  }
+  EXPECT_FALSE(checker.violated());
+
+  checker.Unregister(&obj);
+  {
+    sim::Simulator::ShardGuard guard(sim, 3);
+    checker.CheckAccess(&obj, "Node::OnMessage");
+  }
+  EXPECT_FALSE(checker.violated());
+}
+
+// Run a fixed little simulation that ends in a violation and return the
+// checker's report. Everything in the report is a function of the script —
+// simulated clock, event count, shard ids, labels — never of host
+// addresses, so two runs must produce byte-identical text.
+std::string ViolationReportForScript() {
+  sim::Simulator sim;
+  sim.EnableSharding(4, /*lookahead=*/100);
+  sim::ShardAccessChecker checker(sim);
+  checker.set_fatal(false);
+
+  int obj = 0;
+  checker.RegisterOwner(&obj, "node1", /*shard=*/1);
+
+  // Burn some deterministic clock and event count before tripping.
+  for (SimTime t = 10; t <= 50; t += 10) {
+    sim.At(t, [] {});
+  }
+  sim.At(60, [&sim, &checker, &obj] {
+    sim::Simulator::ShardGuard guard(sim, 2);
+    checker.CheckAccess(&obj, "Node::Dispatch");
+  });
+  sim.Run();
+  return checker.Report();
+}
+
+TEST(ShardAccessCheckerTest, ReportIsByteStableAcrossRuns) {
+  const std::string first = ViolationReportForScript();
+  const std::string second = ViolationReportForScript();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The report carries the simulated clock and event count at the trip
+  // point — the fields that make two different bugs distinguishable.
+  EXPECT_NE(first.find("sim time (ns):   60"), std::string::npos) << first;
+  EXPECT_NE(first.find("events executed: 6"), std::string::npos) << first;
+  EXPECT_NE(first.find("==============================\n"), std::string::npos);
+}
+
+TEST(ShardAccessCheckerTest, ReportAppendsTraceTail) {
+  sim::Simulator sim;
+  sim.EnableSharding(2, /*lookahead=*/100);
+  obs::TraceRing trace(16);
+  trace.set_enabled(true);
+  sim::ShardAccessChecker checker(sim);
+  checker.set_fatal(false);
+  checker.set_trace(&trace);
+
+  // More events than the tail keeps: the report must show the last 8 and
+  // say how many were recorded in total.
+  for (uint64_t i = 0; i < 12; ++i) {
+    trace.Record(obs::TraceEvent{/*t=*/static_cast<SimTime>(i * 10),
+                                 obs::TraceKind::kOpBegin,
+                                 /*node=*/0, /*unit=*/0, /*id=*/i, /*arg=*/0});
+  }
+
+  int obj = 0;
+  checker.RegisterOwner(&obj, "node0", /*shard=*/0);
+  {
+    sim::Simulator::ShardGuard guard(sim, 1);
+    checker.CheckAccess(&obj, "IoEngine::Submit");
+  }
+  ASSERT_TRUE(checker.violated());
+  const std::string& report = checker.Report();
+  EXPECT_NE(report.find("trace tail (last 8 of 12):"), std::string::npos)
+      << report;
+  // Oldest of the tail (id=4) is present, pre-tail events are not.
+  EXPECT_NE(report.find("t=40 kind=op_begin"), std::string::npos) << report;
+  EXPECT_EQ(report.find("t=30 "), std::string::npos) << report;
+  // Newest event closes the tail.
+  EXPECT_NE(report.find("t=110 kind=op_begin"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace leed

@@ -61,6 +61,7 @@ struct Options {
   std::string check_dump_dir;   // violating histories land here
   std::string history_out;      // full history of the first seed
   bool unsafe_dirty_reads = false;  // TEST-ONLY mutation switch
+  bool cross_shard_touch = false;   // TEST-ONLY shard-purity mutation switch
 };
 
 void Usage(const char* argv0) {
@@ -103,7 +104,10 @@ void Usage(const char* argv0) {
       "  --check-dump-dir=DIR       write violating (minimized) histories here\n"
       "  --history-out=FILE         write the first seed's full history dump\n"
       "  --unsafe-dirty-reads       TEST-ONLY: disable CRRS dirty-bit handling;\n"
-      "                             the sweep is expected to FAIL (self-test)\n",
+      "                             the sweep is expected to FAIL (self-test)\n"
+      "  --cross-shard-touch        TEST-ONLY: dispatch node messages on the\n"
+      "                             wrong shard; with --sharded, a debug\n"
+      "                             build's shard checker must abort\n",
       argv0);
 }
 
@@ -152,6 +156,7 @@ int RunCheckMode(const Options& opt) {
     no.seeds = opt.seeds;
     no.plan = plans[p];
     no.unsafe_dirty_reads = opt.unsafe_dirty_reads;
+    no.cross_shard_touch = opt.cross_shard_touch;
     no.dump_dir = opt.check_dump_dir;
     no.verbose = opt.verbose;
     no.jobs = opt.jobs;
@@ -221,6 +226,8 @@ int main(int argc, char** argv) {
     else if (ParseFlag(argv[i], "--history-out", &v)) opt.history_out = v;
     else if (std::strcmp(argv[i], "--unsafe-dirty-reads") == 0)
       opt.unsafe_dirty_reads = true;
+    else if (std::strcmp(argv[i], "--cross-shard-touch") == 0)
+      opt.cross_shard_touch = true;
     else if (std::strcmp(argv[i], "--verbose") == 0) opt.verbose = true;
     else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       Usage(argv[0]);
@@ -250,6 +257,7 @@ int main(int argc, char** argv) {
   }
   cfg.client.flow_control = opt.flow_control;
   cfg.sharded = opt.sharded;
+  cfg.node.test_only_cross_shard_touch = opt.cross_shard_touch;
 
   std::printf("leedsim: %s x%u, %s, %uB values, %llu keys, skew %.2f, %s\n",
               opt.system.c_str(), opt.nodes, ("YCSB-" + opt.mix).c_str(),

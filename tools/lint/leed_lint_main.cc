@@ -12,10 +12,12 @@ namespace {
 
 void Usage(const char* argv0) {
   std::printf(
-      "usage: %s [--root=DIR] [--list-rules]\n"
-      "  --root=DIR    repository root to lint (default: .); walks\n"
-      "                DIR/{src,tests,bench,tools}\n"
-      "  --list-rules  print the rule catalog and exit\n"
+      "usage: %s [--root=DIR] [--format=plain|github] [--list-rules]\n"
+      "  --root=DIR        repository root to lint (default: .); walks\n"
+      "                    DIR/{src,tests,bench,tools}\n"
+      "  --format=FORMAT   plain (default) or github (::error workflow\n"
+      "                    annotations for inline PR findings)\n"
+      "  --list-rules      print the rule catalog and exit\n"
       "exit status: 0 clean, 1 findings, 2 usage error\n",
       argv0);
 }
@@ -24,10 +26,18 @@ void Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string format = "plain";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--root=", 7) == 0) {
       root = arg + 7;
+    } else if (std::strncmp(arg, "--format=", 9) == 0) {
+      format = arg + 9;
+      if (format != "plain" && format != "github") {
+        std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--list-rules") == 0) {
       for (const leed::lint::RuleInfo& r : leed::lint::Rules()) {
         std::printf("%-15s %s\n", r.name, r.summary);
@@ -53,7 +63,10 @@ int main(int argc, char** argv) {
                  root.c_str());
     return 2;
   }
-  std::fputs(leed::lint::FormatFindings(findings).c_str(), stdout);
+  std::fputs(format == "github"
+                 ? leed::lint::FormatFindingsGitHub(findings).c_str()
+                 : leed::lint::FormatFindings(findings).c_str(),
+             stdout);
   std::printf("leed-lint: %zu finding%s in %zu files\n", findings.size(),
               findings.size() == 1 ? "" : "s", scanned);
   return findings.empty() ? 0 : 1;

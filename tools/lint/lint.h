@@ -21,6 +21,24 @@
 //   metric-name    string literals passed to GetCounter/GetGauge/
 //                  GetHistogram/Sub must be lowercase dot-scoped
 //                  ([a-z0-9_] segments, no spaces).
+//   shard-affine-capture
+//                  a lambda handed to a cross-shard scheduler
+//                  (Simulator::AtOnShard, ShardedRunner::Post) must not
+//                  capture or dereference LEED_SHARD_AFFINE state — it
+//                  runs on the target shard, the state belongs here.
+//   unannotated-sim-shared
+//                  mutable static state in sim-scope paths (determinism
+//                  scope + src/cluster + src/check) is visible to every
+//                  shard and every parallel seed; it must be const or
+//                  carry LEED_SHARD_SHARED("why sharing is safe").
+//   cross-shard-call
+//                  inside a ShardGuard-scoped block, direct method calls
+//                  on LEED_SHARD_AFFINE objects must target the guarded
+//                  shard (object expression shares an identifier with the
+//                  guard's shard argument) or carry LEED_CROSS_SHARD_OK.
+//   pointer-order  ordered containers keyed by raw pointers and explicit
+//                  pointer `<` comparisons order by allocation address,
+//                  which differs run to run and breaks replay.
 //   allow-syntax   a leed-lint annotation must name a known rule and give
 //                  a non-empty justification.
 //   unused-allow   an annotation that suppresses nothing is rot and is
@@ -61,9 +79,14 @@ bool IsKnownRule(const std::string& name);
 
 // Lint a single file. `path` decides rule applicability (determinism scope
 // is path-prefix based), so callers must pass repo-relative paths like
-// "src/sim/simulator.h".
+// "src/sim/simulator.h". The shard rules reason over a per-TU declaration
+// table (which names are LEED_SHARD_AFFINE / LEED_SHARD_SHARED, which
+// classes are affine); `companion_header`, when non-null, is the contents
+// of the sibling .h whose declarations join that table — LintTree wires it
+// automatically so node.cc sees the annotations in node.h.
 std::vector<Finding> LintFile(const std::string& path,
-                              const std::string& contents);
+                              const std::string& contents,
+                              const std::string* companion_header = nullptr);
 
 struct TreeOptions {
   // Directories walked under the root.
@@ -81,5 +104,11 @@ std::vector<Finding> LintTree(const std::string& root,
 
 // "path:line: [rule] message\n" per finding.
 std::string FormatFindings(const std::vector<Finding>& findings);
+
+// GitHub Actions workflow-command form, one annotation per finding:
+// "::error file=<path>,line=<n>,title=leed-lint <rule>::[rule] message".
+// CI uses this (`leed-lint --format=github`) so findings surface inline on
+// the PR diff; messages are %-escaped per the workflow-command rules.
+std::string FormatFindingsGitHub(const std::vector<Finding>& findings);
 
 }  // namespace leed::lint
