@@ -1,0 +1,86 @@
+#include "check/availability.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace leed::check {
+
+AvailabilityReport ExtractAvailability(const std::vector<HistoryOp>& ops,
+                                       SimTime window_start,
+                                       SimTime window_end) {
+  AvailabilityReport r;
+  if (window_end < window_start) window_end = window_start;
+
+  std::vector<SimTime> ok_times;
+  for (const HistoryOp& op : ops) {
+    if (op.invoke < window_start || op.invoke >= window_end) continue;
+    r.probes++;
+    switch (op.outcome) {
+      case Outcome::kOk:
+      case Outcome::kNotFound:
+        r.ok++;
+        if (op.response >= 0) ok_times.push_back(op.response);
+        break;
+      case Outcome::kError:
+        r.errors++;
+        if (op.response >= 0) {
+          if (r.first_error < 0 || op.response < r.first_error) {
+            r.first_error = op.response;
+          }
+          if (op.response > r.last_error) r.last_error = op.response;
+        }
+        break;
+      case Outcome::kOpen:
+        r.open++;
+        break;
+    }
+  }
+
+  const uint64_t completed = r.ok + r.errors;
+  r.availability =
+      completed > 0 ? static_cast<double>(r.ok) / completed : 1.0;
+
+  // Longest success-free span: walk the sorted OK response times with the
+  // window edges as sentinels.
+  std::sort(ok_times.begin(), ok_times.end());
+  SimTime prev = window_start;
+  for (SimTime t : ok_times) {
+    r.max_outage = std::max(r.max_outage, t - prev);
+    prev = t;
+  }
+  r.max_outage = std::max(r.max_outage, window_end - prev);
+
+  // Time-to-recovery: the first success after the last error closes the
+  // error window that the first error opened.
+  if (r.errors == 0) {
+    r.recovery = 0;
+  } else {
+    auto it = std::upper_bound(ok_times.begin(), ok_times.end(), r.last_error);
+    r.recovery = it != ok_times.end() ? *it - r.first_error : -1;
+  }
+  return r;
+}
+
+std::string FormatAvailability(const AvailabilityReport& report) {
+  char recovery[32];
+  if (report.Recovered()) {
+    std::snprintf(recovery, sizeof(recovery), "%.1fms",
+                  static_cast<double>(report.recovery) / kMillisecond);
+  } else {
+    std::snprintf(recovery, sizeof(recovery), "never");
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "avail=%.3f (%llu ok / %llu err / %llu open of %llu probes) "
+                "outage=%.1fms recovery=%s",
+                report.availability,
+                static_cast<unsigned long long>(report.ok),
+                static_cast<unsigned long long>(report.errors),
+                static_cast<unsigned long long>(report.open),
+                static_cast<unsigned long long>(report.probes),
+                static_cast<double>(report.max_outage) / kMillisecond,
+                recovery);
+  return buf;
+}
+
+}  // namespace leed::check

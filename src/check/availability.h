@@ -1,0 +1,66 @@
+// Availability extraction from client histories (docs/FAULTS.md).
+//
+// The linearizability checker asks "were the answers consistent?"; this
+// asks "were there answers at all?". Both read the same HistoryLog: every
+// client operation is a probe, and the pattern of OK / error / never-
+// completed responses over simulated time is exactly the availability
+// signal an external prober would see. Extracting it from the history —
+// instead of instrumenting servers — measures what clients experienced,
+// including retry and view-refresh latency, not what nodes believe.
+//
+// Used by the nemesis harness (cluster.availability.* metrics,
+// BENCH_availability.json) to gate partial-failure plans: a vnode-granular
+// failover is only a success if availability stayed above zero during the
+// failure window and the error window actually closed (finite recovery).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "common/units.h"
+
+namespace leed::check {
+
+struct AvailabilityReport {
+  // Probes = operations INVOKED inside [window_start, window_end).
+  uint64_t probes = 0;
+  uint64_t ok = 0;      // determinate success (kOk / kNotFound)
+  uint64_t errors = 0;  // completed with kError (includes retries-exhausted)
+  uint64_t open = 0;    // never completed (indeterminate at window end)
+
+  // ok / (ok + errors): the fraction of completed probes that succeeded.
+  // 1.0 when nothing completed (vacuously available; `probes` says so).
+  double availability = 1.0;
+
+  // Longest span with no successful completion, measured over
+  // [window_start, window_end) against the sorted OK response times. With
+  // zero OK responses this is the whole window.
+  SimTime max_outage = 0;
+
+  // Error window endpoints (response times of kError completions);
+  // -1 when no errors occurred.
+  SimTime first_error = -1;
+  SimTime last_error = -1;
+
+  // Time-to-recovery: first_error -> first OK response after last_error.
+  //   0  — no errors at all (nothing to recover from);
+  //  -1  — never recovered (no success after the last error).
+  SimTime recovery = -1;
+
+  bool Recovered() const { return recovery >= 0; }
+};
+
+// Scans `ops` (any order; response times need not be sorted) and reduces
+// the probes invoked inside [window_start, window_end) to the report
+// above. Deterministic: depends only on the history bytes and the window.
+AvailabilityReport ExtractAvailability(const std::vector<HistoryOp>& ops,
+                                       SimTime window_start,
+                                       SimTime window_end);
+
+// One-line human summary ("avail=0.92 outage=12.3ms recovery=41.0ms ...").
+std::string FormatAvailability(const AvailabilityReport& report);
+
+}  // namespace leed::check

@@ -120,6 +120,23 @@ SeedResult RunNemesisSeed(const NemesisOptions& opt, const NemesisPlan& plan,
     sim.At(start + plan.leave_at,
            [&cluster, n = plan.leave_node] { cluster.LeaveNode(n); });
   }
+  if (plan.kill_ssd_at >= 0) {
+    sim.At(start + plan.kill_ssd_at,
+           [&cluster, n = plan.kill_node, s = plan.kill_ssd] {
+             cluster.KillSsd(n, s);
+           });
+  }
+  if (plan.crash_at >= 0) {
+    sim.At(start + plan.crash_at,
+           [&cluster, n = plan.kill_node] { cluster.CrashNode(n); });
+  }
+  if (plan.replace_at >= 0) {
+    sim.At(start + plan.replace_at,
+           [&cluster, n = plan.kill_node, s = plan.kill_ssd] {
+             cluster.ReplaceSsd(n, s);
+             cluster.RestartNode(n);
+           });
+  }
 
   // Phase 3 — drive: every client runs a 1-deep closed loop of mixed ops
   // over the hot keyspace. One outstanding op per client keeps each client
@@ -176,6 +193,23 @@ SeedResult RunNemesisSeed(const NemesisOptions& opt, const NemesisPlan& plan,
       ++result.completed;
     }
   }
+
+  // Partial-failure robustness accounting: data loss from the control
+  // plane, availability from the clients' own history (docs/FAULTS.md).
+  result.copies_abandoned = cluster.control_plane().stats().copies_abandoned;
+  result.availability = ExtractAvailability(log->ops(), start, sim.Now());
+  obs::Scope avail = obs::Scope(&registry, "cluster").Sub("availability");
+  avail.GetCounter("probes")->Add(result.availability.probes);
+  avail.GetCounter("ok")->Add(result.availability.ok);
+  avail.GetCounter("errors")->Add(result.availability.errors);
+  avail.GetGauge("fraction")->Set(result.availability.availability);
+  avail.GetGauge("max_outage_us")->Set(
+      static_cast<double>(result.availability.max_outage) / kMicrosecond);
+  avail.GetGauge("recovery_us")
+      ->Set(result.availability.Recovered()
+                ? static_cast<double>(result.availability.recovery) /
+                      kMicrosecond
+                : -1.0);
 
   if (!opt.history_out.empty() && first_seed) {
     if (!log->WriteFile(opt.history_out)) {
@@ -241,6 +275,22 @@ Result<NemesisPlan> ResolveNemesisPlan(const std::string& spec) {
     plan.leave_node = 1;
     return plan;
   }
+  if (spec == "ssdkill") {
+    // Permanent SSD death mid-traffic: the engine latches the backing
+    // stores failed, the node serves its healthy stores degraded, and the
+    // control plane fails over only the dead store's vnodes (FailStore).
+    // Then the operator path — crash, swap in a blank device, restart — so
+    // the node rejoins through the normal join/backfill. Mild fabric delay
+    // widens the race windows the checker wants.
+    auto faults = sim::ParseFaultPlan("net:delay_p=0.05,delay_us=150");
+    plan.faults = std::move(faults).value();
+    plan.kill_ssd_at = 15 * kMillisecond;
+    plan.kill_node = 2;
+    plan.kill_ssd = 0;
+    plan.crash_at = 70 * kMillisecond;
+    plan.replace_at = 90 * kMillisecond;
+    return plan;
+  }
   auto parsed = sim::ParseFaultPlan(spec);
   if (!parsed.ok()) {
     return Status::InvalidArgument(
@@ -254,7 +304,7 @@ Result<NemesisPlan> ResolveNemesisPlan(const std::string& spec) {
 }
 
 std::vector<std::string> NamedNemesisPlans() {
-  return {"crash", "partition", "churn"};
+  return {"crash", "partition", "churn", "ssdkill"};
 }
 
 NemesisResult RunNemesisSweep(const NemesisOptions& options) {
@@ -286,6 +336,7 @@ NemesisResult RunNemesisSweep(const NemesisOptions& options) {
   for (const SeedResult& sr : result.seeds) {
     if (sr.verdict == Verdict::kViolation) ++result.violating_seeds;
     if (sr.verdict == Verdict::kInconclusive) ++result.inconclusive_seeds;
+    if (sr.copies_abandoned > 0) ++result.data_loss_seeds;
     if (options.verbose) {
       std::printf("  seed %llu [%s]: %s (%llu ops, %llu determinate, %llu "
                   "steps, %zu violations)\n",
@@ -296,6 +347,8 @@ NemesisResult RunNemesisSweep(const NemesisOptions& options) {
                   static_cast<unsigned long long>(sr.completed),
                   static_cast<unsigned long long>(sr.steps),
                   sr.violations.size());
+      std::printf("    %s%s\n", FormatAvailability(sr.availability).c_str(),
+                  sr.copies_abandoned > 0 ? "  [DATA LOSS]" : "");
       for (const Violation& v : sr.violations) {
         std::printf("    %s key '%s': %s\n", v.kind.c_str(), v.key.c_str(),
                     v.detail.c_str());

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "check/availability.h"
 #include "check/linearize.h"
 #include "common/status.h"
 #include "common/units.h"
@@ -25,11 +26,20 @@ namespace leed::check {
 // the dev:/net:/part:/crash: grammar — it needs ClusterSim membership
 // calls).
 struct NemesisPlan {
-  std::string name;      // "crash", "partition", "churn", or "custom"
+  std::string name;      // "crash", "partition", "churn", "ssdkill", "custom"
   sim::FaultPlan faults;  // armed relative to measurement start
   SimTime join_at = -1;   // >= 0: JoinNode() at this offset
   SimTime leave_at = -1;  // >= 0: LeaveNode(leave_node) at this offset
   uint32_t leave_node = 1;
+  // SSD-death churn (ssdkill, docs/FAULTS.md): KillSsd(kill_node, kill_ssd)
+  // at kill_ssd_at; optionally CrashNode(kill_node) at crash_at; then
+  // ReplaceSsd + RestartNode at replace_at (the operator swapping in a
+  // blank device, after which the node rejoins and backfills).
+  SimTime kill_ssd_at = -1;
+  SimTime crash_at = -1;
+  SimTime replace_at = -1;
+  uint32_t kill_node = 2;
+  uint32_t kill_ssd = 0;
 };
 
 // Resolves a plan spec: one of the named plans ("crash", "partition",
@@ -86,6 +96,12 @@ struct NemesisOptions {
   // (ClusterConfig::sharded). Byte-identical to the default loop — the
   // replay gate diffs the two.
   bool sharded = false;
+
+  // Accept seeds whose recovery abandoned copies (copies_abandoned > 0 —
+  // an arc with no surviving source, i.e. real data loss). Off by default:
+  // callers treat data-loss seeds as failures unless the plan is expected
+  // to destroy every replica (it never should at replication_factor 3).
+  bool allow_data_loss = false;
 };
 
 struct SeedResult {
@@ -94,6 +110,11 @@ struct SeedResult {
   uint64_t ops = 0;           // recorded history length
   uint64_t completed = 0;     // ops with a determinate outcome
   uint64_t steps = 0;         // checker steps spent
+  // Control-plane data-loss count at run end (cluster.copies_abandoned).
+  uint64_t copies_abandoned = 0;
+  // Client-side availability over the nemesis window (phase-2 start to
+  // drain end), extracted from the same history the checker reads.
+  AvailabilityReport availability;
   std::vector<Violation> violations;
   std::vector<std::string> dump_paths;
 };
@@ -102,6 +123,9 @@ struct NemesisResult {
   std::vector<SeedResult> seeds;
   uint32_t violating_seeds = 0;
   uint32_t inconclusive_seeds = 0;
+  // Seeds with copies_abandoned > 0; gates nonzero exit in leedsim unless
+  // NemesisOptions::allow_data_loss.
+  uint32_t data_loss_seeds = 0;
 
   bool AllLinearizable() const {
     return violating_seeds == 0 && inconclusive_seeds == 0;

@@ -6,8 +6,15 @@ namespace leed::cluster {
 
 ControlPlane::ControlPlane(sim::Simulator& simulator, sim::Network& network,
                            ControlPlaneConfig config)
-    : sim_(simulator), net_(network), config_(config) {
+    : sim_(simulator),
+      net_(network),
+      config_(config),
+      scope_(config.metrics_registry, "cluster"),
+      trace_(config.trace ? config.trace : &obs::TraceRing::Default()) {
   view_.replication_factor = config_.replication_factor;
+  m_.copies_abandoned = scope_.GetCounter("copies_abandoned");
+  m_.store_failures = scope_.GetCounter("store_failures");
+  m_.vnodes_failed_over = scope_.GetCounter("vnodes_failed_over");
   endpoint_ = net_.AddEndpoint(sim::NicSpec{});  // control traffic is tiny
   net_.SetReceiver(endpoint_, [this](sim::Message m) { OnMessage(std::move(m)); });
 }
@@ -73,10 +80,29 @@ void ControlPlane::CheckHeartbeats() {
 
 void ControlPlane::OnMessage(sim::Message msg) {
   if (auto* hb = std::any_cast<HeartbeatMsg>(&msg.payload)) {
+    // A node declared dead stays dead until ReviveNode. A stale heartbeat —
+    // e.g. one delayed across a healed partition — must not refresh the
+    // clock and half-resurrect it (nor can the node be failed twice:
+    // CheckHeartbeats and FailNode both skip dead nodes).
+    if (dead_nodes_.contains(hb->node)) {
+      stats_.stale_heartbeats_ignored++;
+      return;
+    }
     last_heartbeat_[hb->node] = sim_.Now();
     return;
   }
+  if (auto* sf = std::any_cast<StoreFailedMsg>(&msg.payload)) {
+    FailStore(sf->node, sf->local_store);
+    return;
+  }
   if (auto* done = std::any_cast<CopyDoneMsg>(&msg.payload)) {
+    // A dead node's ack does not make a fill durable: the data it claims to
+    // hold is out of the view. Its copies were already cancelled/reassigned
+    // by ReassignOrphanedCopies; drop the stale ack on the floor.
+    if (IsDeadNodeEndpoint(msg.src)) {
+      stats_.stale_copy_acks_rejected++;
+      return;
+    }
     auto it = copy_to_transition_.find(done->copy_id);
     if (it == copy_to_transition_.end()) return;  // duplicate / stale
     uint64_t tid = it->second;
@@ -133,7 +159,7 @@ std::set<uint64_t> ControlPlane::CommissionCopies(
     for (auto it = new_chain.rbegin(); it != new_chain.rend(); ++it) {
       if (!in_old(*it)) continue;
       const VNodeInfo* info = view_.Find(*it);
-      if (!info || dead_nodes.contains(info->owner_node)) continue;
+      if (!info || HostIsDead(*info, dead_nodes)) continue;
       source = *it;
       break;
     }
@@ -142,12 +168,26 @@ std::set<uint64_t> ControlPlane::CommissionCopies(
     if (source == kInvalidVNode) {
       for (auto it = old_chain.rbegin(); it != old_chain.rend(); ++it) {
         const VNodeInfo* info = view_.Find(*it);
-        if (!info || dead_nodes.contains(info->owner_node)) continue;
+        if (!info || HostIsDead(*info, dead_nodes)) continue;
         source = *it;
         break;
       }
     }
-    if (source == kInvalidVNode) continue;  // nothing survives: data loss
+    if (source == kInvalidVNode) {
+      // Nothing survives for this arc: unrecoverable data loss. Surface it —
+      // nemesis gates fail a run on a nonzero abandoned count rather than
+      // letting the transition pass silently.
+      stats_.copies_abandoned++;
+      m_.copies_abandoned->Inc();
+      const uint32_t dst_unit =
+          new_chain.empty() ? 0u : static_cast<uint32_t>(new_chain.front());
+      const VNodeInfo* head =
+          new_chain.empty() ? nullptr : view_.Find(new_chain.front());
+      trace_->Record(sim_.Now(), obs::TraceKind::kCopyAbandoned,
+                     head ? head->owner_node : obs::TraceEvent::kNoNode,
+                     dst_unit, /*id=*/0);
+      continue;
+    }
 
     const std::pair<uint64_t, uint64_t> arc{arc_start, arc_end};
     for (VNodeId m : new_chain) {
@@ -237,12 +277,35 @@ void ControlPlane::StartLeave(VNodeId id) {
   Broadcast();
 }
 
-void ControlPlane::ReassignOrphanedCopies(uint32_t dead_node) {
+void ControlPlane::ReassignOrphanedCopies() {
   const HashRing ring = view_.ServingRing();
+  // Detach a copy from its transition, finishing the transition if that was
+  // the last one outstanding. Shared by the abandon and cancel paths.
+  auto drop_copy = [&](uint64_t copy_id) {
+    auto tit = copy_to_transition_.find(copy_id);
+    if (tit == copy_to_transition_.end()) return;
+    uint64_t tid = tit->second;
+    copy_to_transition_.erase(tit);
+    auto pit = pending_.find(tid);
+    if (pit != pending_.end()) {
+      pit->second.open_copies.erase(copy_id);
+      if (pit->second.open_copies.empty()) FinishTransition(tid);
+    }
+  };
   for (auto& [copy_id, cmd] : open_copy_cmds_) {
+    // A copy whose DESTINATION died is moot — the dst vnode is on its way
+    // out of the view, and the dead node will never durably finish the
+    // fill. Cancel it (no data lost: the range's surviving holders keep it)
+    // so the older transition can drain instead of wedging forever.
+    const VNodeInfo* dst_info = view_.Find(cmd.dst);
+    if (!dst_info || HostIsDead(*dst_info, dead_nodes_)) {
+      stats_.copies_cancelled++;
+      drop_copy(copy_id);
+      continue;
+    }
+
     const VNodeInfo* src_info = view_.Find(cmd.src);
-    const bool src_dead = !src_info || src_info->owner_node == dead_node ||
-                          dead_nodes_.contains(src_info->owner_node);
+    const bool src_dead = !src_info || HostIsDead(*src_info, dead_nodes_);
     if (!src_dead) continue;
 
     // Pick a surviving data holder: a member of the destination range's
@@ -252,7 +315,7 @@ void ControlPlane::ReassignOrphanedCopies(uint32_t dead_node) {
     for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
       if (*it == cmd.dst || *it == cmd.src) continue;
       const VNodeInfo* info = view_.Find(*it);
-      if (!info || dead_nodes_.contains(info->owner_node)) continue;
+      if (!info || HostIsDead(*info, dead_nodes_)) continue;
       // A member itself still filling this range has no data to give.
       if (view_.IsFilling(*it, cmd.range_end)) continue;
       replacement = *it;
@@ -262,16 +325,11 @@ void ControlPlane::ReassignOrphanedCopies(uint32_t dead_node) {
       // No surviving source: abandon the copy so the transition can finish
       // (the range is as recovered as it can be; count the loss).
       stats_.copies_abandoned++;
-      auto tit = copy_to_transition_.find(copy_id);
-      if (tit != copy_to_transition_.end()) {
-        uint64_t tid = tit->second;
-        copy_to_transition_.erase(tit);
-        auto pit = pending_.find(tid);
-        if (pit != pending_.end()) {
-          pit->second.open_copies.erase(copy_id);
-          if (pit->second.open_copies.empty()) FinishTransition(tid);
-        }
-      }
+      m_.copies_abandoned->Inc();
+      trace_->Record(sim_.Now(), obs::TraceKind::kCopyAbandoned,
+                     dst_info->owner_node, static_cast<uint32_t>(cmd.dst),
+                     copy_id);
+      drop_copy(copy_id);
       continue;
     }
     const VNodeInfo* new_src = view_.Find(replacement);
@@ -312,21 +370,82 @@ void ControlPlane::FailNode(uint32_t node_id) {
   if (copies.empty()) {
     for (VNodeId v : subjects) view_.vnodes.erase(v);
     Broadcast();
-    ReassignOrphanedCopies(node_id);
+    ReassignOrphanedCopies();
     return;
   }
   uint64_t tid = next_transition_id_++;
   for (uint64_t c : copies) copy_to_transition_[c] = tid;
   pending_[tid] = Transition{TransitionKind::kFail, subjects, copies};
   Broadcast();
-  // Earlier transitions may have been streaming FROM the dead node.
-  ReassignOrphanedCopies(node_id);
+  // Earlier transitions may have been streaming from or to the dead node.
+  ReassignOrphanedCopies();
+}
+
+void ControlPlane::FailStore(uint32_t node_id, uint32_t local_store) {
+  if (dead_nodes_.contains(node_id)) return;  // whole node already failed
+  if (!dead_stores_.insert({node_id, local_store}).second) return;  // dup
+  stats_.store_failures++;
+  m_.store_failures->Inc();
+
+  HashRing old_ring = view_.ServingRing();
+  std::vector<VNodeId> subjects;
+  for (auto& [id, info] : view_.vnodes) {
+    if (info.owner_node == node_id && info.local_store == local_store &&
+        info.state != VNodeState::kLeaving) {
+      info.state = VNodeState::kLeaving;  // out of serving chains immediately
+      subjects.push_back(id);
+    }
+  }
+  if (subjects.empty()) return;
+  stats_.vnodes_failed_over += subjects.size();
+  m_.vnodes_failed_over->Add(subjects.size());
+  trace_->Record(sim_.Now(), obs::TraceKind::kStoreFailover, node_id,
+                 local_store, node_id,
+                 static_cast<int64_t>(subjects.size()));
+  HashRing new_ring = view_.ServingRing();
+
+  // Unlike FailNode, the node is NOT marked dead — it keeps heartbeating
+  // and serving its healthy stores. Only this store's vnodes leave the
+  // ring; CommissionCopies re-replicates exactly their arcs, with the dead
+  // store excluded as a source via HostIsDead.
+  auto copies = CommissionCopies(old_ring, new_ring, subjects, dead_nodes_);
+  view_.epoch++;
+  if (copies.empty()) {
+    for (VNodeId v : subjects) view_.vnodes.erase(v);
+    Broadcast();
+    ReassignOrphanedCopies();
+    return;
+  }
+  uint64_t tid = next_transition_id_++;
+  for (uint64_t c : copies) copy_to_transition_[c] = tid;
+  pending_[tid] = Transition{TransitionKind::kFail, subjects, copies};
+  Broadcast();
+  // Earlier transitions may have been streaming from or to the dead store.
+  ReassignOrphanedCopies();
 }
 
 void ControlPlane::ReviveNode(uint32_t node_id, sim::EndpointId ep) {
   dead_nodes_.erase(node_id);
+  // The restart replaced the hardware (ClusterSim swaps in blank devices),
+  // so the node's store death marks no longer describe what is mounted.
+  std::erase_if(dead_stores_,
+                [&](const auto& p) { return p.first == node_id; });
   node_endpoints_[node_id] = ep;
   last_heartbeat_[node_id] = sim_.Now();
+}
+
+bool ControlPlane::HostIsDead(const VNodeInfo& info,
+                              const std::set<uint32_t>& dead_nodes) const {
+  return dead_nodes.contains(info.owner_node) ||
+         dead_stores_.contains({info.owner_node, info.local_store});
+}
+
+bool ControlPlane::IsDeadNodeEndpoint(sim::EndpointId ep) const {
+  for (uint32_t node : dead_nodes_) {
+    auto it = node_endpoints_.find(node);
+    if (it != node_endpoints_.end() && it->second == ep) return true;
+  }
+  return false;
 }
 
 void ControlPlane::FinishTransition(uint64_t transition_id) {

@@ -26,10 +26,13 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "cluster/membership.h"
 #include "cluster/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -40,6 +43,12 @@ struct ControlPlaneConfig {
   SimTime heartbeat_period = 50 * kMillisecond;
   SimTime failure_timeout = 250 * kMillisecond;
   bool monitor_heartbeats = true;
+
+  // Observability: the control plane registers its instruments under
+  // "cluster.*" in `metrics_registry` (default: the process-wide registry)
+  // and emits transition trace events to `trace`.
+  obs::Registry* metrics_registry = nullptr;
+  obs::TraceRing* trace = nullptr;
 };
 
 struct ControlPlaneStats {
@@ -50,6 +59,11 @@ struct ControlPlaneStats {
   uint64_t copies_commissioned = 0, copies_completed = 0;
   uint64_t copies_reassigned = 0;  // source died mid-stream, re-routed
   uint64_t copies_abandoned = 0;   // no surviving source (data loss)
+  uint64_t copies_cancelled = 0;   // destination died; fill became moot
+  uint64_t store_failures = 0;     // FailStore transitions started
+  uint64_t vnodes_failed_over = 0; // vnodes removed by store failovers
+  uint64_t stale_heartbeats_ignored = 0;  // from administratively-dead nodes
+  uint64_t stale_copy_acks_rejected = 0;  // CopyDone from dead-node endpoints
 };
 
 class ControlPlane {
@@ -76,6 +90,11 @@ class ControlPlane {
   // Mark a node dead immediately (tests/benches); heartbeat timeout calls
   // this too.
   void FailNode(uint32_t node_id);
+  // Vnode-granular failover: one local store's SSD died permanently, but the
+  // node itself is healthy and keeps serving its other stores. Removes only
+  // that store's vnodes from the ring and re-replicates exactly their arcs
+  // from surviving chain members. StoreFailedMsg routes here.
+  void FailStore(uint32_t node_id, uint32_t local_store);
   // A crashed node came back (ClusterSim::RestartNode): clear its dead
   // mark, point its id at the restarted object's endpoint, and reset the
   // heartbeat clock so it is not immediately re-declared dead. The node
@@ -120,10 +139,20 @@ class ControlPlane {
   std::vector<sim::EndpointId> client_endpoints_;
   std::map<uint32_t, SimTime> last_heartbeat_;
   std::set<uint32_t> dead_nodes_;
+  // (node, local_store) pairs whose backing SSD died. Cleared for a node by
+  // ReviveNode (a restarted node comes back with a replaced, blank device).
+  std::set<std::pair<uint32_t, uint32_t>> dead_stores_;
 
-  // Re-route copies whose source node dies mid-stream (FailNode scans this
-  // and re-issues from a surviving data holder).
-  void ReassignOrphanedCopies(uint32_t dead_node);
+  // True if the data behind this vnode is gone: its host node is dead or
+  // its backing store's SSD died. Such vnodes must never be copy sources.
+  bool HostIsDead(const VNodeInfo& info,
+                  const std::set<uint32_t>& dead_nodes) const;
+  bool IsDeadNodeEndpoint(sim::EndpointId ep) const;
+
+  // Re-route copies whose source died mid-stream (FailNode/FailStore scan
+  // this and re-issue from a surviving data holder); cancel copies whose
+  // destination died (the fill is moot — the dst vnode is being removed).
+  void ReassignOrphanedCopies();
 
   std::map<uint64_t, Transition> pending_;      // transition id -> state
   std::map<uint64_t, uint64_t> copy_to_transition_;
@@ -134,6 +163,14 @@ class ControlPlane {
 
   std::unique_ptr<sim::PeriodicTimer> hb_timer_;
   ControlPlaneStats stats_;
+
+  obs::Scope scope_;
+  obs::TraceRing* trace_;
+  struct Metrics {
+    obs::Counter* copies_abandoned;
+    obs::Counter* store_failures;
+    obs::Counter* vnodes_failed_over;
+  } m_;
 };
 
 }  // namespace leed::cluster

@@ -58,6 +58,14 @@ struct CopyDoneMsg {
   VNodeId dst = kInvalidVNode;
 };
 
+// Node -> control plane: a local store's SSD latched permanently failed
+// (N consecutive hard IO errors). The node keeps serving its other stores;
+// the control plane fails over just this store's vnodes (FailStore).
+struct StoreFailedMsg {
+  uint32_t node = 0;
+  uint32_t local_store = 0;
+};
+
 // Approximate wire sizes (header + payload), for honest bandwidth charging.
 constexpr uint64_t kControlHeaderBytes = 48;
 
@@ -67,5 +75,6 @@ inline uint64_t WireSize(const ViewUpdateMsg& m) {
 inline uint64_t WireSize(const CopyItemMsg& m) {
   return kControlHeaderBytes + m.key.size() + m.value.size();
 }
+inline uint64_t WireSize(const StoreFailedMsg&) { return kControlHeaderBytes; }
 
 }  // namespace leed::cluster

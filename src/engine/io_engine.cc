@@ -23,6 +23,7 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
   m_.waited = scope_.GetCounter("waited");
   m_.swap_activations = scope_.GetCounter("swap_activations");
   m_.swap_reclaims = scope_.GetCounter("swap_reclaims");
+  m_.ssd_failures = scope_.GetCounter("ssd_failures");
   m_.queue_us = scope_.GetHistogram("queue_us");
   m_.service_us = scope_.GetHistogram("service_us");
   m_.total_us = scope_.GetHistogram("total_us");
@@ -38,6 +39,10 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
     for (uint32_t i = 0; i < n_ssd; ++i) {
       ssd_ptrs_.push_back(config_.external_ssds[i]);
       ssd_ptrs_.back()->AttachMetrics(scope_.Sub("ssd" + std::to_string(i)));
+      // Replaces any observer left by a pre-crash engine on these shared
+      // devices; a restarted node must feed its own (fresh) latch.
+      ssd_ptrs_.back()->set_io_observer(
+          [this, i](bool ok) { OnRawIo(i, ok); });
       per_ssd_.push_back(std::make_unique<PerSsd>(config_));
     }
   } else {
@@ -46,6 +51,7 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
       ssds_.push_back(
           std::make_unique<sim::SimSsd>(sim_, config_.ssd, seed + i * 7919));
       ssds_.back()->AttachMetrics(scope_.Sub("ssd" + std::to_string(i)));
+      ssds_.back()->set_io_observer([this, i](bool ok) { OnRawIo(i, ok); });
       ssd_ptrs_.push_back(ssds_.back().get());
       per_ssd_.push_back(std::make_unique<PerSsd>(config_));
     }
@@ -360,6 +366,28 @@ void IoEngine::Execute(uint32_t ssd, Request req) {
   }
 }
 
+void IoEngine::OnRawIo(uint32_t ssd, bool ok) {
+  // Per-SSD health latch: hard IO errors in an unbroken run mean the
+  // device itself is gone (a dead device fails every IO), not that one
+  // command hit a transient bit flip. Any success resets the run.
+  if (config_.ssd_fail_threshold == 0) return;
+  PerSsd& p = *per_ssd_[ssd];
+  if (p.failed) return;
+  if (ok) {
+    p.consecutive_io_errors = 0;
+    return;
+  }
+  if (++p.consecutive_io_errors >= config_.ssd_fail_threshold) {
+    p.failed = true;
+    m_.ssd_failures->Inc();
+    for (uint32_t s = 0; s < config_.stores_per_ssd; ++s) {
+      trace_->Record(sim_.Now(), obs::TraceKind::kStoreFailed, config_.node_id,
+                     ssd * config_.stores_per_ssd + s, config_.node_id);
+    }
+    if (config_.on_ssd_failed) config_.on_ssd_failed(ssd);
+  }
+}
+
 void IoEngine::OnComplete(uint32_t ssd, uint32_t cost, SimTime started,
                           Request& req, Status status, std::vector<uint8_t> value) {
   m_.completed->Inc();
@@ -384,6 +412,14 @@ void IoEngine::OnComplete(uint32_t ssd, uint32_t cost, SimTime started,
   req.callback(std::move(status), std::move(value), meta);
 
   PumpWaiting(ssd);
+}
+
+uint32_t IoEngine::FailedSsdCount() const {
+  uint32_t n = 0;
+  for (const auto& p : per_ssd_) {
+    if (p->failed) ++n;
+  }
+  return n;
 }
 
 uint32_t IoEngine::AvailableTokensFor(uint32_t ssd, uint32_t tenant) const {
@@ -445,11 +481,12 @@ void IoEngine::SwapCheck() {
   // merge-back later.
   const size_t occupancy_floor = config_.wait_queue_capacity / 4;
   for (uint32_t i = 0; i < n; ++i) {
+    if (per_ssd_[i]->failed) continue;  // failed stores are NACKed, not swapped
     size_t my_depth = per_ssd_[i]->waiting.Size();
     uint32_t best = i;
     size_t best_depth = my_depth;
     for (uint32_t j = 0; j < n; ++j) {
-      if (j == i) continue;
+      if (j == i || per_ssd_[j]->failed) continue;  // dead donors absorb nothing
       size_t d = per_ssd_[j]->waiting.Size();
       if (d < best_depth) {
         best_depth = d;

@@ -69,6 +69,16 @@ struct EngineConfig {
   // (Fig. 13b's inter-parallelism knob). 0 = unlimited.
   uint32_t max_concurrent_compactions = 0;
 
+  // Per-SSD health latch: this many consecutive hard IO errors (IoError
+  // completions with no intervening success) mark the SSD permanently
+  // failed — the engine fires on_ssd_failed once and the node stops
+  // routing that SSD's stores. 0 disables latching (transient error
+  // injection then never escalates to failover).
+  uint32_t ssd_fail_threshold = 8;
+  // Fired exactly once per SSD, from the completion path, when the latch
+  // trips. The owning node reports the failure to the control plane.
+  std::function<void(uint32_t ssd)> on_ssd_failed;
+
   // Devices supplied by the caller instead of engine-owned ones; must be
   // empty or exactly ssd_count entries. ClusterSim uses this so simulated
   // SSD contents outlive the engine across a node crash-restart.
@@ -144,6 +154,12 @@ class IoEngine : public StorageService {
 
   uint64_t checkpoint_seq() const { return checkpoint_seq_; }
 
+  // Health: true once `ssd` has latched failed (ssd_fail_threshold
+  // consecutive hard IO errors). Latched state never clears — a dead SSD
+  // is replaced by restarting the node with a blank device.
+  bool SsdFailed(uint32_t ssd) const { return per_ssd_[ssd]->failed; }
+  uint32_t FailedSsdCount() const;
+
   // Flow-control signals.
   uint32_t AvailableTokens(uint32_t ssd) const override {
     return per_ssd_[ssd]->tokens.available();
@@ -179,6 +195,8 @@ class IoEngine : public StorageService {
     TokenPool tokens;
     SpscRing<Request> waiting;
     size_t active = 0;
+    uint32_t consecutive_io_errors = 0;
+    bool failed = false;  // latched: ssd_fail_threshold errors in a row
   };
 
   struct RecoverRun;
@@ -186,6 +204,10 @@ class IoEngine : public StorageService {
   void Execute(uint32_t ssd, Request req);
   void OnComplete(uint32_t ssd, uint32_t cost, SimTime started, Request& req,
                   Status status, std::vector<uint8_t> value);
+  // Per-SSD health latch, fed raw device completion statuses through the
+  // BlockDevice io observer (KV-level statuses wrap device errors into
+  // corruption/internal codes, so OnComplete cannot see them).
+  void OnRawIo(uint32_t ssd, bool ok);
   void PumpWaiting(uint32_t ssd);
   void SwapCheck();
   void WriteCheckpoints();
@@ -207,6 +229,7 @@ class IoEngine : public StorageService {
     obs::Counter* waited;
     obs::Counter* swap_activations;
     obs::Counter* swap_reclaims;
+    obs::Counter* ssd_failures;
     Histogram* queue_us;
     Histogram* service_us;
     Histogram* total_us;

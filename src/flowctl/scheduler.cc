@@ -11,6 +11,7 @@ void FlowScheduler::AttachMetrics(const obs::Scope& scope) {
   metrics_.sent_with_tokens = scope.GetCounter("sent_with_tokens");
   metrics_.sent_as_probe = scope.GetCounter("sent_as_probe");
   metrics_.deferrals = scope.GetCounter("deferrals");
+  metrics_.cancelled = scope.GetCounter("cancelled");
 }
 
 uint32_t FlowScheduler::AddTenant() {
@@ -49,6 +50,14 @@ bool FlowScheduler::Visit(uint32_t tenant) {
   if (q.empty()) return false;
   OutRequest req = std::move(q.front());
   q.pop_front();
+
+  // Abandoned while queued (caller timed it out): drop it here, before any
+  // token accounting. Charging OnSend for a request that will never reach
+  // the wire leaks an `outstanding` slot that no response can release.
+  if (req.alive && !req.alive()) {
+    Count(&SchedulerStats::cancelled, metrics_.cancelled);
+    return false;
+  }
 
   SsdAccount& account = view_.Account(req.target);
   // Alg. 1's send condition is "tokens >= cost": a request whose cost

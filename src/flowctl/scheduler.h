@@ -32,6 +32,12 @@ struct OutRequest {
   uint32_t token_cost = 2;
   // Transmit the request. Fired at most once, from Pump().
   std::function<void()> send;
+  // Optional liveness probe: false once the caller gave up on the request
+  // (e.g. it timed out while still queued). A stale entry must be dropped
+  // without charging the token view — OnSend with no wire message behind
+  // it inflates `outstanding` forever and wedges the target's queue, since
+  // nothing will ever respond to decrement it.
+  std::function<bool()> alive;
 };
 
 struct SchedulerStats {
@@ -40,6 +46,7 @@ struct SchedulerStats {
   uint64_t sent_with_tokens = 0;
   uint64_t sent_as_probe = 0;  // the Nagle arm
   uint64_t deferrals = 0;      // times a head request was requeued
+  uint64_t cancelled = 0;      // stale (caller-abandoned) entries dropped
 };
 
 class FlowScheduler {
@@ -97,6 +104,7 @@ class FlowScheduler {
     obs::Counter* sent_with_tokens = nullptr;
     obs::Counter* sent_as_probe = nullptr;
     obs::Counter* deferrals = nullptr;
+    obs::Counter* cancelled = nullptr;
   } metrics_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "replication/chain.h"
 #include "sim/shard_check.h"
 
@@ -18,6 +19,7 @@ Client::Client(sim::Simulator& simulator, sim::Network& network,
       cp_endpoint_(control_plane),
       node_endpoints_(node_endpoints),
       config_(std::move(config)),
+      backoff_rng_(Mix64(config_.backoff_seed ^ 0xbac0ffULL)),
       token_view_(config_.initial_tokens) {
   endpoint_ = net_.AddEndpoint(config_.nic);
   net_.SetReceiver(endpoint_, [this](sim::Message m) { OnMessage(std::move(m)); });
@@ -25,9 +27,9 @@ Client::Client(sim::Simulator& simulator, sim::Network& network,
                                                         config_.flow_control);
   for (uint32_t i = 0; i < config_.num_tenants; ++i) scheduler_->AddTenant();
   if (!config_.metrics_prefix.empty()) {
-    scheduler_->AttachMetrics(
-        obs::Scope(config_.metrics_registry, config_.metrics_prefix)
-            .Sub("sched"));
+    obs::Scope scope(config_.metrics_registry, config_.metrics_prefix);
+    scheduler_->AttachMetrics(scope.Sub("sched"));
+    backoff_us_ = scope.GetCounter("backoff_us");
   }
   // Claim this client for the current shard (ClusterSim constructs each
   // client inside its ShardGuard). Compiles out under NDEBUG.
@@ -139,13 +141,13 @@ void Client::Issue(std::shared_ptr<Inflight> op) {
   flowctl::SsdRef target;
   if (!Route(op->key, op->op, &vnode, &hop, &target)) {
     // No routable chain yet (bootstrap or transition): retry later.
-    RetryLater(op, config_.retry_delay);
+    RetryLater(op);
     return;
   }
   const cluster::VNodeInfo* info = view_.Find(vnode);
   auto ep_it = node_endpoints_->find(info->owner_node);
   if (ep_it == node_endpoints_->end()) {
-    RetryLater(op, config_.retry_delay);
+    RetryLater(op);
     return;
   }
   const sim::EndpointId node_ep = ep_it->second;
@@ -154,6 +156,15 @@ void Client::Issue(std::shared_ptr<Inflight> op) {
   op->attempts++;
   op->last_target = target;
   inflight_[req_id] = op;
+
+  // Armed here — not in the send continuation — so the clock covers time
+  // spent queued in the flow scheduler too. A target SSD that died with our
+  // tokens outstanding never replenishes them, so a queued request would
+  // otherwise wait forever with no live event and wedge the client.
+  auto timeout = [this, req_id] { OnTimeout(req_id); };
+  static_assert(sim::EventFitsInline<decltype(timeout)>,
+                "request timeout event must not heap-allocate");
+  op->timeout_event = sim_.Schedule(config_.request_timeout, std::move(timeout));
 
   ClientRequestMsg msg;
   msg.req_id = req_id;
@@ -170,18 +181,13 @@ void Client::Issue(std::shared_ptr<Inflight> op) {
   out.target = target;
   out.token_cost = engine::TokenCost(config_.token_costs, op->op);
   out.send = [this, req_id, m = std::move(msg), node_ep]() mutable {
+    if (!inflight_.contains(req_id)) return;  // timed out while queued
     stats_.sends++;
-    auto it = inflight_.find(req_id);
-    if (it == inflight_.end()) return;  // timed out while queued
-    auto timeout = [this, req_id] { OnTimeout(req_id); };
-    // Armed on every send and cancelled on nearly every response: this
-    // pair must stay O(1) and allocation-free end to end.
-    static_assert(sim::EventFitsInline<decltype(timeout)>,
-                  "request timeout event must not heap-allocate");
-    it->second->timeout_event =
-        sim_.Schedule(config_.request_timeout, std::move(timeout));
     net_.Send(endpoint_, node_ep, WireSize(m), std::move(m));
   };
+  // Lets the scheduler drop this entry untransmitted (and uncharged) if the
+  // timeout wins the race while it is still queued.
+  out.alive = [this, req_id] { return inflight_.contains(req_id); };
   scheduler_->Enqueue(op->tenant, std::move(out));
 }
 
@@ -224,14 +230,24 @@ void Client::OnResponse(ResponseMsg resp) {
     case StatusCode::kWrongView:
       stats_.nacks++;
       RequestViewRefresh();
-      RetryLater(op, config_.retry_delay);
+      RetryLater(op);
       return;
     case StatusCode::kOverloaded:
       stats_.overloads++;
-      RetryLater(op, config_.retry_delay);
+      RetryLater(op);
       return;
     case StatusCode::kUnavailable:
-      RetryLater(op, config_.retry_delay * 4);
+      // Degraded-mode NACK (failed store / draining node): refresh so the
+      // next attempt can route around it once the failover view lands.
+      RequestViewRefresh();
+      RetryLater(op);
+      return;
+    case StatusCode::kIoError:
+      // A device-level failure on the serving store. The store is about to
+      // latch failed and be failed over vnode-by-vnode; retrying under
+      // backoff gives the next attempt a view that routes around it.
+      RequestViewRefresh();
+      RetryLater(op);
       return;
     default:
       Complete(op, Status(resp.code, "server error"), {});
@@ -249,15 +265,32 @@ void Client::OnTimeout(uint64_t req_id) {
   // Release the outstanding slot so the Nagle probe can fire again.
   scheduler_->OnResponseNoTokens(op->last_target);
   RequestViewRefresh();  // the target may be dead
-  RetryLater(op, config_.retry_delay * 4);
+  RetryLater(op);
 }
 
-void Client::RetryLater(std::shared_ptr<Inflight> op, SimTime delay) {
+SimTime Client::BackoffDelay(const Inflight& op) {
+  // attempts counts issues so far; the first retry (attempts == 1, or 0 when
+  // routing failed before the issue) waits one base delay.
+  const uint32_t k = op.attempts > 1 ? op.attempts - 1 : 0;
+  SimTime delay = config_.retry_delay << std::min(k, 20u);
+  delay = std::min(delay, config_.retry_delay_cap);
+  if (config_.retry_jitter > 0.0) {
+    const uint64_t span =
+        static_cast<uint64_t>(static_cast<double>(delay) * config_.retry_jitter);
+    if (span > 0) delay += backoff_rng_.NextBounded(span + 1);
+  }
+  return delay;
+}
+
+void Client::RetryLater(std::shared_ptr<Inflight> op) {
   if (op->attempts >= config_.max_retries) {
     Complete(op, Status::Unavailable("retries exhausted"), {});
     return;
   }
   stats_.retries++;
+  const SimTime delay = BackoffDelay(*op);
+  stats_.backoff_us += static_cast<uint64_t>(delay / kMicrosecond);
+  if (backoff_us_) backoff_us_->Add(delay / kMicrosecond);
   sim_.Schedule(delay, [this, op] { Issue(op); });
 }
 

@@ -27,6 +27,7 @@
 #include "cluster/membership.h"
 #include "cluster/wire.h"
 #include "common/histogram.h"
+#include "common/rand.h"
 #include "common/shard_annotations.h"
 #include "engine/token_bucket.h"
 #include "flowctl/scheduler.h"
@@ -42,7 +43,15 @@ struct ClientConfig {
   bool crrs_reads = true;     // Fig. 7 knob (read shipping / replica choice)
   SimTime request_timeout = 20 * kMillisecond;
   uint32_t max_retries = 10;
-  SimTime retry_delay = 300 * kMicrosecond;  // after NACK/unavailable
+  // Retry schedule: capped exponential backoff. Attempt k waits
+  // min(retry_delay * 2^(k-1), retry_delay_cap) plus a deterministic jitter
+  // drawn per retry from [0, retry_jitter * delay] — without the jitter,
+  // clients that fail together (a store NACKing kUnavailable, a dead node
+  // timing out) retry in lockstep and re-collide forever.
+  SimTime retry_delay = 300 * kMicrosecond;   // first-retry base
+  SimTime retry_delay_cap = 10 * kMillisecond;
+  double retry_jitter = 0.25;
+  uint64_t backoff_seed = 0;  // per-client (ClusterSim: seed ^ client index)
   sim::NicSpec nic;            // 100GbE x86 client by default
   uint32_t stores_per_ssd = 4; // vnode -> SSD mapping for token accounts
   int64_t initial_tokens = 16;
@@ -70,6 +79,7 @@ struct ClientStats {
   uint64_t sends = 0;          // wire transmissions (incl. retries)
   uint64_t ok = 0, not_found = 0, failed = 0;
   uint64_t retries = 0, nacks = 0, overloads = 0, timeouts = 0;
+  uint64_t backoff_us = 0;     // total retry backoff scheduled (incl. jitter)
   Histogram latency_us;        // first issue -> final completion
 };
 
@@ -134,7 +144,8 @@ class LEED_SHARD_AFFINE Client {
   void OnMessage(sim::Message msg);
   void OnResponse(ResponseMsg resp);
   void OnTimeout(uint64_t req_id);
-  void RetryLater(std::shared_ptr<Inflight> op, SimTime delay);
+  SimTime BackoffDelay(const Inflight& op);
+  void RetryLater(std::shared_ptr<Inflight> op);
   void Complete(std::shared_ptr<Inflight> op, Status st,
                 std::vector<uint8_t> value);
   void RequestViewRefresh();
@@ -154,6 +165,8 @@ class LEED_SHARD_AFFINE Client {
   std::map<uint64_t, std::shared_ptr<Inflight>> inflight_;  // by req_id
   uint64_t next_req_id_ = 1;
   uint32_t tenant_rr_ = 0;
+  Rng backoff_rng_;  // jitter stream; deterministic per backoff_seed
+  obs::Counter* backoff_us_ = nullptr;  // "<prefix>.backoff_us", may be null
   ClientStats stats_;
 };
 

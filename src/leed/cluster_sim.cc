@@ -49,7 +49,10 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
       *sim_, config_.seed, config_.node.metrics_registry, config_.node.trace);
   net_->set_faults(&faults_->net());
   if (config_.node.trace) net_->set_trace(config_.node.trace);
-  cp_ = std::make_unique<cluster::ControlPlane>(*sim_, *net_, config_.control_plane);
+  cluster::ControlPlaneConfig cpc = config_.control_plane;
+  cpc.metrics_registry = config_.node.metrics_registry;
+  cpc.trace = config_.node.trace;
+  cp_ = std::make_unique<cluster::ControlPlane>(*sim_, *net_, cpc);
 
   // Read outside the per-node guards below: the control plane is shard 0's
   // object, and the shard-purity lint holds guard regions to that.
@@ -80,6 +83,9 @@ ClusterSim::ClusterSim(ClusterConfig config) : config_(std::move(config)) {
     ClientConfig cc = config_.client;
     cc.metrics_registry = config_.node.metrics_registry;
     cc.metrics_prefix = "client" + std::to_string(c);
+    // Distinct per-client jitter streams: clients NACKed by the same failed
+    // store must desynchronize their retries, not back off in lockstep.
+    cc.backoff_seed = config_.seed ^ (0xc0ffeeULL + c);
     cc.history = history_.get();
     cc.history_client_id = c;
     auto cl = std::make_unique<Client>(*sim_, *net_, cp_ep,
@@ -478,10 +484,41 @@ void ClusterSim::RestartNode(uint32_t node_id) {
   });
 }
 
+void ClusterSim::KillSsd(uint32_t node_id, uint32_t ssd) {
+  faults_->KillDevice(static_cast<int32_t>(node_id), static_cast<int32_t>(ssd));
+}
+
+void ClusterSim::ReplaceSsd(uint32_t node_id, uint32_t ssd) {
+  if (config_.node.stack != StackKind::kLeed) return;
+  if (node_ssds_.size() <= node_id || ssd >= node_ssds_[node_id].size()) return;
+  // Only a down node's device can be swapped: a live engine holds raw
+  // pointers to the mounted SimSsd.
+  if (node_id < nodes_.size() && !nodes_[node_id]->crashed() &&
+      !nodes_[node_id]->failed()) {
+    return;
+  }
+  auto& owned = node_ssds_[node_id];
+  // The dead device and its latched fault state move to graveyards:
+  // in-flight completion callbacks may still reference both.
+  faults_->RetireDevice(node_id, ssd);
+  ssd_graveyard_.push_back(std::move(owned[ssd]));
+  const uint64_t engine_seed = (config_.seed + 1000 + node_id) ^ 0xeed;
+  auto fresh = std::make_unique<sim::SimSsd>(
+      *sim_, config_.node.engine.ssd, (engine_seed + ssd * 7919) ^ 0x2e91aceULL);
+  fresh->set_faults(faults_->AddDevice(
+      sim::DeviceFaultSpec{}, (engine_seed ^ (0xd00d + ssd * 131)) + 0x2e91aceULL,
+      node_id, ssd));
+  owned[ssd] = std::move(fresh);
+}
+
 void ClusterSim::ArmFaultPlan(const sim::FaultPlan& plan) {
   const SimTime now = sim_->Now();
   for (const auto& d : plan.devices) {
     faults_->SetDeviceSpec(d.spec, d.node, d.ssd);
+    if (d.dead_after > 0) {
+      sim_->At(now + d.dead_after,
+               [this, node = d.node, ssd = d.ssd] { faults_->KillDevice(node, ssd); });
+    }
   }
   if (plan.has_net) faults_->net().set_spec(plan.net);
   for (const auto& p : plan.partitions) {

@@ -104,6 +104,17 @@ class ClusterSim {
   // devices runs superblock + log-scan recovery, starts heartbeating, and
   // rejoins the ring (one StartJoin per store). LEED stack only.
   void RestartNode(uint32_t node_id);
+  // Permanently kill one SSD (device death, docs/FAULTS.md): every
+  // subsequent IO on it hard-fails. The engine latches the backing store
+  // failed after N consecutive errors; the node keeps serving its healthy
+  // stores (degraded mode) and the control plane fails over just the dead
+  // store's vnodes (FailStore).
+  void KillSsd(uint32_t node_id, uint32_t ssd);
+  // Swap a blank replacement device into a *down* (crashed or failed)
+  // node's SSD slot. The kill → crash → replace → restart sequence brings
+  // the node back with an empty store that backfills through the normal
+  // join path; no-op while the node is up (the engine holds the device).
+  void ReplaceSsd(uint32_t node_id, uint32_t ssd);
   // Arm a parsed fault plan; clause times are relative to Now().
   void ArmFaultPlan(const sim::FaultPlan& plan);
   sim::FaultInjector& faults() { return *faults_; }
@@ -165,6 +176,8 @@ class ClusterSim {
   // Crashed Node objects are kept (inert) rather than destroyed: in-flight
   // simulator callbacks may still reference them.
   std::vector<std::unique_ptr<Node>> graveyard_;
+  // Dead devices replaced by ReplaceSsd, kept for the same reason.
+  std::vector<std::unique_ptr<sim::SimSsd>> ssd_graveyard_;
 };
 
 }  // namespace leed

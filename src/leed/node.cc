@@ -39,6 +39,8 @@ Node::Node(sim::Simulator& simulator, sim::Network& network,
   m_.obligation_giveups = scope_.GetCounter("repl.obligation_giveups");
   m_.view_updates = scope_.GetCounter("view_updates");
   m_.pending_reforwards = scope_.GetCounter("pending_reforwards");
+  m_.store_unavailable_nacks = scope_.GetCounter("store_unavailable_nacks");
+  m_.stores_failed = scope_.GetGauge("stores_failed");
   m_.power_w = scope_.GetGauge("power_w");
   m_.repl_pending_writes = scope_.GetGauge("repl.pending_writes");
   m_.repl_dirty_keys = scope_.GetGauge("repl.dirty_keys");
@@ -55,6 +57,7 @@ Node::Node(sim::Simulator& simulator, sim::Network& network,
     config_.engine.metrics_prefix = scope_.Sub("engine").prefix();
     config_.engine.trace = trace_;
     config_.engine.node_id = node_id_;
+    config_.engine.on_ssd_failed = [this](uint32_t ssd) { OnSsdFailed(ssd); };
     leed_engine_ = std::make_unique<engine::IoEngine>(sim_, *cpu_, config_.engine,
                                                       seed ^ 0xeed);
     storage_ = leed_engine_.get();
@@ -91,6 +94,7 @@ NodeStats Node::stats() const {
   s.obligation_giveups = m_.obligation_giveups->value();
   s.view_updates = m_.view_updates->value();
   s.pending_reforwards = m_.pending_reforwards->value();
+  s.store_unavailable_nacks = m_.store_unavailable_nacks->value();
   return s;
 }
 
@@ -131,6 +135,19 @@ void Node::Recover(std::function<void(Status, store::RecoveryStats)> done) {
     return;
   }
   leed_engine_->RecoverFromDevices(std::move(done));
+}
+
+void Node::OnSsdFailed(uint32_t ssd) {
+  if (failed_ || crashed_ || !leed_engine_) return;
+  const uint32_t per = config_.engine.stores_per_ssd;
+  m_.stores_failed->Set(
+      static_cast<double>(leed_engine_->FailedSsdCount()) * per);
+  // Report each store on the dead SSD so the control plane can fail over
+  // exactly those vnodes; this node keeps serving its other stores.
+  for (uint32_t s = 0; s < per; ++s) {
+    SendMsg(cp_endpoint_,
+            cluster::StoreFailedMsg{node_id_, ssd * per + s});
+  }
 }
 
 double Node::PowerWatts(SimTime window_ns) const {
@@ -247,6 +264,15 @@ void Node::HandleClientRequest(ClientRequestMsg req) {
     SendNack(req.reply_to, req.req_id);
     return;
   }
+  if (StoreIsFailed(info->local_store)) {
+    // Degraded mode: this store's SSD is dead. kUnavailable (not
+    // kWrongView) so the client backs off instead of hammering the view
+    // service; the failover transition will reroute the vnode.
+    m_.store_unavailable_nacks->Inc();
+    RespondToClient(req.reply_to, req.req_id, StatusCode::kUnavailable, {},
+                    info->local_store, false);
+    return;
+  }
   auto chain = ChainForKey(req.key);
   if (chain.empty() || chain[0] != req.vnode || req.hop != 0) {
     SendNack(req.reply_to, req.req_id);
@@ -270,6 +296,12 @@ void Node::HandleGet(ClientRequestMsg req) {
   const cluster::VNodeInfo* info = OwnedVNode(req.vnode);
   if (!info) {
     SendNack(req.reply_to, req.req_id);
+    return;
+  }
+  if (StoreIsFailed(info->local_store)) {
+    m_.store_unavailable_nacks->Inc();
+    RespondToClient(req.reply_to, req.req_id, StatusCode::kUnavailable, {},
+                    info->local_store, false);
     return;
   }
   auto chain = ChainForKey(req.key);
@@ -450,6 +482,16 @@ void Node::HandleChainWrite(ChainWriteMsg w) {
   const cluster::VNodeInfo* info = OwnedVNode(w.vnode);
   if (!info) {
     SendNack(w.reply_to, w.req_id);
+    return;
+  }
+  if (StoreIsFailed(info->local_store)) {
+    // A chain member with a dead store cannot take the write durably;
+    // refuse up front so the client retries once failover reshapes the
+    // chain, instead of wedging the write behind a store that can only
+    // return IoError.
+    m_.store_unavailable_nacks->Inc();
+    RespondToClient(w.reply_to, w.req_id, StatusCode::kUnavailable, {},
+                    info->local_store, false);
     return;
   }
   auto chain = ChainForKey(w.key);

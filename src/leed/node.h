@@ -107,6 +107,7 @@ struct NodeStats {
   uint64_t obligation_giveups = 0;  // chain applies failed after max retries
   uint64_t view_updates = 0;
   uint64_t pending_reforwards = 0;
+  uint64_t store_unavailable_nacks = 0;  // ops refused on a failed store
 };
 
 // Shard-affine (docs/PARALLEL_SIM.md): every field below belongs to the
@@ -175,6 +176,15 @@ class LEED_SHARD_AFFINE Node {
   void HandleViewUpdate(cluster::ViewUpdateMsg update);
   void HandleCopyCommand(cluster::CopyCommandMsg cmd);
   void HandleCopyItem(cluster::CopyItemMsg item);
+
+  // Degraded mode: the engine latched `ssd` permanently failed. Report
+  // each of its stores to the control plane (StoreFailedMsg) and start
+  // refusing their ops with kUnavailable; other stores keep serving.
+  void OnSsdFailed(uint32_t ssd);
+  bool StoreIsFailed(uint32_t local_store) const {
+    return leed_engine_ != nullptr &&
+           leed_engine_->SsdFailed(leed_engine_->ssd_of_store(local_store));
+  }
 
   // Apply a committed write to the local store, retrying on overload with
   // capped exponential backoff (a chain obligation cannot be silently
@@ -286,6 +296,8 @@ class LEED_SHARD_AFFINE Node {
     obs::Counter* obligation_giveups;
     obs::Counter* view_updates;
     obs::Counter* pending_reforwards;
+    obs::Counter* store_unavailable_nacks;
+    obs::Gauge* stores_failed;
     obs::Gauge* power_w;
     obs::Gauge* repl_pending_writes;
     obs::Gauge* repl_dirty_keys;

@@ -20,6 +20,10 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kDevFault: return "dev_fault";
     case TraceKind::kNodeCrash: return "node_crash";
     case TraceKind::kNodeRestart: return "node_restart";
+    case TraceKind::kDevDead: return "dev_dead";
+    case TraceKind::kStoreFailed: return "store_failed";
+    case TraceKind::kStoreFailover: return "store_failover";
+    case TraceKind::kCopyAbandoned: return "copy_abandoned";
   }
   return "?";
 }

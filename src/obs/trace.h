@@ -38,6 +38,10 @@ enum class TraceKind : uint8_t {
   kDevFault,      // unit=ssd,   id=io seq,   arg=fault kind (sim::IoFault)
   kNodeCrash,     // id=node id
   kNodeRestart,   // id=node id
+  kDevDead,       // unit=ssd,   id=io seq at death (0 if scripted)
+  kStoreFailed,   // unit=store, id=node id   (engine latched the store)
+  kStoreFailover, // unit=store, id=node id,  arg=vnodes failed over
+  kCopyAbandoned, // unit=dst vnode, id=copy id (data-loss path)
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -75,8 +75,25 @@ class BlockDevice {
   void set_faults(DeviceFaults* faults) { faults_ = faults; }
   DeviceFaults* faults() const { return faults_; }
 
+  // Raw completion-status observer — the "NVMe driver" view. Fired once per
+  // completed IO with ok/error, before the requester's callback. The store
+  // layers above wrap device errors into their own status codes (corruption,
+  // retry-budget internal errors, ...), so KV-level completions cannot tell
+  // a dead device from a logic bug; health latches hang off this instead.
+  // One observer per device; setting replaces the previous one.
+  void set_io_observer(std::function<void(bool ok)> observer) {
+    io_observer_ = std::move(observer);
+  }
+
  protected:
+  void NotifyIo(bool ok) {
+    if (io_observer_) io_observer_(ok);
+  }
+
   DeviceFaults* faults_ = nullptr;
+
+ private:
+  std::function<void(bool ok)> io_observer_;
 };
 
 // Sparse in-memory byte store shared by device implementations.

@@ -37,6 +37,18 @@ IoFault DeviceFaults::OnIo(bool is_write, uint64_t length,
     counters_->dev_crash_dropped->Inc();
     return IoFault::kCrash;
   }
+  if (dead_ || (spec_.dead_at != 0 && ios_ >= spec_.dead_at)) {
+    if (!dead_) {
+      dead_ = true;
+      counters_->dev_dead->Inc();
+      trace_->Record(sim_.Now(), obs::TraceKind::kDevDead, node_, unit_, ios_);
+    }
+    // Unlike a crash, a dead device still answers — with an error. The
+    // engine sees a hard IoError for every IO and can latch the store.
+    if (is_write) counters_->dev_write_errors->Inc();
+    else counters_->dev_read_errors->Inc();
+    return IoFault::kError;
+  }
   bool fail = false;
   if (is_write) {
     if (spec_.fail_write_at != 0 && seq == spec_.fail_write_at) {
@@ -78,6 +90,13 @@ IoFault DeviceFaults::OnIo(bool is_write, uint64_t length,
     counters_->dev_latency_spikes->Inc();
   }
   return IoFault::kNone;
+}
+
+void DeviceFaults::Kill() {
+  if (dead_) return;
+  dead_ = true;
+  counters_->dev_dead->Inc();
+  trace_->Record(sim_.Now(), obs::TraceKind::kDevDead, node_, unit_, 0);
 }
 
 // ---- NetFaults ------------------------------------------------------------
@@ -191,6 +210,8 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
     if (kind == "dev") {
       FaultPlan::DevClause d;
       int64_t fail_read = 0, fail_write = 0, torn = 0, crash_at = 0;
+      int64_t dead_at = 0;
+      double dead_after_ms = 0.0;
       int64_t node = -1, ssd = -1;
       ok = num("read_err", &d.spec.read_error_rate) &&
            num("write_err", &d.spec.write_error_rate) &&
@@ -199,11 +220,15 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
            num("spike_p", &d.spec.latency_spike_prob) &&
            num("spike_x", &d.spec.latency_spike_factor) &&
            integer("torn", &torn) && integer("crash_at_io", &crash_at) &&
+           integer("dead_at", &dead_at) &&
+           num("dead_after_ms", &dead_after_ms) &&
            integer("node", &node) && integer("ssd", &ssd);
       d.spec.fail_read_at = static_cast<uint64_t>(std::max<int64_t>(0, fail_read));
       d.spec.fail_write_at = static_cast<uint64_t>(std::max<int64_t>(0, fail_write));
       d.spec.torn_writes = torn != 0;
       d.spec.crash_at_io = static_cast<uint64_t>(std::max<int64_t>(0, crash_at));
+      d.spec.dead_at = static_cast<uint64_t>(std::max<int64_t>(0, dead_at));
+      d.dead_after = static_cast<SimTime>(dead_after_ms * 1e6);
       d.node = static_cast<int32_t>(node);
       d.ssd = static_cast<int32_t>(ssd);
       if (ok) plan.devices.push_back(d);
@@ -259,6 +284,7 @@ FaultInjector::FaultInjector(Simulator& sim, uint64_t seed,
       net_(SplitMix64(seed ^ 0xfa017eedULL).Next(), &counters_) {
   obs::Scope scope(registry, "faults");
   scope.ResetInstruments();
+  counters_.dev_dead = scope.GetCounter("dev.dead");
   counters_.dev_read_errors = scope.GetCounter("dev_read_errors");
   counters_.dev_write_errors = scope.GetCounter("dev_write_errors");
   counters_.dev_torn_writes = scope.GetCounter("dev_torn_writes");
@@ -288,6 +314,24 @@ void FaultInjector::SetDeviceSpec(const DeviceFaultSpec& spec, int32_t node,
     if (node >= 0 && d->node() != static_cast<uint32_t>(node)) continue;
     if (unit >= 0 && d->unit() != static_cast<uint32_t>(unit)) continue;
     d->set_spec(spec);
+  }
+}
+
+void FaultInjector::KillDevice(int32_t node, int32_t unit) {
+  for (auto& d : devices_) {
+    if (node >= 0 && d->node() != static_cast<uint32_t>(node)) continue;
+    if (unit >= 0 && d->unit() != static_cast<uint32_t>(unit)) continue;
+    d->Kill();
+  }
+}
+
+void FaultInjector::RetireDevice(uint32_t node, uint32_t unit) {
+  for (auto it = devices_.begin(); it != devices_.end(); ++it) {
+    if ((*it)->node() == node && (*it)->unit() == unit) {
+      retired_devices_.push_back(std::move(*it));
+      devices_.erase(it);
+      return;
+    }
   }
 }
 

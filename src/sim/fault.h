@@ -55,6 +55,7 @@ struct DeviceFaultSpec {
   double latency_spike_factor = 1.0;  // service-time multiplier on a spike
   bool torn_writes = false;  // failed writes persist a random strict prefix
   uint64_t crash_at_io = 0;  // 1-based: this IO and everything after vanish
+  uint64_t dead_at = 0;      // 1-based: this IO and everything after IoError
 };
 
 // What happens to one IO.
@@ -66,6 +67,7 @@ enum class IoFault : uint8_t {
 };
 
 struct FaultCounters {
+  obs::Counter* dev_dead = nullptr;
   obs::Counter* dev_read_errors = nullptr;
   obs::Counter* dev_write_errors = nullptr;
   obs::Counter* dev_torn_writes = nullptr;
@@ -99,6 +101,14 @@ class DeviceFaults {
   void Revive() { crashed_ = false; }
   bool crashed() const { return crashed_; }
 
+  // Permanent device death (hardware failure semantics, distinct from
+  // crash): every IO from now on completes with Status::IoError after the
+  // normal service latency, so the engine above can observe the failure
+  // and latch the store unavailable. There is no revive — a dead device
+  // is replaced, not repaired.
+  void Kill();
+  bool dead() const { return dead_; }
+
   // Replace the spec (e.g. when a fault plan is armed against devices that
   // were registered fault-free at cluster construction).
   void set_spec(const DeviceFaultSpec& spec) { spec_ = spec; }
@@ -120,6 +130,7 @@ class DeviceFaults {
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   bool crashed_ = false;
+  bool dead_ = false;
 };
 
 // ---- network faults -------------------------------------------------------
@@ -177,6 +188,7 @@ struct FaultPlan {
     DeviceFaultSpec spec;
     int32_t node = -1;  // -1 = every node
     int32_t ssd = -1;   // -1 = every ssd of the selected node(s)
+    SimTime dead_after = 0;  // relative to arming time; 0 = off
   };
   struct PartitionClause {
     uint32_t node_a = 0;
@@ -205,7 +217,8 @@ struct FaultPlan {
 
 // Parse the --fault-plan grammar: ';'-separated clauses of kind:k=v,k=v.
 //   dev:read_err=0.01,write_err=0.01,fail_read_at=5,fail_write_at=0,
-//       spike_p=0.05,spike_x=8,torn=1,crash_at_io=0,node=-1,ssd=-1
+//       spike_p=0.05,spike_x=8,torn=1,crash_at_io=0,dead_at=0,
+//       dead_after_ms=0,node=-1,ssd=-1
 //   net:drop=0.01,dup=0.001,delay_p=0.02,delay_us=500
 //   part:a=0,b=1,at_ms=20,heal_ms=80,oneway=0
 //   crash:node=2,at_ms=50,restart_ms=120
@@ -231,6 +244,16 @@ class FaultInjector {
   // Re-spec already-registered devices matching (node, unit); -1 = all.
   void SetDeviceSpec(const DeviceFaultSpec& spec, int32_t node, int32_t unit);
 
+  // Permanently kill every registered device matching (node, unit); -1 =
+  // all. Scripted-test entry for the dev:dead_at/dead_after plan faults.
+  void KillDevice(int32_t node, int32_t unit);
+
+  // Drop the fault state of the device at (node, unit) so a replacement
+  // device can register fresh state under the same identity (blank-disk
+  // swap after permanent death). The old DeviceFaults object stays alive
+  // (in-flight IOs may still consult it) but is detached from matching.
+  void RetireDevice(uint32_t node, uint32_t unit);
+
   NetFaults& net() { return net_; }
   FaultCounters& counters() { return counters_; }
   obs::TraceRing* trace() { return trace_; }
@@ -249,6 +272,9 @@ class FaultInjector {
   FaultCounters counters_;
   NetFaults net_;
   std::vector<std::unique_ptr<DeviceFaults>> devices_;
+  // Replaced devices: pointers must outlive in-flight IOs, but the state
+  // no longer matches (node, unit) lookups.
+  std::vector<std::unique_ptr<DeviceFaults>> retired_devices_;
   std::set<uint32_t> crashed_nodes_;
 };
 

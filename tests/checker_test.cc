@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "check/availability.h"
 #include "check/history.h"
 #include "check/linearize.h"
 #include "check/nemesis.h"
@@ -137,6 +138,92 @@ TEST(HistoryLog, BoundedCaptureCountsDrops) {
   EXPECT_TRUE(log.truncated());
   // Responses for dropped ops (id 0) are ignored without crashing.
   log.RecordResponse(0, 4, Outcome::kOk, 0, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Availability extraction
+// ---------------------------------------------------------------------------
+
+namespace {
+HistoryOp Probe(uint64_t id, SimTime invoke, SimTime response, Outcome out) {
+  HistoryOp op;
+  op.id = id;
+  op.client = 0;
+  op.kind = OpKind::kGet;
+  op.key = "p";
+  op.invoke = invoke;
+  op.response = response;
+  op.outcome = out;
+  return op;
+}
+}  // namespace
+
+TEST(Availability, CountsProbesInsideWindowOnly) {
+  std::vector<HistoryOp> ops = {
+      Probe(1, 5, 8, Outcome::kOk),        // before window: excluded
+      Probe(2, 10, 15, Outcome::kOk),      // window_start is inclusive
+      Probe(3, 20, 25, Outcome::kNotFound),  // determinate success
+      Probe(4, 30, 35, Outcome::kError),
+      Probe(5, 40, kNoResponse, Outcome::kOpen),
+      Probe(6, 100, 105, Outcome::kOk),    // at window_end: excluded
+  };
+  auto r = ExtractAvailability(ops, /*window_start=*/10, /*window_end=*/100);
+  EXPECT_EQ(r.probes, 4u);
+  EXPECT_EQ(r.ok, 2u);
+  EXPECT_EQ(r.errors, 1u);
+  EXPECT_EQ(r.open, 1u);
+  EXPECT_DOUBLE_EQ(r.availability, 2.0 / 3.0);
+}
+
+TEST(Availability, NoErrorsMeansZeroRecoveryAndFullAvailability) {
+  std::vector<HistoryOp> ops = {
+      Probe(1, 10, 20, Outcome::kOk),
+      Probe(2, 30, 40, Outcome::kOk),
+  };
+  auto r = ExtractAvailability(ops, 0, 100);
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  EXPECT_EQ(r.recovery, 0);  // nothing to recover from
+  EXPECT_TRUE(r.Recovered());
+  EXPECT_EQ(r.first_error, -1);
+  // Outage spans the gaps at the window edges: [0,20) has no OK response.
+  EXPECT_EQ(r.max_outage, 60);  // 40 -> 100 (tail gap is the longest)
+}
+
+TEST(Availability, RecoveryIsFirstErrorToFirstOkAfterLastError) {
+  std::vector<HistoryOp> ops = {
+      Probe(1, 0, 10, Outcome::kOk),
+      Probe(2, 15, 20, Outcome::kError),   // outage opens
+      Probe(3, 25, 30, Outcome::kError),   // still down
+      Probe(4, 35, 50, Outcome::kOk),      // first success after last error
+      Probe(5, 55, 60, Outcome::kOk),
+  };
+  auto r = ExtractAvailability(ops, 0, 100);
+  EXPECT_EQ(r.first_error, 20);
+  EXPECT_EQ(r.last_error, 30);
+  EXPECT_EQ(r.recovery, 30);  // 20 -> 50
+  EXPECT_TRUE(r.Recovered());
+  EXPECT_EQ(r.max_outage, 40);  // OK at 10 -> OK at 50
+}
+
+TEST(Availability, NeverRecoveredIsNegativeAndOutageRunsToWindowEnd) {
+  std::vector<HistoryOp> ops = {
+      Probe(1, 0, 10, Outcome::kOk),
+      Probe(2, 15, 20, Outcome::kError),
+      Probe(3, 25, kNoResponse, Outcome::kOpen),
+  };
+  auto r = ExtractAvailability(ops, 0, 100);
+  EXPECT_EQ(r.recovery, -1);
+  EXPECT_FALSE(r.Recovered());
+  EXPECT_EQ(r.max_outage, 90);  // last OK at 10 -> window end
+  EXPECT_DOUBLE_EQ(r.availability, 0.5);
+}
+
+TEST(Availability, EmptyWindowIsVacuouslyAvailable) {
+  std::vector<HistoryOp> ops;
+  auto r = ExtractAvailability(ops, 0, 100);
+  EXPECT_EQ(r.probes, 0u);
+  EXPECT_DOUBLE_EQ(r.availability, 1.0);
+  EXPECT_EQ(r.max_outage, 100);  // zero OK responses: the whole window
 }
 
 // ---------------------------------------------------------------------------

@@ -230,6 +230,62 @@ TEST_F(ClientTest, LatencySpansRetries) {
   EXPECT_GT(latency, 2 * kMillisecond);  // includes the timed-out attempt
 }
 
+// Runs one client against dead-silent nodes until its retries exhaust and
+// returns the total backoff it scheduled. Fresh simulator per call, so two
+// calls with the same seed must be byte-identical.
+uint64_t RunBackoffScenario(uint64_t seed) {
+  sim::Simulator sim;
+  sim::Network net(sim);
+  cluster::ClusterView view;
+  view.epoch = 1;
+  view.replication_factor = 3;
+  sim::EndpointId cp = net.AddEndpoint(sim::NicSpec{});
+  net.SetReceiver(cp, [&](sim::Message m) {
+    if (std::any_cast<cluster::ViewRequestMsg>(&m.payload)) {
+      cluster::ViewUpdateMsg upd{view};
+      net.Send(cp, m.src, 64, std::move(upd));
+    }
+  });
+  std::vector<std::unique_ptr<FakeNode>> nodes;
+  std::map<uint32_t, sim::EndpointId> endpoints;
+  for (uint32_t i = 0; i < 3; ++i) {
+    nodes.push_back(std::make_unique<FakeNode>(sim, net, i));
+    nodes[i]->respond = false;  // every attempt times out
+    endpoints[i] = nodes[i]->endpoint();
+    view.vnodes[i] = cluster::VNodeInfo{
+        i, i, 0, static_cast<uint64_t>(i) * (UINT64_MAX / 3),
+        cluster::VNodeState::kRunning};
+  }
+  ClientConfig cfg;
+  cfg.stores_per_ssd = 1;
+  cfg.request_timeout = 1 * kMillisecond;
+  cfg.max_retries = 5;
+  cfg.backoff_seed = seed;
+  Client client(sim, net, cp, &endpoints, cfg);
+  client.AdoptView(view);
+  bool done = false;
+  client.Put("bk", {1}, [&](Status st, SimTime) {
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+    done = true;
+  });
+  testutil::RunUntilFlag(sim, done);
+  EXPECT_TRUE(done);
+  EXPECT_GT(client.stats().backoff_us, 0u);
+  return client.stats().backoff_us;
+}
+
+// Regression for retry desynchronization: the jitter must come from a
+// deterministic per-client stream (byte-reproducible given backoff_seed),
+// and distinct seeds must actually spread clients apart — if every client
+// draws the same delays they re-collide on the recovering store forever.
+TEST(ClientBackoffTest, BackoffIsSeededDeterministicJitter) {
+  uint64_t a = RunBackoffScenario(0x5eed);
+  uint64_t b = RunBackoffScenario(0x5eed);
+  EXPECT_EQ(a, b) << "same seed must reproduce identical backoff";
+  uint64_t c = RunBackoffScenario(0xd1ff);
+  EXPECT_NE(a, c) << "different seeds must desynchronize the jitter";
+}
+
 TEST_F(ClientTest, FillingReplicaAvoidedForReads) {
   ClientConfig cfg;
   cfg.crrs_reads = false;  // tail reads

@@ -296,6 +296,45 @@ TEST_F(ControlPlaneTest, CopySourcesNeverOnDeadNode) {
   }
 }
 
+TEST_F(ControlPlaneTest, FailStoreRemovesOnlyThatStoresVnodes) {
+  Setup(3, 3);
+  cp_->FailStore(/*node_id=*/1, /*local_store=*/0);
+  sim_.Run();
+  // Store-scoped failure domain: (1,0)'s vnode left the ring, (1,1)'s is
+  // still serving — the node was NOT failed wholesale.
+  bool node1_survives = false;
+  for (const auto& [id, info] : cp_->view().vnodes) {
+    EXPECT_FALSE(info.owner_node == 1u && info.local_store == 0u)
+        << "vnode " << id << " survived on the failed store";
+    if (info.owner_node == 1u) node1_survives = true;
+  }
+  EXPECT_TRUE(node1_survives) << "failover took the whole node down";
+  EXPECT_EQ(cp_->stats().store_failures, 1u);
+  EXPECT_EQ(cp_->stats().vnodes_failed_over, 1u);
+  EXPECT_GT(cp_->stats().copies_commissioned, 0u);
+  EXPECT_TRUE(cp_->view().filling.empty());
+
+  // Same store again: a duplicate report (every store on a dead SSD
+  // reports once per engine restart attempt) must be a no-op.
+  cp_->FailStore(1, 0);
+  sim_.Run();
+  EXPECT_EQ(cp_->stats().store_failures, 1u);
+
+  // The node keeps heartbeating for its healthy stores; those heartbeats
+  // are NOT stale (the node is not administratively dead).
+  net_.Send(nodes_[1]->ep, cp_->endpoint(), 32, HeartbeatMsg{1});
+  sim_.Run();
+  EXPECT_EQ(cp_->stats().stale_heartbeats_ignored, 0u);
+
+  // Its second store can fail over independently later.
+  cp_->FailStore(1, 1);
+  sim_.Run();
+  EXPECT_EQ(cp_->stats().store_failures, 2u);
+  for (const auto& [id, info] : cp_->view().vnodes) {
+    EXPECT_NE(info.owner_node, 1u) << "vnode " << id << " outlived both stores";
+  }
+}
+
 TEST_F(ControlPlaneTest, HeartbeatTimeoutTriggersFailure) {
   ControlPlaneConfig cfg;
   cfg.replication_factor = 2;
@@ -335,6 +374,73 @@ TEST_F(ControlPlaneTest, HeartbeatTimeoutTriggersFailure) {
     EXPECT_EQ(info.owner_node, 0u);
   }
   hb.Stop();
+}
+
+// False-positive hardening: once a node is declared dead, late heartbeats
+// (a stalled node waking back up) must not resurrect it or fail it twice,
+// and copy acks from its stale endpoint must be rejected — the blank
+// replacement re-registers under the same id and must not inherit them.
+TEST_F(ControlPlaneTest, DeadNodeLateMessagesAreIgnored) {
+  ControlPlaneConfig cfg;
+  cfg.replication_factor = 2;
+  cfg.monitor_heartbeats = true;
+  cfg.heartbeat_period = 10 * kMillisecond;
+  cfg.failure_timeout = 30 * kMillisecond;
+  cp_ = std::make_unique<ControlPlane>(sim_, net_, cfg);
+  for (int i = 0; i < 2; ++i) {
+    auto node = std::make_unique<FakeNode>();
+    node->ep = net_.AddEndpoint(sim::NicSpec{});
+    FakeNode* raw = node.get();
+    net_.SetReceiver(node->ep, [this, raw](sim::Message m) {
+      if (auto* c = std::any_cast<CopyCommandMsg>(&m.payload)) {
+        CopyDoneMsg done;
+        done.copy_id = c->copy_id;
+        done.dst = c->dst;
+        net_.Send(raw->ep, cp_->endpoint(), 64, done);
+      }
+    });
+    cp_->RegisterNode(i, node->ep);
+    nodes_.push_back(std::move(node));
+  }
+  for (uint64_t k = 0; k < 4; ++k) {
+    cp_->Bootstrap(static_cast<uint32_t>(k % 2), static_cast<uint32_t>(k / 2),
+                   k * (UINT64_MAX / 4));
+  }
+  cp_->Start();
+  // Node 0 heartbeats throughout; node 1 only "wakes up" after it has
+  // already been declared dead.
+  sim::PeriodicTimer hb0(sim_, 10 * kMillisecond, [&] {
+    net_.Send(nodes_[0]->ep, cp_->endpoint(), 32, HeartbeatMsg{0});
+  });
+  hb0.Start();
+  sim_.RunUntil(100 * kMillisecond);
+  ASSERT_EQ(cp_->stats().failures_detected, 1u);
+
+  sim::PeriodicTimer hb1(sim_, 10 * kMillisecond, [&] {
+    net_.Send(nodes_[1]->ep, cp_->endpoint(), 32, HeartbeatMsg{1});
+  });
+  hb1.Start();
+  sim_.RunUntil(200 * kMillisecond);
+  hb0.Stop();
+  hb1.Stop();
+
+  // The late heartbeats were ignored: not failed a second time, not
+  // resurrected into the ring.
+  EXPECT_EQ(cp_->stats().failures_detected, 1u);
+  EXPECT_GT(cp_->stats().stale_heartbeats_ignored, 0u);
+  for (const auto& [id, info] : cp_->view().vnodes) {
+    (void)id;
+    EXPECT_EQ(info.owner_node, 0u);
+  }
+
+  // A copy ack arriving from the dead node's endpoint is rejected too.
+  uint64_t rejected_before = cp_->stats().stale_copy_acks_rejected;
+  CopyDoneMsg stale;
+  stale.copy_id = 1;
+  stale.dst = 0;
+  net_.Send(nodes_[1]->ep, cp_->endpoint(), 64, stale);
+  sim_.Run();
+  EXPECT_GT(cp_->stats().stale_copy_acks_rejected, rejected_before);
 }
 
 TEST_F(ControlPlaneTest, ViewRequestGetsReply) {

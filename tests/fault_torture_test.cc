@@ -80,9 +80,28 @@ TEST(FaultPlanTest, RejectsMalformedInput) {
   EXPECT_FALSE(sim::ParseFaultPlan("dev:read_err=x").ok());  // bad number
   EXPECT_FALSE(sim::ParseFaultPlan("dev:bogus=1").ok());     // unknown key
   EXPECT_FALSE(sim::ParseFaultPlan("gpu:oops=1").ok());      // unknown kind
+  EXPECT_FALSE(sim::ParseFaultPlan("dev:dead_at=x").ok());   // bad number
+  EXPECT_FALSE(sim::ParseFaultPlan("dev:dead_after_ms=oops").ok());
   auto empty = sim::ParseFaultPlan("");
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty.value().Empty());
+}
+
+TEST(FaultPlanTest, ParsesPermanentDeviceDeath) {
+  // dead_at: the device dies at its N-th IO. dead_after_ms: a timer kills
+  // it outright (ClusterSim arms FaultInjector::KillDevice at that offset).
+  auto r = sim::ParseFaultPlan(
+      "dev:dead_at=120,node=1,ssd=0;dev:dead_after_ms=15.5,node=2,ssd=1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const sim::FaultPlan& plan = r.value();
+  ASSERT_EQ(plan.devices.size(), 2u);
+  EXPECT_EQ(plan.devices[0].spec.dead_at, 120u);
+  EXPECT_EQ(plan.devices[0].node, 1);
+  EXPECT_EQ(plan.devices[0].dead_after, 0);
+  EXPECT_EQ(plan.devices[1].spec.dead_at, 0u);
+  EXPECT_EQ(plan.devices[1].dead_after,
+            static_cast<SimTime>(15.5 * kMillisecond));
+  EXPECT_EQ(plan.devices[1].ssd, 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -370,6 +389,86 @@ TEST(FaultTortureClusterTest, NoAckedWriteLostAcrossPartitionAndTailCrash) {
 
   // Zero acked loss: every acknowledged PUT is still readable. A couple of
   // retries tolerate transient Unavailable while views settle.
+  for (const auto& [key, value] : ledger) {
+    Status st = Status::Internal("pending");
+    std::vector<uint8_t> out;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      bool done = false;
+      cluster.client(0).Get(key,
+                            [&](Status s, std::vector<uint8_t> v, SimTime) {
+                              st = std::move(s);
+                              out = std::move(v);
+                              done = true;
+                            });
+      testutil::RunUntilFlag(sim, done);
+      ASSERT_TRUE(done);
+      if (st.ok()) break;
+      sim.RunUntil(sim.Now() + 20 * kMillisecond);
+    }
+    ASSERT_TRUE(st.ok()) << "acked write lost: " << key << " -> "
+                         << st.ToString();
+    EXPECT_EQ(out, value) << key << " recovered a stale value";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level: permanent SSD death mid-workload, vnode-granular failover,
+// blank-device replacement, rejoin — zero acked-write loss end to end
+// ---------------------------------------------------------------------------
+
+TEST(FaultTortureClusterTest, SsdDeathFailoverAndBlankDeviceRejoin) {
+  ClusterConfig cfg = TortureCluster();
+  // Tiny segments keep compaction running throughout the write stream, so
+  // the device death lands while compaction IO is in flight too.
+  cfg.node.engine.store_template.num_segments = 64;
+  ClusterSim cluster(cfg);
+  cluster.Bootstrap();
+  sim::Simulator& sim = cluster.simulator();
+
+  // 10ms: node 2's SSD 0 dies permanently (every IO hard-fails). The
+  // engine latch must fail over exactly that SSD's stores — node 2 keeps
+  // serving SSD 1. 60ms: the operator pulls the whole node. 80ms: a blank
+  // replacement device is installed and the node restarts into a rejoin.
+  sim.At(10 * kMillisecond, [&cluster] { cluster.KillSsd(2, 0); });
+  sim.At(60 * kMillisecond, [&cluster] { cluster.CrashNode(2); });
+  sim.At(80 * kMillisecond, [&cluster] {
+    cluster.ReplaceSsd(2, 0);
+    cluster.RestartNode(2);
+  });
+
+  std::map<std::string, std::vector<uint8_t>> ledger;
+  int attempts = 0;
+  while (sim.Now() < 150 * kMillisecond && attempts < 4000) {
+    std::string key = "dk" + std::to_string(attempts);
+    std::vector<uint8_t> value = testutil::TestValue(7000 + attempts, 128);
+    ++attempts;
+    bool done = false;
+    Status st = Status::Internal("pending");
+    cluster.client(0).Put(key, value, [&](Status s, SimTime) {
+      st = std::move(s);
+      done = true;
+    });
+    testutil::RunUntilFlag(sim, done);
+    ASSERT_TRUE(done) << "client callback must fire (timeout at worst)";
+    if (st.ok()) ledger[key] = std::move(value);
+  }
+  ASSERT_GT(ledger.size(), 50u) << "workload never got through the faults";
+
+  // The failure domain was the store, then the node, then healed: the dead
+  // device latched (faults.dev.dead), the control plane failed over that
+  // SSD's stores vnode-by-vnode (not the whole node), and the rejoin with
+  // a blank device abandoned nothing.
+  const auto& cp = cluster.control_plane().stats();
+  EXPECT_GE(cp.store_failures, 1u) << "SSD death never escalated to failover";
+  EXPECT_GT(cp.vnodes_failed_over, 0u);
+  EXPECT_EQ(cluster.faults().counters().node_crashes->value(), 1u);
+  EXPECT_FALSE(cluster.node(2).crashed()) << "node 2 should be back up";
+
+  // Let the rejoin/backfill transitions drain.
+  sim.RunUntil(sim.Now() + 300 * kMillisecond);
+  EXPECT_EQ(cluster.control_plane().stats().copies_abandoned, 0u)
+      << "recovery abandoned a fill arc: data loss";
+
   for (const auto& [key, value] : ledger) {
     Status st = Status::Internal("pending");
     std::vector<uint8_t> out;

@@ -237,7 +237,9 @@ TEST(CopyReassignTest, SourceDeathRedirectsToSurvivor) {
   ASSERT_TRUE(cp.TransitionInProgress());
 
   // Find a node that was asked to stream a copy; kill it. The control plane
-  // must re-route its copies to surviving chain members.
+  // must re-route its copies to surviving chain members — or, when the
+  // copy's *destination* also lived on the killed node, cancel the now-moot
+  // fill outright rather than stream it at a dead endpoint.
   int src_node = -1;
   for (int i = 0; i < 4; ++i) {
     if (!nodes[i]->copies.empty()) {
@@ -269,7 +271,9 @@ TEST(CopyReassignTest, SourceDeathRedirectsToSurvivor) {
   size_t commands_after = 0;
   for (auto& n : nodes) commands_after += n->copies.size();
   EXPECT_GT(commands_after, commands_before);  // re-issued somewhere
-  EXPECT_GT(cp.stats().copies_reassigned + cp.stats().copies_abandoned, 0u);
+  EXPECT_GT(cp.stats().copies_reassigned + cp.stats().copies_abandoned +
+                cp.stats().copies_cancelled,
+            0u);
   EXPECT_FALSE(cp.TransitionInProgress());  // nothing wedged
 }
 

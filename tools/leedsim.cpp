@@ -62,6 +62,9 @@ struct Options {
   std::string history_out;      // full history of the first seed
   bool unsafe_dirty_reads = false;  // TEST-ONLY mutation switch
   bool cross_shard_touch = false;   // TEST-ONLY shard-purity mutation switch
+  // Check-mode data-loss gate: by default any seed whose recovery abandoned
+  // copies (cluster.copies_abandoned > 0) fails the run with exit 1.
+  bool allow_data_loss = false;
 };
 
 void Usage(const char* argv0) {
@@ -98,9 +101,12 @@ void Usage(const char* argv0) {
       "                             of a benchmark; exit 0 = all seeds\n"
       "                             linearizable, 1 = violation, 4 = inconclusive\n"
       "  --seeds=N                  sweep width: seeds seed..seed+N-1 (default 8)\n"
-      "  --check-plan=P             nemesis plan: crash|partition|churn|none|all\n"
-      "                             or a raw fault-plan grammar (default: the\n"
-      "                             --fault-plan value, else 'partition')\n"
+      "  --check-plan=P             nemesis plan: crash|partition|churn|ssdkill|\n"
+      "                             none|all, or a raw fault-plan grammar\n"
+      "                             (default: the --fault-plan value, else\n"
+      "                             'partition')\n"
+      "  --allow-data-loss          accept seeds with copies_abandoned > 0\n"
+      "                             (default: data loss exits 1)\n"
       "  --check-dump-dir=DIR       write violating (minimized) histories here\n"
       "  --history-out=FILE         write the first seed's full history dump\n"
       "  --unsafe-dirty-reads       TEST-ONLY: disable CRRS dirty-bit handling;\n"
@@ -150,6 +156,7 @@ int RunCheckMode(const Options& opt) {
 
   bool violation = false;
   bool inconclusive = false;
+  bool data_loss = false;
   for (size_t p = 0; p < plans.size(); ++p) {
     check::NemesisOptions no;
     no.base_seed = opt.seed;
@@ -161,6 +168,7 @@ int RunCheckMode(const Options& opt) {
     no.verbose = opt.verbose;
     no.jobs = opt.jobs;
     no.sharded = opt.sharded;
+    no.allow_data_loss = opt.allow_data_loss;
     if (!opt.history_out.empty()) {
       no.history_out = plans.size() == 1 ? opt.history_out
                                          : opt.history_out + "." + plans[p];
@@ -177,14 +185,92 @@ int RunCheckMode(const Options& opt) {
       }
     }
     std::printf("  plan %-9s: %u/%zu seeds linearizable, %u violating, "
-                "%u inconclusive\n",
+                "%u inconclusive, %u with data loss\n",
                 plans[p].c_str(), clean, res.seeds.size(),
-                res.violating_seeds, res.inconclusive_seeds);
+                res.violating_seeds, res.inconclusive_seeds,
+                res.data_loss_seeds);
+
+    // Availability aggregate (docs/FAULTS.md): the worst seed defines the
+    // plan's availability and recovery numbers.
+    double min_avail = 1.0;
+    double max_outage_ms = 0.0, max_recovery_ms = 0.0;
+    uint32_t unrecovered = 0;
+    for (const check::SeedResult& sr : res.seeds) {
+      const check::AvailabilityReport& a = sr.availability;
+      min_avail = std::min(min_avail, a.availability);
+      max_outage_ms =
+          std::max(max_outage_ms, static_cast<double>(a.max_outage) / 1e6);
+      if (a.Recovered()) {
+        max_recovery_ms =
+            std::max(max_recovery_ms, static_cast<double>(a.recovery) / 1e6);
+      } else {
+        ++unrecovered;
+      }
+    }
+    std::printf("  availability   : min=%.3f  max_outage=%.1fms  "
+                "max_recovery=%.1fms  unrecovered_seeds=%u\n",
+                min_avail, max_outage_ms, max_recovery_ms, unrecovered);
+
+    // BENCH_availability.json when $LEED_BENCH_JSON_DIR points somewhere —
+    // same contract as the bench harnesses' MaybeWriteBenchJson.
+    if (const char* dir = std::getenv("LEED_BENCH_JSON_DIR");
+        dir && *dir != '\0') {
+      const std::string label =
+          plans.size() == 1 ? "availability" : "availability_" + plans[p];
+      std::string body = "{\n  \"label\": \"" + label + "\",\n  \"plan\": \"" +
+                         plans[p] + "\",\n";
+      char num[256];
+      std::snprintf(num, sizeof(num),
+                    "  \"seeds\": %zu,\n  \"min_availability\": %.6f,\n"
+                    "  \"max_outage_ms\": %.3f,\n  \"max_recovery_ms\": %.3f,\n"
+                    "  \"unrecovered_seeds\": %u,\n  \"data_loss_seeds\": %u,\n"
+                    "  \"per_seed\": [\n",
+                    res.seeds.size(), min_avail, max_outage_ms, max_recovery_ms,
+                    unrecovered, res.data_loss_seeds);
+      body += num;
+      for (size_t i = 0; i < res.seeds.size(); ++i) {
+        const check::SeedResult& sr = res.seeds[i];
+        const check::AvailabilityReport& a = sr.availability;
+        std::snprintf(
+            num, sizeof(num),
+            "    {\"seed\": %llu, \"availability\": %.6f, \"probes\": %llu, "
+            "\"ok\": %llu, \"errors\": %llu, \"open\": %llu, "
+            "\"max_outage_ms\": %.3f, \"recovery_ms\": %.3f, "
+            "\"copies_abandoned\": %llu}%s\n",
+            static_cast<unsigned long long>(sr.seed), a.availability,
+            static_cast<unsigned long long>(a.probes),
+            static_cast<unsigned long long>(a.ok),
+            static_cast<unsigned long long>(a.errors),
+            static_cast<unsigned long long>(a.open),
+            static_cast<double>(a.max_outage) / 1e6,
+            a.Recovered() ? static_cast<double>(a.recovery) / 1e6 : -1.0,
+            static_cast<unsigned long long>(sr.copies_abandoned),
+            i + 1 < res.seeds.size() ? "," : "");
+        body += num;
+      }
+      body += "  ]\n}\n";
+      const std::string path =
+          std::string(dir) + "/BENCH_" + label + ".json";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::printf("[bench json: %s]\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "could not write bench json '%s'\n", path.c_str());
+      }
+    }
+
     violation |= res.violating_seeds > 0;
     inconclusive |= res.inconclusive_seeds > 0;
+    data_loss |= res.data_loss_seeds > 0;
   }
   if (violation) {
     std::printf("VERDICT: NOT linearizable\n");
+    return 1;
+  }
+  if (data_loss && !opt.allow_data_loss) {
+    std::printf("VERDICT: DATA LOSS (copies abandoned; pass "
+                "--allow-data-loss to accept)\n");
     return 1;
   }
   if (inconclusive) {
@@ -224,6 +310,8 @@ int main(int argc, char** argv) {
     else if (ParseFlag(argv[i], "--check-plan", &v)) opt.check_plan = v;
     else if (ParseFlag(argv[i], "--check-dump-dir", &v)) opt.check_dump_dir = v;
     else if (ParseFlag(argv[i], "--history-out", &v)) opt.history_out = v;
+    else if (std::strcmp(argv[i], "--allow-data-loss") == 0)
+      opt.allow_data_loss = true;
     else if (std::strcmp(argv[i], "--unsafe-dirty-reads") == 0)
       opt.unsafe_dirty_reads = true;
     else if (std::strcmp(argv[i], "--cross-shard-touch") == 0)
