@@ -1,0 +1,173 @@
+// Ablation — host-bypass GET offload (Scalio-style, DESIGN.md §10):
+// LEED vs LEED+offload across read ratio x Zipf theta, reporting
+// throughput, requests per Joule, and p99/p999 latency.
+//
+// Setup is one device generation past the paper's Stingray JBOF (the C2
+// crossover extended forward): a next-gen NVMe spec fast enough that the
+// baseline read path is bound by DPU cycles rather than flash channels,
+// and an interrupt-capable DPU power model (idle..active interpolation
+// instead of the BCM58800's always-on polling draw) applied to BOTH
+// variants. Expected shape: at read-heavy mixes the offload variant wins
+// >= 1.3x requests/Joule (it serves index-hit reads with zero DPU
+// cycles); the advantage shrinks monotonically as the PUT ratio grows,
+// because PUTs always take the CPU path and dirty CRRS replicas punt
+// their reads back to it.
+//
+// Emits BENCH_ablation_offload.json (one record per cell, both variants)
+// when $LEED_BENCH_JSON_DIR is set.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace leed;
+
+namespace {
+
+// Sized for the CI gate: 24 cells on one shared core. Simulated results
+// are seed-deterministic, so a short measured window is still noise-free;
+// the window only needs to be long enough to amortize warmup transients.
+constexpr uint64_t kKeys = 10'000;
+constexpr uint32_t kValueSize = 256;
+constexpr SimTime kWarmup = 20 * kMillisecond;
+constexpr SimTime kDuration = 60 * kMillisecond;
+constexpr uint32_t kConcurrency = 128;
+
+// One hardware generation past the Stingray JBOF: XL-flash-class read
+// latency (4us vs the DCT983's 40us) and a DPU power model with real
+// dynamic range — interrupt-driven reactors plus per-core power gating
+// (idle 24 W .. active 60 W) instead of the BCM58800's always-on polling
+// draw. Both knobs apply to BOTH variants; the ablation isolates where the
+// DPU cycles go, not the platform.
+ClusterConfig NextGenLeed(bool offload) {
+  ClusterConfig cfg = bench::LeedCluster(3, kValueSize);
+  cfg.num_clients = 4;
+  cfg.node.engine.ssd.read_base_ns = 4 * kMicrosecond;
+  cfg.node.engine.ssd.write_base_ns = 12 * kMicrosecond;
+  cfg.node.platform.power = sim::PowerSpec{24.0, 60.0, /*polling=*/false};
+  cfg.node.engine.offload_enabled = offload;
+  return cfg;
+}
+
+struct Cell {
+  double qps = 0;
+  double qpj = 0;  // queries per Joule
+  double p99_us = 0;
+  double p999_us = 0;
+};
+
+Cell RunCell(bool offload, double theta, int read_permille) {
+  ClusterSim cluster(NextGenLeed(offload));
+  cluster.Bootstrap();
+  cluster.Preload(kKeys, kValueSize);
+
+  workload::YcsbConfig wc;
+  wc.num_keys = kKeys;
+  wc.value_size = kValueSize;
+  wc.zipf_theta = theta;
+  wc.custom_read_permille = read_permille;
+  wc.seed = cluster.config().seed ^ 0x5eed;
+  workload::YcsbGenerator gen(wc);
+
+  ClusterSim::DriveOptions opt;
+  opt.concurrency_per_client = kConcurrency;
+  opt.warmup = kWarmup;
+  opt.duration = kDuration;
+  RunResult r = cluster.Run(gen, opt);
+
+  Cell c;
+  c.qps = r.throughput_qps;
+  c.qpj = r.queries_per_joule;
+  c.p99_us = r.latency_us.P99();
+  c.p999_us = r.latency_us.P999();
+  return c;
+}
+
+void AppendJson(std::string& out, double theta, int read_permille,
+                const char* variant, const Cell& c, bool last) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"zipf_theta\": %.2f, \"read_permille\": %d, "
+                "\"variant\": \"%s\", \"throughput_qps\": %.1f, "
+                "\"queries_per_joule\": %.2f, \"p99_us\": %.1f, "
+                "\"p999_us\": %.1f}%s\n",
+                theta, read_permille, variant, c.qps, c.qpj, c.p99_us,
+                c.p999_us, last ? "" : ",");
+  out += buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: host-bypass GET offload — requests/Joule, p99/p999 "
+      "(LEED vs LEED+offload, next-gen device)");
+
+  const double thetas[] = {0.0, 0.99};
+  const int read_permilles[] = {1000, 950, 900, 800, 650, 500};
+
+  std::string json = "{\n  \"label\": \"ablation_offload\",\n  \"cells\": [\n";
+  bool monotone = true;
+  bool crossover_met = true;
+
+  for (double theta : thetas) {
+    std::printf("\n--- Zipf theta = %.2f ---\n", theta);
+    bench::PrintRow({"read%", "base KQPS", "off KQPS", "base KQ/J", "off KQ/J",
+                     "KQ/J ratio", "off p99us", "off p999us"},
+                    12);
+    double prev_ratio = -1.0;
+    for (int rp : read_permilles) {
+      Cell base = RunCell(/*offload=*/false, theta, rp);
+      Cell off = RunCell(/*offload=*/true, theta, rp);
+      double ratio = base.qpj > 0 ? off.qpj / base.qpj : 0;
+      bench::PrintRow(
+          {bench::Fmt("%.1f", rp / 10.0), bench::Fmt("%.1f", base.qps / 1e3),
+           bench::Fmt("%.1f", off.qps / 1e3), bench::Fmt("%.2f", base.qpj / 1e3),
+           bench::Fmt("%.2f", off.qpj / 1e3), bench::Fmt("%.2fx", ratio),
+           bench::Fmt("%.1f", off.p99_us), bench::Fmt("%.1f", off.p999_us)},
+          12);
+      // Acceptance shape: >=1.3x at read ratio >= 0.95 under the default
+      // skew; the advantage must shrink as the PUT ratio grows. Ratios
+      // within 5% of parity count as "advantage extinguished": in the
+      // write-heavy regime almost nothing offloads and the measured ratio
+      // jitters around 1.0 — ordering noise there is not the advantage
+      // growing back.
+      if (theta == 0.99 && rp >= 950 && ratio < 1.3) crossover_met = false;
+      if (theta == 0.99) {
+        const double effective = std::max(ratio, 1.05);
+        if (prev_ratio >= 0 && effective > prev_ratio + 0.02) monotone = false;
+        prev_ratio = effective;
+      }
+      const bool last = theta == thetas[std::size(thetas) - 1] &&
+                        rp == read_permilles[std::size(read_permilles) - 1];
+      AppendJson(json, theta, rp, "leed", base, false);
+      AppendJson(json, theta, rp, "leed_offload", off, last);
+    }
+  }
+  std::printf("\ncrossover (>=1.3x KQ/J at read>=95%%, theta 0.99): %s\n",
+              crossover_met ? "met" : "NOT MET");
+  std::printf("advantage shrinks with PUT ratio (theta 0.99): %s\n",
+              monotone ? "yes" : "NO");
+  json += "  ],\n";
+  json += std::string("  \"crossover_met\": ") +
+          (crossover_met ? "true" : "false") + ",\n";
+  json += std::string("  \"monotone_shrink\": ") + (monotone ? "true" : "false") +
+          "\n}\n";
+
+  if (const char* dir = std::getenv("LEED_BENCH_JSON_DIR");
+      dir && *dir != '\0') {
+    std::string path = std::string(dir) + "/BENCH_ablation_offload.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("[bench json: %s]\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write bench json '%s'\n", path.c_str());
+    }
+  }
+  return crossover_met && monotone ? 0 : 1;
+}

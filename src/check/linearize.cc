@@ -341,9 +341,9 @@ void ReadSemanticsCheck(const std::string& key, const std::vector<Call>& calls,
       const Call* r2 = rs[i + 1];
       if (r1->response == kInfTime || r1->response >= r2->invoke) continue;
       const Call* w1 =
-          writer.count(r1->digest) ? writer.at(r1->digest) : nullptr;
+          writer.contains(r1->digest) ? writer.at(r1->digest) : nullptr;
       const Call* w2 =
-          writer.count(r2->digest) ? writer.at(r2->digest) : nullptr;
+          writer.contains(r2->digest) ? writer.at(r2->digest) : nullptr;
       if (!w1 || !w2 || w2->response == kInfTime) continue;
       if (w2->response < w1->invoke) {
         Violation v;

@@ -51,6 +51,7 @@ ClusterConfig NemesisCluster(const NemesisOptions& opt, uint64_t seed,
   cfg.node.engine.store_template.num_segments = 512;
   cfg.node.engine.store_template.bucket_size = 512;
   cfg.node.engine.checkpoint_period = 5 * kMillisecond;
+  cfg.node.engine.offload_enabled = opt.offload;
   cfg.node.test_only_serve_dirty_reads = opt.unsafe_dirty_reads;
   cfg.node.test_only_cross_shard_touch = opt.cross_shard_touch;
 

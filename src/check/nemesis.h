@@ -66,6 +66,12 @@ struct NemesisOptions {
 
   CheckOptions check;
 
+  // Run every seed with host-bypass GET offload enabled
+  // (EngineConfig::offload_enabled): index-hit reads skip the DPU CPU
+  // path. The sweeps must stay linearizable — dirty/filling/shipped reads
+  // always fall back to the slow path.
+  bool offload = false;
+
   // TEST-ONLY mutation switch: serve possibly-dirty reads from mid-chain
   // replicas (disables CRRS dirty-bit shipping). The sweep must then
   // report violations — this is the end-to-end self-test of the pipeline.

@@ -24,6 +24,8 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
   m_.swap_activations = scope_.GetCounter("swap_activations");
   m_.swap_reclaims = scope_.GetCounter("swap_reclaims");
   m_.ssd_failures = scope_.GetCounter("ssd_failures");
+  m_.offload_fast_hits = scope_.GetCounter("offload.fast_hits");
+  m_.offload_slow_fallbacks = scope_.GetCounter("offload.slow_fallbacks");
   m_.queue_us = scope_.GetHistogram("queue_us");
   m_.service_us = scope_.GetHistogram("service_us");
   m_.total_us = scope_.GetHistogram("total_us");
@@ -42,7 +44,7 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
       // Replaces any observer left by a pre-crash engine on these shared
       // devices; a restarted node must feed its own (fresh) latch.
       ssd_ptrs_.back()->set_io_observer(
-          [this, i](bool ok) { OnRawIo(i, ok); });
+          [this, i](bool ok, SimTime lat) { OnRawIo(i, ok, lat); });
       per_ssd_.push_back(std::make_unique<PerSsd>(config_));
     }
   } else {
@@ -51,7 +53,8 @@ IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
       ssds_.push_back(
           std::make_unique<sim::SimSsd>(sim_, config_.ssd, seed + i * 7919));
       ssds_.back()->AttachMetrics(scope_.Sub("ssd" + std::to_string(i)));
-      ssds_.back()->set_io_observer([this, i](bool ok) { OnRawIo(i, ok); });
+      ssds_.back()->set_io_observer(
+          [this, i](bool ok, SimTime lat) { OnRawIo(i, ok, lat); });
       ssd_ptrs_.push_back(ssds_.back().get());
       per_ssd_.push_back(std::make_unique<PerSsd>(config_));
     }
@@ -274,6 +277,8 @@ EngineStats IoEngine::stats() const {
   s.waited = m_.waited->value();
   s.swap_activations = m_.swap_activations->value();
   s.swap_reclaims = m_.swap_reclaims->value();
+  s.offload_fast_hits = m_.offload_fast_hits->value();
+  s.offload_slow_fallbacks = m_.offload_slow_fallbacks->value();
   s.queue_us = *m_.queue_us;
   s.service_us = *m_.service_us;
   s.total_us = *m_.total_us;
@@ -315,7 +320,9 @@ void IoEngine::Submit(Request req) {
     return;
   }
   const uint64_t trace_id = req.trace_id;
+  const bool queued_write = req.type != OpType::kGet;
   if (p.waiting.TryPush(std::move(req))) {
+    if (queued_write) ++p.waiting_writes;
     m_.waited->Inc();
     trace_->Record(sim_.Now(), obs::TraceKind::kQueueEnter, config_.node_id,
                    ssd, trace_id, static_cast<int64_t>(p.waiting.Size()));
@@ -332,6 +339,73 @@ void IoEngine::Submit(Request req) {
   // `req` was moved into TryPush only on success; on failure it is intact.
   auto cb = std::move(req.callback);
   cb(Status::Overloaded("waiting queue full"), {}, meta);
+}
+
+bool IoEngine::TrySubmitOffload(Request& req) {
+  if (!config_.offload_enabled || req.type != OpType::kGet) return false;
+  LEED_ASSERT_SHARD(sim_, this, "IoEngine::TrySubmitOffload");
+  const uint32_t ssd = ssd_of_store(req.store_id);
+  if (per_ssd_[ssd]->failed) return false;
+  store::DataStore& ds = *stores_[req.store_id];
+  if (!ds.FastGetEligible(req.key)) {
+    // Index needs a second consultation (empty entry or multi-bucket
+    // chain): the offload engine punts to the CPU path after burning the
+    // consultation on the owning store core.
+    m_.offload_slow_fallbacks->Inc();
+    cpu_.core(ssd).Charge(config_.offload_index_consult_cycles);
+    return false;
+  }
+  // Token admission still applies: the per-SSD token pool is a plain
+  // counter the offload engine keeps in NIC hardware. Bypassing it would
+  // blind the client's token-aware replica scheduling (Algorithm 1) and
+  // hot-spot one replica per hot key. What the fast path skips is the DPU
+  // CPU work and the software waiting queue — out of tokens means the
+  // engine punts to the CPU path, which queues behind the same admission.
+  PerSsd& p = *per_ssd_[ssd];
+  // The fast path races ahead of the software waiting queue by design —
+  // a NIC filter serves frames the DPU never polls, so it cannot line up
+  // behind CPU-path waiters. Waiters are not starved: PumpWaiting runs
+  // synchronously on every refund, so the queue head claims returning
+  // tokens before any later fast-path arrival sees them; the fast path
+  // only consumes what is left after the queue has drained.
+  const uint32_t cost = TokenCost(p.tokens.config(), req.type);
+  if (admission_control_ && !p.tokens.TryTake(cost)) {
+    m_.offload_slow_fallbacks->Inc();
+    return false;
+  }
+  if (!admission_control_) p.tokens.TryTake(cost);  // best-effort accounting
+  // Fast-path ops occupy device channels exactly like CPU-path ops: they
+  // must be visible in the per-SSD in-flight count or the swap watchdog
+  // sees a busy SSD as an idle donor (its queue is empty precisely
+  // *because* the fast path bypasses it) and thrashes hot stores onto
+  // fast-path-saturated devices.
+  p.active++;
+  m_.submitted->Inc();
+  m_.offload_fast_hits->Inc();
+  req.enqueued_at = sim_.Now();
+  req.trace_id = next_op_seq_++;
+  trace_->Record(sim_.Now(), obs::TraceKind::kOffloadGet, config_.node_id, ssd,
+                 req.trace_id, 0);
+  auto shared = std::make_shared<Request>(std::move(req));
+  ds.FastGet(shared->key, [this, ssd, cost, shared](
+                              Status st, std::vector<uint8_t> value) {
+    m_.completed->Inc();
+    PerSsd& ps = *per_ssd_[ssd];
+    ps.active--;
+    const SimTime total = sim_.Now() - shared->enqueued_at;
+    m_.service_us->Record(ToMicros(total));
+    m_.total_us->Record(ToMicros(total));
+    trace_->Record(sim_.Now(), obs::TraceKind::kOpEnd, config_.node_id, ssd,
+                   shared->trace_id, static_cast<int64_t>(st.code()));
+    ps.tokens.Refund(cost);
+    ResponseMeta meta;
+    meta.available_tokens = AvailableTokensFor(ssd, shared->tenant);
+    meta.ssd = ssd;
+    meta.server_time_ns = total;
+    shared->callback(std::move(st), std::move(value), meta);
+    PumpWaiting(ssd);
+  });
+  return true;
 }
 
 void IoEngine::Execute(uint32_t ssd, Request req) {
@@ -366,12 +440,20 @@ void IoEngine::Execute(uint32_t ssd, Request req) {
   }
 }
 
-void IoEngine::OnRawIo(uint32_t ssd, bool ok) {
+void IoEngine::OnRawIo(uint32_t ssd, bool ok, SimTime device_ns) {
+  PerSsd& p = *per_ssd_[ssd];
+  // Token rescaling feeds on raw device latency (§3.4, ReFlex/Gimbal
+  // style): the pool models the *device's* serving capability, so the
+  // feed must exclude host-side queueing. Feeding service time (which
+  // includes store-core FIFO waits) here instead creates a positive
+  // feedback loop — CPU-side congestion shrinks the pool, which deepens
+  // the queue, which shrinks the pool further — that oscillates hardest
+  // when offloaded reads make CPU-path arrivals bursty.
+  if (!p.failed) p.tokens.OnIoCompleted(device_ns);
   // Per-SSD health latch: hard IO errors in an unbroken run mean the
   // device itself is gone (a dead device fails every IO), not that one
   // command hit a transient bit flip. Any success resets the run.
   if (config_.ssd_fail_threshold == 0) return;
-  PerSsd& p = *per_ssd_[ssd];
   if (p.failed) return;
   if (ok) {
     p.consecutive_io_errors = 0;
@@ -400,9 +482,9 @@ void IoEngine::OnComplete(uint32_t ssd, uint32_t cost, SimTime started,
   trace_->Record(sim_.Now(), obs::TraceKind::kOpEnd, config_.node_id, ssd,
                  req.trace_id, static_cast<int64_t>(status.code()));
 
-  // Feed the token pool the measured per-IO latency (service time divided
-  // by the command's access count approximates one device IO).
-  p.tokens.OnIoCompleted(service / std::max(1u, cost));
+  // Tokens refund on retirement; the pool's latency feed happens per raw
+  // device IO in OnRawIo, not here — service time includes store-core
+  // queueing, which must not throttle device admission.
   p.tokens.Refund(cost);
 
   ResponseMeta meta;
@@ -444,6 +526,7 @@ void IoEngine::PumpWaiting(uint32_t ssd) {
     const uint32_t cost = TokenCost(p.tokens.config(), front->type);
     if (!p.tokens.TryTake(cost)) break;  // FCFS: no reordering past the head
     auto req = p.waiting.TryPop();
+    if (req->type != OpType::kGet && p.waiting_writes > 0) --p.waiting_writes;
     trace_->Record(sim_.Now(), obs::TraceKind::kQueueLeave, config_.node_id,
                    ssd, req->trace_id, static_cast<int64_t>(p.waiting.Size()));
     Execute(ssd, std::move(*req));
@@ -482,22 +565,34 @@ void IoEngine::SwapCheck() {
   const size_t occupancy_floor = config_.wait_queue_capacity / 4;
   for (uint32_t i = 0; i < n; ++i) {
     if (per_ssd_[i]->failed) continue;  // failed stores are NACKed, not swapped
-    size_t my_depth = per_ssd_[i]->waiting.Size();
+    // Load = queued + in-flight. Queue depth alone is blind to offloaded
+    // traffic (fast-path GETs never enter the waiting queue), so a device
+    // saturated by fast-path reads would otherwise look like the perfect
+    // donor.
+    const size_t my_depth = per_ssd_[i]->waiting.Size();
+    const size_t my_load = my_depth + per_ssd_[i]->active;
     uint32_t best = i;
-    size_t best_depth = my_depth;
+    size_t best_load = my_load;
     for (uint32_t j = 0; j < n; ++j) {
       if (j == i || per_ssd_[j]->failed) continue;  // dead donors absorb nothing
-      size_t d = per_ssd_[j]->waiting.Size();
-      if (d < best_depth) {
-        best_depth = d;
+      size_t d = per_ssd_[j]->waiting.Size() + per_ssd_[j]->active;
+      if (d < best_load) {
+        best_load = d;
         best = j;
       }
     }
+    // Swapping only relieves write pressure: it redirects PUTs to the
+    // donor's logs (§3.6). A queue dominated by reads — e.g. shipped
+    // hot-key GETs concentrating on the CRRS tail — gains nothing from a
+    // swap target, but the donor still pays the cross-SSD writes and the
+    // merge-back compaction, so require a redirectable share of the
+    // backlog before activating.
+    const bool write_pressure = per_ssd_[i]->waiting_writes * 4 >= my_depth;
     const bool overloaded =
-        best != i && my_depth >= occupancy_floor &&
-        my_depth >= best_depth + config_.swap_gap_threshold &&
-        my_depth >= best_depth * 2;  // relative gap: uniform overload is not
-                                     // imbalance, however deep the queues
+        best != i && my_depth >= occupancy_floor && write_pressure &&
+        my_load >= best_load + config_.swap_gap_threshold &&
+        my_load >= best_load * 2;  // relative gap: uniform overload is not
+                                   // imbalance, however deep the queues
     // Release hysteresis: once swapping, keep absorbing until the home
     // queue has genuinely drained — flapping on every check period costs a
     // merge-back per flap.

@@ -59,6 +59,13 @@ struct EngineConfig {
   SimTime swap_check_period = 500 * kMicrosecond;
   size_t swap_gap_threshold = 24;  // waiting-queue occupancy gap
 
+  // Host-bypass GET offload (Scalio-style; ROADMAP ablation): index-hit GETs
+  // are served by the NIC offload engine via TrySubmitOffload, charging no
+  // DPU CPU cycles. Index misses fall back to the CPU path after a fixed
+  // index-consultation charge on the owning store core.
+  bool offload_enabled = false;
+  uint64_t offload_index_consult_cycles = 300;
+
   // Weighted token allocation across co-located tenants (§3.5). Empty =>
   // every tenant is advertised the full pool (single-tenant deployments).
   // tenant_weights[t] is tenant t's share weight; tenants beyond the
@@ -110,6 +117,8 @@ struct EngineStats {
   uint64_t waited = 0;            // requests that sat in a waiting queue
   uint64_t swap_activations = 0;  // times a store was pointed at a donor
   uint64_t swap_reclaims = 0;     // swap regions wholesale-reset
+  uint64_t offload_fast_hits = 0;       // GETs served by the offload engine
+  uint64_t offload_slow_fallbacks = 0;  // offload punts to the CPU path
   Histogram queue_us;             // waiting-queue residence
   Histogram service_us;           // store execution time
   Histogram total_us;             // submit -> completion on this node
@@ -128,6 +137,13 @@ class IoEngine : public StorageService {
   // Submit a request. Completion (or an immediate kOverloaded rejection)
   // arrives through req.callback.
   void Submit(Request req) override;
+
+  // Host-bypass fast path: serve `req` (a GET) through the offload engine,
+  // bypassing tokens, queues and the store cores. Returns false — leaving
+  // `req` intact for a regular Submit — when offload is disabled, the op is
+  // not a GET, the SSD is dead, or the index needs a second consultation
+  // (that punt charges offload_index_consult_cycles on the store core).
+  bool TrySubmitOffload(Request& req);
 
   uint32_t num_stores() const override {
     return static_cast<uint32_t>(stores_.size());
@@ -195,6 +211,7 @@ class IoEngine : public StorageService {
     TokenPool tokens;
     SpscRing<Request> waiting;
     size_t active = 0;
+    size_t waiting_writes = 0;  // queued PUT/DELETEs — the swappable share
     uint32_t consecutive_io_errors = 0;
     bool failed = false;  // latched: ssd_fail_threshold errors in a row
   };
@@ -207,7 +224,7 @@ class IoEngine : public StorageService {
   // Per-SSD health latch, fed raw device completion statuses through the
   // BlockDevice io observer (KV-level statuses wrap device errors into
   // corruption/internal codes, so OnComplete cannot see them).
-  void OnRawIo(uint32_t ssd, bool ok);
+  void OnRawIo(uint32_t ssd, bool ok, SimTime device_latency_ns);
   void PumpWaiting(uint32_t ssd);
   void SwapCheck();
   void WriteCheckpoints();
@@ -230,6 +247,8 @@ class IoEngine : public StorageService {
     obs::Counter* swap_activations;
     obs::Counter* swap_reclaims;
     obs::Counter* ssd_failures;
+    obs::Counter* offload_fast_hits;
+    obs::Counter* offload_slow_fallbacks;
     Histogram* queue_us;
     Histogram* service_us;
     Histogram* total_us;

@@ -34,6 +34,8 @@ Node::Node(sim::Simulator& simulator, sim::Network& network,
   m_.copy_items_skipped = scope_.GetCounter("copy_items_skipped");
   m_.craq_queries_sent = scope_.GetCounter("craq_queries_sent");
   m_.craq_queries_answered = scope_.GetCounter("craq_queries_answered");
+  m_.craq_queries_reaped = scope_.GetCounter("craq_queries_reaped");
+  m_.offload_gets = scope_.GetCounter("offload_gets");
   m_.internal_retries = scope_.GetCounter("internal_retries");
   m_.obligation_retries = scope_.GetCounter("repl.obligation_retries");
   m_.obligation_giveups = scope_.GetCounter("repl.obligation_giveups");
@@ -89,6 +91,8 @@ NodeStats Node::stats() const {
   s.copy_items_skipped = m_.copy_items_skipped->value();
   s.craq_queries_sent = m_.craq_queries_sent->value();
   s.craq_queries_answered = m_.craq_queries_answered->value();
+  s.craq_queries_reaped = m_.craq_queries_reaped->value();
+  s.offload_gets = m_.offload_gets->value();
   s.internal_retries = m_.internal_retries->value();
   s.obligation_retries = m_.obligation_retries->value();
   s.obligation_giveups = m_.obligation_giveups->value();
@@ -200,6 +204,14 @@ const cluster::VNodeInfo* Node::OwnedVNode(VNodeId id) const {
 void Node::OnMessage(sim::Message msg) {
   if (failed_) return;  // fail-stop: silently drop
   LEED_ASSERT_SHARD(sim_, this, "Node::OnMessage");
+  // Host-bypass offload: the NIC offload engine filters incoming frames
+  // before the DPU network stack ever polls them, so an offloadable GET
+  // costs no rx cycles; anything it punts takes the normal charged path.
+  if (config_.engine.offload_enabled) {
+    if (auto* req = std::any_cast<ClientRequestMsg>(&msg.payload)) {
+      if (TryOffloadGet(*req)) return;
+    }
+  }
   // TEST-ONLY mutation (NodeConfig::test_only_cross_shard_touch): run the
   // rx-charge continuation under the next shard's context, so Dispatch's
   // field accesses happen off the owner shard without changing event order.
@@ -324,7 +336,7 @@ void Node::HandleGet(ClientRequestMsg req) {
       !req.shipped && !is_tail) {
     VNodeId tail = chain.back();
     const cluster::VNodeInfo* tinfo = view_.Find(tail);
-    if (tinfo && node_endpoints_ && node_endpoints_->count(tinfo->owner_node)) {
+    if (tinfo && node_endpoints_ && node_endpoints_->contains(tinfo->owner_node)) {
       m_.craq_queries_sent->Inc();
       uint64_t qid = next_craq_id_++;
       trace_->Record(sim_.Now(), obs::TraceKind::kCraqQuery, node_id_,
@@ -336,6 +348,10 @@ void Node::HandleGet(ClientRequestMsg req) {
       query.tail_vnode = tail;
       query.reply_to = endpoint_;
       SendMsg(node_endpoints_->at(tinfo->owner_node), std::move(query));
+      // Bound the park: if the query or its reply is dropped (or the tail
+      // fails over), the entry would otherwise leak past the client timeout.
+      sim_.Schedule(config_.craq_query_timeout,
+                    [this, qid] { ReapCraqQuery(qid); });
       return;
     }
   }
@@ -359,7 +375,7 @@ void Node::HandleGet(ClientRequestMsg req) {
     const cluster::VNodeInfo* tinfo = target != cluster::kInvalidVNode
                                           ? view_.Find(target)
                                           : nullptr;
-    if (!tinfo || !node_endpoints_ || !node_endpoints_->count(tinfo->owner_node)) {
+    if (!tinfo || !node_endpoints_ || !node_endpoints_->contains(tinfo->owner_node)) {
       RespondToClient(req.reply_to, req.req_id, StatusCode::kUnavailable, {},
                       info->local_store, false);
       return;
@@ -446,6 +462,75 @@ void Node::ServeGetLocally(ClientRequestMsg req, uint32_t local_store) {
   storage_->Submit(std::move(sreq));
 }
 
+bool Node::TryOffloadGet(ClientRequestMsg& req) {
+  // The offload engine's frame filter is a strict subset of HandleGet's
+  // decision tree (see DESIGN.md §10): anything ambiguous — wrong owner,
+  // filling or dirty replica, non-tail under plain CR, shipped read landing
+  // anywhere but the tail — punts back to the CPU path, which re-runs the
+  // full logic. The filter itself is free (fixed-function hardware); the
+  // engine-level index consultation is what a punt pays for.
+  if (!leed_engine_ || req.op != engine::OpType::kGet) return false;
+  const cluster::VNodeInfo* info = OwnedVNode(req.vnode);
+  if (!info || StoreIsFailed(info->local_store)) return false;
+  auto chain = ChainForKey(req.key);
+  const int idx = replication::IndexIn(chain, req.vnode);
+  // Shipped reads skip the hop check (the shipper rewrote the target); the
+  // client's hop only addresses first-touch requests.
+  if (idx < 0 || (!req.shipped && idx != req.hop)) return false;
+  const uint64_t keypos = cluster::HashRing::KeyPosition(req.key);
+  if (view_.IsFilling(req.vnode, keypos)) return false;
+  const bool is_tail = (idx == static_cast<int>(chain.size()) - 1);
+  if (req.shipped && !is_tail) {
+    // Shipped read diverted to a data-complete mid replica (true tail is
+    // filling) — HandleGet may have to park it; too subtle for the filter.
+    return false;
+  }
+  if (config_.crrs) {
+    // First-touch reads punt on the dirty bit — the CPU path ships them.
+    // Shipped reads already landed on the tail (checked above) and skip
+    // it: the tail's store value is committed throughout its dirty window
+    // (the window IS the in-flight commit apply), so serving it returns
+    // exactly what HandleGet's local path would. This is the real dirty
+    // bit, NOT the test_only_serve_dirty_reads view of it: the offload
+    // filter is hardware and does not inherit the mutation, so the
+    // planted dirty-read bug still flows through the CPU path for the
+    // checker to catch.
+    if (!req.shipped && Replica(req.vnode).IsDirty(req.key)) return false;
+  } else if (!is_tail) {
+    return false;  // baseline CR: only the tail serves reads
+  }
+
+  engine::Request sreq;
+  sreq.type = engine::OpType::kGet;
+  sreq.key = req.key;  // copy: req must stay intact if the engine punts
+  sreq.store_id = info->local_store;
+  sreq.tenant = req.tenant;
+  const auto reply_to = req.reply_to;
+  const auto req_id = req.req_id;
+  const uint32_t local_store = info->local_store;
+  sreq.callback = [this, reply_to, req_id, local_store](
+                      Status st, std::vector<uint8_t> value,
+                      engine::ResponseMeta meta) {
+    m_.gets_served->Inc();
+    m_.offload_gets->Inc();
+    if (crashed_ || reply_to == sim::kInvalidEndpoint) return;
+    // The offload engine replies from its own DMA path: no tx cycles.
+    ResponseMsg resp;
+    resp.req_id = req_id;
+    resp.code = st.code();
+    resp.value = std::move(value);
+    resp.node = node_id_;
+    resp.ssd = storage_->ssd_of_store(local_store);
+    resp.tokens = meta.available_tokens;
+    resp.has_tokens = true;
+    const uint64_t wire = WireSize(resp);
+    net_.Send(endpoint_, reply_to, wire, std::move(resp));
+  };
+  if (!leed_engine_->TrySubmitOffload(sreq)) return false;
+  m_.client_requests->Inc();
+  return true;
+}
+
 void Node::HandleCraqQuery(CraqQueryMsg query) {
   // The tail is the serialization point (§3.7): answering here orders the
   // read against every committed write.
@@ -469,6 +554,18 @@ void Node::HandleCraqReply(CraqReplyMsg reply) {
   // applied to the store yet, so the store read is exactly the committed
   // version the tail serialized us against).
   ServeGetLocally(std::move(req), info->local_store);
+}
+
+void Node::ReapCraqQuery(uint64_t qid) {
+  if (failed_) return;
+  auto it = craq_pending_.find(qid);
+  if (it == craq_pending_.end()) return;  // answered in time
+  m_.craq_queries_reaped->Inc();
+  ClientRequestMsg req = std::move(it->second);
+  craq_pending_.erase(it);
+  // NACK so the client re-resolves and retries; serving the store here
+  // without the tail's answer could return a pre-commit value.
+  SendNack(req.reply_to, req.req_id);
 }
 
 // ---------------------------------------------------------------------------
@@ -523,7 +620,7 @@ void Node::HandleChainWrite(ChainWriteMsg w) {
   // Forward to the successor.
   VNodeId next = chain[idx + 1];
   const cluster::VNodeInfo* ninfo = view_.Find(next);
-  if (!ninfo || !node_endpoints_ || !node_endpoints_->count(ninfo->owner_node)) {
+  if (!ninfo || !node_endpoints_ || !node_endpoints_->contains(ninfo->owner_node)) {
     return;  // successor unknown; a view update will re-forward
   }
   ChainWriteMsg fwd = std::move(w);
@@ -560,7 +657,7 @@ void Node::SendAckBackward(const std::vector<VNodeId>& chain, VNodeId self,
   VNodeId prev = replication::PrevIn(chain, self);
   if (prev == cluster::kInvalidVNode) return;
   const cluster::VNodeInfo* pinfo = view_.Find(prev);
-  if (!pinfo || !node_endpoints_ || !node_endpoints_->count(pinfo->owner_node))
+  if (!pinfo || !node_endpoints_ || !node_endpoints_->contains(pinfo->owner_node))
     return;
   ChainAckMsg ack;
   ack.write_id = write_id;
@@ -726,6 +823,17 @@ void Node::HandleViewUpdate(cluster::ViewUpdateMsg update) {
   // Re-forwarding drops/promotes pending writes, which can close dirty
   // windows; ownership may also have moved away entirely.
   SweepParkedReads();
+  // The tail we queried may no longer be the tail under the new view; its
+  // answer (if it ever comes) no longer serializes the read. NACK the lot.
+  if (!craq_pending_.empty()) {
+    std::map<uint64_t, ClientRequestMsg> pending;
+    pending.swap(craq_pending_);
+    for (auto& [qid, req] : pending) {
+      (void)qid;
+      m_.craq_queries_reaped->Inc();
+      SendNack(req.reply_to, req.req_id);
+    }
+  }
 }
 
 void Node::RefreshFillTracking() {
@@ -774,7 +882,7 @@ void Node::ReforwardPending() {
       // Still mid/head: re-forward to the (possibly new) successor.
       VNodeId next = chain[idx + 1];
       const cluster::VNodeInfo* ninfo = view_.Find(next);
-      if (!ninfo || !node_endpoints_ || !node_endpoints_->count(ninfo->owner_node))
+      if (!ninfo || !node_endpoints_ || !node_endpoints_->contains(ninfo->owner_node))
         continue;
       m_.pending_reforwards->Inc();
       ChainWriteMsg fwd;

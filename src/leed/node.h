@@ -70,6 +70,10 @@ struct NodeConfig {
   uint64_t net_tx_cycles = 700;
   SimTime heartbeat_period = 20 * kMillisecond;
   SimTime internal_retry_delay = 200 * kMicrosecond;
+  // Deadline after which a parked CRAQ version query is reaped with a NACK
+  // (the query or its reply was dropped, or the tail failed over); keeps
+  // craq_pending_ from leaking parked requests past the client timeout.
+  SimTime craq_query_timeout = 10 * kMillisecond;
   // Cap on overload retries of a local chain apply. Each retry backs off
   // exponentially (delay << attempt, capped); when the budget is spent the
   // write fails with kUnavailable and the chain propagates the failed ack
@@ -102,6 +106,8 @@ struct NodeStats {
   uint64_t copy_items_skipped = 0;  // chain-write superseded snapshot item
   uint64_t craq_queries_sent = 0;   // dirty reads resolved via version query
   uint64_t craq_queries_answered = 0;
+  uint64_t craq_queries_reaped = 0; // parked queries NACKed on deadline/view
+  uint64_t offload_gets = 0;        // GETs served via host-bypass offload
   uint64_t internal_retries = 0;    // local applies deferred by overload
   uint64_t obligation_retries = 0;  // chain-apply retries (bounded)
   uint64_t obligation_giveups = 0;  // chain applies failed after max retries
@@ -168,6 +174,12 @@ class LEED_SHARD_AFFINE Node {
 
   void HandleClientRequest(ClientRequestMsg req);
   void HandleGet(ClientRequestMsg req);
+  // Host-bypass offload (Scalio-style): serve an index-hit GET straight
+  // from the NIC offload engine, charging no rx/tx or store-core cycles.
+  // Returns false (req intact) when the op must take the CPU slow path.
+  bool TryOffloadGet(ClientRequestMsg& req);
+  // Deadline sweep for a parked CRAQ version query (see craq_query_timeout).
+  void ReapCraqQuery(uint64_t qid);
   void ServeGetLocally(ClientRequestMsg req, uint32_t local_store);
   void HandleChainWrite(ChainWriteMsg w);
   void HandleChainAck(ChainAckMsg ack);
@@ -291,6 +303,8 @@ class LEED_SHARD_AFFINE Node {
     obs::Counter* copy_items_skipped;
     obs::Counter* craq_queries_sent;
     obs::Counter* craq_queries_answered;
+    obs::Counter* craq_queries_reaped;
+    obs::Counter* offload_gets;
     obs::Counter* internal_retries;
     obs::Counter* obligation_retries;
     obs::Counter* obligation_giveups;

@@ -24,6 +24,7 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kStoreFailed: return "store_failed";
     case TraceKind::kStoreFailover: return "store_failover";
     case TraceKind::kCopyAbandoned: return "copy_abandoned";
+    case TraceKind::kOffloadGet: return "offload_get";
   }
   return "?";
 }

@@ -42,6 +42,7 @@ enum class TraceKind : uint8_t {
   kStoreFailed,   // unit=store, id=node id   (engine latched the store)
   kStoreFailover, // unit=store, id=node id,  arg=vnodes failed over
   kCopyAbandoned, // unit=dst vnode, id=copy id (data-loss path)
+  kOffloadGet,    // unit=ssd,   id=op seq    (host-bypass fast-path GET)
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -76,24 +76,28 @@ class BlockDevice {
   DeviceFaults* faults() const { return faults_; }
 
   // Raw completion-status observer — the "NVMe driver" view. Fired once per
-  // completed IO with ok/error, before the requester's callback. The store
-  // layers above wrap device errors into their own status codes (corruption,
-  // retry-budget internal errors, ...), so KV-level completions cannot tell
-  // a dead device from a logic bug; health latches hang off this instead.
+  // completed IO with ok/error and the IO's device-side latency (submit to
+  // completion, including on-device queueing but nothing above the driver),
+  // before the requester's callback. The store layers above wrap device
+  // errors into their own status codes (corruption, retry-budget internal
+  // errors, ...), so KV-level completions cannot tell a dead device from a
+  // logic bug; health latches hang off this instead — and token-pool
+  // rescaling feeds on the latency (§3.4: tokens track the *device's*
+  // serving capability, so the feed must exclude host-side queueing).
   // One observer per device; setting replaces the previous one.
-  void set_io_observer(std::function<void(bool ok)> observer) {
+  void set_io_observer(std::function<void(bool ok, SimTime latency_ns)> observer) {
     io_observer_ = std::move(observer);
   }
 
  protected:
-  void NotifyIo(bool ok) {
-    if (io_observer_) io_observer_(ok);
+  void NotifyIo(bool ok, SimTime latency_ns) {
+    if (io_observer_) io_observer_(ok, latency_ns);
   }
 
   DeviceFaults* faults_ = nullptr;
 
  private:
-  std::function<void(bool ok)> io_observer_;
+  std::function<void(bool ok, SimTime latency_ns)> io_observer_;
 };
 
 // Sparse in-memory byte store shared by device implementations.

@@ -21,8 +21,15 @@ void CpuCore::Charge(uint64_t cycles) {
 
 double CpuCore::Utilization(SimTime window_ns) const {
   if (window_ns <= 0) return 0.0;
-  return std::clamp(static_cast<double>(total_busy_ns_) /
-                        static_cast<double>(window_ns),
+  // total_busy_ns_ accrues at schedule time, so work still retiring past the
+  // window end must not count against this window or utilization exceeds 1
+  // and corrupts interrupt-spec power interpolation.
+  SimTime busy = total_busy_ns_;
+  if (busy_until_ > window_ns) {
+    const SimTime overhang = busy_until_ - window_ns;
+    busy = overhang < busy ? busy - overhang : 0;
+  }
+  return std::clamp(static_cast<double>(busy) / static_cast<double>(window_ns),
                     0.0, 1.0);
 }
 

@@ -108,7 +108,7 @@ Status SimSsd::Submit(IoRequest request, IoCallback callback) {
     SimTime submitted = sim_.Now();
     auto fault_done = [this, submitted, cb = std::move(callback)]() mutable {
       --inflight_;
-      NotifyIo(false);
+      NotifyIo(false, sim_.Now() - submitted);
       IoResult r;
       r.status = Status::IoError("injected device fault");
       r.submitted_at = submitted;
@@ -154,7 +154,7 @@ Status SimSsd::Submit(IoRequest request, IoCallback callback) {
     if (metrics_.write_us) metrics_.write_us->Record(ToMicros(done - submitted));
     auto write_done = [this, submitted, cb = std::move(callback)]() mutable {
       --inflight_;
-      NotifyIo(true);
+      NotifyIo(true, sim_.Now() - submitted);
       IoResult r;
       r.submitted_at = submitted;
       r.completed_at = sim_.Now();
@@ -207,7 +207,7 @@ void SimSsd::StartRead(Pending p) {
                     cb = std::move(p.callback)]() mutable {
     --reads_in_service_;
     --inflight_;
-    NotifyIo(true);
+    NotifyIo(true, sim_.Now() - submitted);
     if (metrics_.read_us) metrics_.read_us->Record(ToMicros(sim_.Now() - submitted));
     IoResult r;
     r.data = store_.Read(offset, length);

@@ -38,6 +38,8 @@ DataStore::DataStore(sim::Simulator& simulator, sim::CpuCore& core, LogSet home,
   m_.prefetch_misses = scope_.GetCounter("prefetch_misses");
   m_.lock_waits = scope_.GetCounter("lock_waits");
   m_.puts_failed_full = scope_.GetCounter("puts_failed_full");
+  m_.fast_gets = scope_.GetCounter("fast_gets");
+  m_.fast_get_aborts = scope_.GetCounter("fast_get_aborts");
   log_sets_[home.ssd_id] = home;
   compactor_ = std::make_unique<Compactor>(*this);
 }
@@ -64,6 +66,8 @@ StoreStats DataStore::stats() const {
   s.prefetch_misses = m_.prefetch_misses->value();
   s.lock_waits = m_.lock_waits->value();
   s.puts_failed_full = m_.puts_failed_full->value();
+  s.fast_gets = m_.fast_gets->value();
+  s.fast_get_aborts = m_.fast_get_aborts->value();
   return s;
 }
 
@@ -102,7 +106,17 @@ struct DataStore::GetOp {
   GetCallback callback;
   uint32_t segment = 0;
   uint32_t attempts = 0;
+  bool offloaded = false;  // host-bypass: skip per-step CPU charges
 };
+
+void DataStore::RunGetWork(const std::shared_ptr<GetOp>& op, uint64_t cycles,
+                           std::function<void()> fn) {
+  if (op->offloaded) {
+    sim_.Schedule(0, std::move(fn));
+  } else {
+    core_.Run(Cycles(cycles), std::move(fn));
+  }
+}
 
 void DataStore::Get(std::string key, GetCallback callback) {
   auto op = std::make_shared<GetOp>();
@@ -110,6 +124,31 @@ void DataStore::Get(std::string key, GetCallback callback) {
   op->callback = std::move(callback);
   m_.gets->Inc();
   core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { GetLookup(op); });
+}
+
+bool DataStore::FastGetEligible(std::string_view key) const {
+  // Eligible iff the SegTbl entry resolves the head bucket directly and the
+  // chain has a single bucket: the offload engine never walks chains (a walk
+  // would be unbounded work hidden from the CPU model).
+  const SegmentEntry& e = segtbl_.At(SegmentOf(key));
+  return !e.Empty() && e.chain_len == 1;
+}
+
+void DataStore::FastGet(std::string key, GetCallback callback) {
+  auto op = std::make_shared<GetOp>();
+  op->key = std::move(key);
+  op->callback = std::move(callback);
+  op->offloaded = true;
+  op->segment = SegmentOf(op->key);
+  m_.gets->Inc();
+  m_.fast_gets->Inc();
+  const SegmentEntry& e = segtbl_.At(op->segment);
+  // Fixed offload-engine latency, then straight to the device read; no
+  // op_dispatch charge and no core queueing.
+  sim_.Schedule(config_.offload_engine_ns,
+                [this, op, ssd = e.ssd, off = e.offset] {
+                  GetReadBucket(op, ssd, off, 1);
+                });
 }
 
 void DataStore::GetLookup(std::shared_ptr<GetOp> op) {
@@ -147,8 +186,8 @@ void DataStore::GetSearch(std::shared_ptr<GetOp> op, Bucket bucket,
                           uint8_t remaining_chain) {
   uint64_t scan_cycles =
       config_.costs.bucket_parse_per_item * std::max<size_t>(1, bucket.items.size());
-  core_.Run(Cycles(scan_cycles), [this, op, b = std::move(bucket),
-                                  remaining_chain]() mutable {
+  RunGetWork(op, scan_cycles, [this, op, b = std::move(bucket),
+                               remaining_chain]() mutable {
     if (b.header.segment_id != op->segment) {
       // Stale read of a reclaimed-and-rewritten region.
       GetRetry(op);
@@ -202,8 +241,8 @@ void DataStore::GetReadRest(std::shared_ptr<GetOp> op, uint8_t ssd,
     }
     uint64_t items = 0;
     for (const auto& b : buckets) items += b.items.size();
-    core_.Run(Cycles(config_.costs.bucket_parse_per_item * std::max<uint64_t>(1, items)),
-              [this, op, bs = std::move(buckets)] {
+    RunGetWork(op, config_.costs.bucket_parse_per_item * std::max<uint64_t>(1, items),
+               [this, op, bs = std::move(buckets)] {
                 for (const auto& b : bs) {
                   if (b.header.segment_id != op->segment) {
                     GetRetry(op);
@@ -259,16 +298,22 @@ void DataStore::GetRetry(std::shared_ptr<GetOp> op) {
     return;
   }
   m_.get_retries->Inc();
+  if (op->offloaded) {
+    // A compaction moved the chain under the offload engine; the retry needs
+    // a fresh index consultation, which only the CPU path can do. Demote.
+    op->offloaded = false;
+    m_.fast_get_aborts->Inc();
+  }
   core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { GetLookup(op); });
 }
 
 void DataStore::GetFinish(std::shared_ptr<GetOp> op, Status status,
                           std::vector<uint8_t> value) {
   if (status.IsNotFound()) m_.get_not_found->Inc();
-  core_.Run(Cycles(config_.costs.op_complete),
-            [op, st = std::move(status), v = std::move(value)]() mutable {
-              op->callback(std::move(st), std::move(v));
-            });
+  RunGetWork(op, config_.costs.op_complete,
+             [op, st = std::move(status), v = std::move(value)]() mutable {
+               op->callback(std::move(st), std::move(v));
+             });
 }
 
 // ---------------------------------------------------------------------------

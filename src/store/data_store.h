@@ -83,6 +83,10 @@ struct StoreConfig {
   uint32_t max_get_retries = 4;
   CpuCosts costs;
   double ipc_factor = 1.0;
+  // Fixed latency of the host-bypass offload engine (Scalio-style): the NIC
+  // hardware path that resolves an index-hit GET without touching a DPU
+  // core. Charged as wall-clock delay, not CPU cycles. See DESIGN.md §10.
+  SimTime offload_engine_ns = 900;
   // Optional shared limit on co-scheduled compactions (Fig. 13b).
   std::shared_ptr<CompactionGate> compaction_gate;
 
@@ -118,6 +122,8 @@ struct StoreStats {
   uint64_t prefetch_hits = 0, prefetch_misses = 0;
   uint64_t lock_waits = 0;
   uint64_t puts_failed_full = 0;
+  uint64_t fast_gets = 0;        // GETs entered via the offload fast path
+  uint64_t fast_get_aborts = 0;  // fast-path GETs demoted to the CPU path
 };
 
 class Compactor;  // store/compaction.h
@@ -144,6 +150,14 @@ class DataStore {
   std::optional<uint8_t> swap_target() const { return swap_target_; }
 
   void Get(std::string key, GetCallback callback);
+
+  // Host-bypass fast path (Scalio-style offload). FastGetEligible reports
+  // whether the in-DRAM index resolves `key` without a second consultation
+  // (single-bucket chain); FastGet then runs the GET charging no CPU
+  // cycles — only the fixed offload_engine_ns plus device time. A
+  // compaction-induced retry demotes the op back to the charged CPU path.
+  bool FastGetEligible(std::string_view key) const;
+  void FastGet(std::string key, GetCallback callback);
   void Put(std::string key, std::vector<uint8_t> value, OpCallback callback);
   void Del(std::string key, OpCallback callback);
 
@@ -204,6 +218,10 @@ class DataStore {
   void GetRetry(std::shared_ptr<GetOp> op);
   void GetFinish(std::shared_ptr<GetOp> op, Status status,
                  std::vector<uint8_t> value);
+  // Charges `cycles` on the core for CPU-path GETs; offloaded GETs skip the
+  // charge (the offload engine does the work in its fixed-cost envelope).
+  void RunGetWork(const std::shared_ptr<GetOp>& op, uint64_t cycles,
+                  std::function<void()> fn);
 
   // --- PUT/DEL machine (shared; DEL is a PUT of a tombstone) ---
   struct PutOp;
@@ -257,6 +275,8 @@ class DataStore {
     obs::Counter* prefetch_misses;
     obs::Counter* lock_waits;
     obs::Counter* puts_failed_full;
+    obs::Counter* fast_gets;
+    obs::Counter* fast_get_aborts;
   } m_{};
   std::set<uint32_t> swapped_segments_;
   std::unique_ptr<Compactor> compactor_;

@@ -51,6 +51,8 @@ std::vector<uint8_t> YcsbGenerator::MakeValue(uint64_t key_id, uint32_t version)
 }
 
 double YcsbGenerator::ReadFraction() const {
+  if (config_.custom_read_permille >= 0)
+    return static_cast<double>(config_.custom_read_permille) / 1000.0;
   switch (config_.mix) {
     case Mix::kA:
       return 0.50;
@@ -76,6 +78,14 @@ uint64_t YcsbGenerator::SampleKey() {
 
 Op YcsbGenerator::Next() {
   Op op;
+  if (config_.custom_read_permille >= 0) {
+    op.kind = rng_.NextBool(
+                  static_cast<double>(config_.custom_read_permille) / 1000.0)
+                  ? OpKind::kRead
+                  : OpKind::kUpdate;
+    op.key_id = SampleKey();
+    return op;
+  }
   switch (config_.mix) {
     case Mix::kA:
       op.kind = rng_.NextBool(0.5) ? OpKind::kRead : OpKind::kUpdate;

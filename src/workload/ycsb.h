@@ -34,6 +34,9 @@ struct YcsbConfig {
   uint32_t value_size = 1024;
   double zipf_theta = 0.99;  // <= 0 means uniform
   uint64_t seed = 42;
+  // >= 0: override the mix with a plain read/update split at this
+  // read-permille (ablation sweeps over arbitrary read ratios).
+  int32_t custom_read_permille = -1;
 };
 
 class YcsbGenerator {

@@ -6,6 +6,7 @@
 
 #include "engine/io_engine.h"
 #include "leed/cluster_sim.h"
+#include "sim/fault.h"
 #include "test_util.h"
 
 namespace leed {
@@ -156,6 +157,56 @@ TEST(CraqModeTest, ValuesRemainCorrectUnderCraq) {
     }
     EXPECT_TRUE(done);
   }
+}
+
+TEST(CraqModeTest, DroppedQueryRepliesAreReapedNotLeaked) {
+  // Regression: a craq_pending_ entry whose version query (or reply) is
+  // lost on the wire used to park forever — past the client timeout, and
+  // leaking map entries. The deadline sweep must NACK it within
+  // craq_query_timeout so the client retries promptly.
+  ClusterConfig cfg = CraqCluster();
+  cfg.node.craq_query_timeout = 5 * kMillisecond;
+  ClusterSim cluster(cfg);
+  cluster.Bootstrap();
+  cluster.Preload(50, 128);
+  cluster.ArmFaultPlan(sim::ParseFaultPlan("net:drop=0.25").value());
+
+  int outstanding = 0;
+  auto& c = cluster.client(0);
+  for (int round = 0; round < 30; ++round) {
+    for (int k = 0; k < 8; ++k) {
+      std::string key = workload::YcsbGenerator::KeyName(k);
+      ++outstanding;
+      c.Put(key, testutil::TestValue(round, 128),
+            [&](Status, SimTime) { --outstanding; });
+      ++outstanding;
+      c.Get(key, [&](Status, std::vector<uint8_t>, SimTime) {
+        // Errors are legitimate under message loss (bounded retries can
+        // exhaust); what matters is that every callback fires.
+        --outstanding;
+      });
+    }
+  }
+  // Drive the lossy phase, then heal the network and drain the retries.
+  auto& simulator = cluster.simulator();
+  while (simulator.Now() < 120 * kMillisecond &&
+         simulator.events_pending() > 0 && simulator.Step()) {
+  }
+  cluster.faults().net().set_spec(sim::NetFaultSpec{});
+  simulator.Run();
+
+  EXPECT_EQ(outstanding, 0);  // nothing parked past its deadline
+
+  uint64_t sent = 0, answered = 0, reaped = 0;
+  for (uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    sent += cluster.node(n).stats().craq_queries_sent;
+    answered += cluster.node(n).stats().craq_queries_answered;
+    reaped += cluster.node(n).stats().craq_queries_reaped;
+  }
+  EXPECT_GT(sent, 0u);
+  EXPECT_GT(reaped, 0u);  // at least one lost round trip hit the deadline
+  EXPECT_LE(reaped, sent);
+  (void)answered;
 }
 
 }  // namespace

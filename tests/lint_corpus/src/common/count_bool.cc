@@ -1,0 +1,27 @@
+// Corpus for count-in-bool-context: member count() with an argument used
+// as a boolean must fire; explicit comparisons, zero-arg count() and
+// suppressed sites must not.
+#include <map>
+
+namespace fixture {
+
+struct Hist { long count() const { return 0; } };
+
+bool Fires(const std::map<int, int>& m, int k, bool ok) {
+  if (m.count(k)) return true;
+  if (!m.count(k)) return false;
+  const int* p = m.count(k) ? &m.at(k) : nullptr;
+  bool b = ok && m.count(k);
+  return p != nullptr && b;
+}
+
+bool Silent(const std::map<int, int>& m, int k, const Hist& h) {
+  if (m.count(k) != 0) return true;
+  if (h.count() > 0) return true;
+  long n = m.count(k);
+  // leed-lint: allow(count-in-bool-context): corpus suppression exercise
+  if (m.count(k)) return true;
+  return n == 0;
+}
+
+}  // namespace fixture

@@ -55,6 +55,10 @@ TEST(LintCorpusTest, MatchesGoldenTable) {
   // order so a mismatch points at the first divergence.
   const std::vector<Expected> kGolden = {
       {"src/cluster/guard_calls.cc", 15, "cross-shard-call"},
+      {"src/common/count_bool.cc", 11, "count-in-bool-context"},
+      {"src/common/count_bool.cc", 12, "count-in-bool-context"},
+      {"src/common/count_bool.cc", 13, "count-in-bool-context"},
+      {"src/common/count_bool.cc", 14, "count-in-bool-context"},
       {"src/common/no_pragma.h", 1, "pragma-once"},
       {"src/engine/allow_misuse.cc", 6, "unused-allow"},
       {"src/engine/allow_misuse.cc", 9, "allow-syntax"},
@@ -106,9 +110,9 @@ TEST(LintCorpusTest, EveryContentRuleFires) {
   for (const Finding& f : CorpusFindings()) fired.insert(f.rule);
   for (const char* rule :
        {"determinism", "unordered-iter", "pragma-once", "banned-func",
-        "memcpy", "metric-name", "allow-syntax", "unused-allow",
-        "shard-affine-capture", "unannotated-sim-shared", "cross-shard-call",
-        "pointer-order"}) {
+        "memcpy", "metric-name", "count-in-bool-context", "allow-syntax",
+        "unused-allow", "shard-affine-capture", "unannotated-sim-shared",
+        "cross-shard-call", "pointer-order"}) {
     EXPECT_TRUE(fired.count(rule) != 0) << "rule never fired: " << rule;
   }
 }
@@ -139,6 +143,8 @@ TEST(LintCorpusTest, JustifiedAllowsSuppress) {
       << "unannotated-sim-shared allow ignored";
   EXPECT_FALSE(HasFindingAt(findings, "src/store/pointer_order.cc", 22))
       << "pointer-order allow ignored";
+  EXPECT_FALSE(HasFindingAt(findings, "src/common/count_bool.cc", 23))
+      << "count-in-bool-context allow ignored";
 }
 
 TEST(LintCorpusTest, CrossShardOkMarkerSuppressesShardRules) {

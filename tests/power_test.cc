@@ -1,0 +1,147 @@
+// Dedicated tests for the power/energy model (src/sim/power.{h,cc}) and
+// the CpuCore utilization accounting that feeds it.
+//
+// The requests-per-Joule headline (paper §4.3) is only as good as these
+// two pieces: NodePowerWatts turns mean CPU utilization into Watts
+// (polling platforms draw active power flat; interrupt-driven platforms
+// interpolate idle..active), and CpuCore::Utilization supplies that mean.
+// A utilization above 1.0 — e.g. scheduled work retiring past the window
+// end — would silently skew the interpolation for non-polling specs.
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu_model.h"
+#include "sim/power.h"
+#include "sim/simulator.h"
+
+namespace leed::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NodePowerWatts: polling vs interrupt-driven
+// ---------------------------------------------------------------------------
+
+TEST(NodePowerTest, PollingDrawsActiveRegardlessOfLoad) {
+  // Stingray JBOF operating point: 45 W idle, 52.5 W with all cores
+  // busy-polling. A polling reactor never sleeps, so offered load does not
+  // change the draw.
+  PowerSpec stingray{45.0, 52.5, /*polling=*/true};
+  EXPECT_DOUBLE_EQ(NodePowerWatts(stingray, 0.0), 52.5);
+  EXPECT_DOUBLE_EQ(NodePowerWatts(stingray, 0.37), 52.5);
+  EXPECT_DOUBLE_EQ(NodePowerWatts(stingray, 1.0), 52.5);
+}
+
+TEST(NodePowerTest, InterruptInterpolatesIdleToActive) {
+  // Pi 3B+ operating point: 3.6 W idle, 4.2 W active, interrupt-driven.
+  PowerSpec pi{3.6, 4.2, /*polling=*/false};
+  EXPECT_DOUBLE_EQ(NodePowerWatts(pi, 0.0), 3.6);
+  EXPECT_NEAR(NodePowerWatts(pi, 0.25), 3.75, 1e-12);
+  EXPECT_NEAR(NodePowerWatts(pi, 0.5), 3.9, 1e-12);
+  EXPECT_DOUBLE_EQ(NodePowerWatts(pi, 1.0), 4.2);
+}
+
+TEST(NodePowerTest, InterruptClampsOutOfRangeUtilization) {
+  // Defense in depth: even if a caller hands in a bogus utilization the
+  // draw must stay inside [idle_w, active_w].
+  PowerSpec pi{3.6, 4.2, /*polling=*/false};
+  EXPECT_DOUBLE_EQ(NodePowerWatts(pi, -0.5), 3.6);
+  EXPECT_DOUBLE_EQ(NodePowerWatts(pi, 1.5), 4.2);
+  EXPECT_DOUBLE_EQ(NodePowerWatts(pi, 1000.0), 4.2);
+}
+
+// ---------------------------------------------------------------------------
+// NodeEnergyJoules: window math
+// ---------------------------------------------------------------------------
+
+TEST(NodeEnergyTest, IntegratesWattsOverWindow) {
+  PowerSpec polling{45.0, 52.5, /*polling=*/true};
+  // 52.5 W for 2 s = 105 J, independent of utilization.
+  EXPECT_NEAR(NodeEnergyJoules(polling, 0.0, 2 * kSecond), 105.0, 1e-9);
+  EXPECT_NEAR(NodeEnergyJoules(polling, 1.0, 2 * kSecond), 105.0, 1e-9);
+
+  PowerSpec pi{3.6, 4.2, /*polling=*/false};
+  // 3.9 W for 500 ms = 1.95 J.
+  EXPECT_NEAR(NodeEnergyJoules(pi, 0.5, 500 * kMillisecond), 1.95, 1e-9);
+  // Sub-millisecond windows keep full precision (ToSeconds is double).
+  EXPECT_NEAR(NodeEnergyJoules(pi, 0.0, 250 * kMicrosecond), 3.6 * 250e-6,
+              1e-12);
+}
+
+TEST(NodeEnergyTest, ZeroWindowIsZeroJoules) {
+  PowerSpec polling{45.0, 52.5, /*polling=*/true};
+  EXPECT_DOUBLE_EQ(NodeEnergyJoules(polling, 0.5, 0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// RequestsPerJoule: zero-joule guard
+// ---------------------------------------------------------------------------
+
+TEST(RequestsPerJouleTest, DividesRequestsByJoules) {
+  EXPECT_NEAR(RequestsPerJoule(1050, 105.0), 10.0, 1e-12);
+  EXPECT_NEAR(RequestsPerJoule(0, 105.0), 0.0, 1e-12);
+}
+
+TEST(RequestsPerJouleTest, GuardsZeroAndNegativeJoules) {
+  // A zero-length measurement window must not divide by zero.
+  EXPECT_EQ(RequestsPerJoule(100, 0.0), 0.0);
+  EXPECT_EQ(RequestsPerJoule(100, -1.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// CpuCore::Utilization: work retiring past the window end must not
+// inflate utilization above 1.0 (regression tests for the overhang clamp).
+// ---------------------------------------------------------------------------
+
+TEST(CpuUtilizationTest, OverhangWorkClampsToWindow) {
+  Simulator s;
+  CpuCore core(s, 1.0);  // 1 GHz: 1 cycle = 1 ns
+  // 2000 ns of work charged at t=0: the core is busy for the entire
+  // 1000 ns window (and 1000 ns beyond it). Utilization over the window
+  // is exactly 1.0 — not 2.0, which the pre-clamp accounting reported.
+  core.Charge(2000);
+  EXPECT_DOUBLE_EQ(core.Utilization(1000), 1.0);
+  EXPECT_LE(core.Utilization(1), 1.0);
+}
+
+TEST(CpuUtilizationTest, MidWindowChargeCountsOnlyInWindowPortion) {
+  Simulator s;
+  CpuCore core(s, 1.0);
+  s.Schedule(800, [] {});
+  s.Run();  // advance to t=800
+  core.Charge(400);  // busy 800..1200
+  // Only 200 ns of that work falls inside [0, 1000).
+  EXPECT_NEAR(core.Utilization(1000), 0.2, 1e-12);
+}
+
+TEST(CpuUtilizationTest, FullyRetiredWorkIsUnaffectedByClamp) {
+  Simulator s;
+  CpuCore core(s, 1.0);
+  core.Run(500, [] {});
+  s.Run();
+  s.RunUntil(1000);
+  EXPECT_NEAR(core.Utilization(1000), 0.5, 1e-12);
+}
+
+TEST(CpuUtilizationTest, NonPositiveWindowIsZero) {
+  Simulator s;
+  CpuCore core(s, 1.0);
+  core.Charge(100);
+  EXPECT_DOUBLE_EQ(core.Utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(core.Utilization(-5), 0.0);
+}
+
+TEST(CpuUtilizationTest, MeanUtilizationFeedsInterruptPowerCorrectly) {
+  // End-to-end shape of the original bug: one core overloaded past the
+  // window end, the other idle. The mean must be 0.5 (core 0 clamps to
+  // 1.0), giving the midpoint draw — not 1.5, which saturated the
+  // interpolation at active_w.
+  Simulator s;
+  CpuModel cpu(s, 2, 1.0);
+  cpu.core(0).Charge(3000);  // 3x the window
+  PowerSpec pi{3.6, 4.2, /*polling=*/false};
+  EXPECT_NEAR(cpu.MeanUtilization(1000), 0.5, 1e-12);
+  EXPECT_NEAR(NodePowerWatts(pi, cpu.MeanUtilization(1000)), 3.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace leed::sim

@@ -41,6 +41,7 @@ struct Options {
   bool crrs = true;
   bool flow_control = true;
   bool data_swap = true;
+  bool offload = false;  // host-bypass GET offload (Scalio-style ablation)
   bool verbose = false;
   std::string metrics_out;  // write a registry snapshot (JSON) here
   std::string trace_out;    // enable the event trace and write it here
@@ -83,6 +84,7 @@ void Usage(const char* argv0) {
       "  --no-crrs                  disable CRRS read shipping\n"
       "  --no-flow-control          disable Algorithm-1 client scheduling\n"
       "  --no-data-swap             disable intra-JBOF write swapping\n"
+      "  --offload                  enable host-bypass GET offload\n"
       "  --verbose                  per-node counters\n"
       "  --metrics-out=FILE         write the metrics-registry snapshot (JSON)\n"
       "  --trace-out=FILE           record the sim event trace and write it (JSON)\n"
@@ -162,6 +164,7 @@ int RunCheckMode(const Options& opt) {
     no.base_seed = opt.seed;
     no.seeds = opt.seeds;
     no.plan = plans[p];
+    no.offload = opt.offload;
     no.unsafe_dirty_reads = opt.unsafe_dirty_reads;
     no.cross_shard_touch = opt.cross_shard_touch;
     no.dump_dir = opt.check_dump_dir;
@@ -300,6 +303,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--no-crrs") == 0) opt.crrs = false;
     else if (std::strcmp(argv[i], "--no-flow-control") == 0) opt.flow_control = false;
     else if (std::strcmp(argv[i], "--no-data-swap") == 0) opt.data_swap = false;
+    else if (std::strcmp(argv[i], "--offload") == 0) opt.offload = true;
     else if (ParseFlag(argv[i], "--metrics-out", &v)) opt.metrics_out = v;
     else if (ParseFlag(argv[i], "--trace-out", &v)) opt.trace_out = v;
     else if (ParseFlag(argv[i], "--fault-plan", &v)) opt.fault_plan = v;
@@ -335,6 +339,7 @@ int main(int argc, char** argv) {
     cfg.node.crrs = opt.crrs;
     cfg.client.crrs_reads = opt.crrs;
     cfg.node.engine.enable_data_swap = opt.data_swap;
+    cfg.node.engine.offload_enabled = opt.offload;
   } else if (opt.system == "kvell") {
     cfg = bench::KvellCluster(opt.nodes, opt.value_size, opt.seed);
   } else if (opt.system == "fawn") {

@@ -867,6 +867,90 @@ void CheckMetricNames(const std::string& path,
   }
 }
 
+// count-in-bool-context: `m.count(key)` used as a boolean reads as a
+// presence test but is a multiset count; the codebase standardized on
+// contains() (PR 2 sweep, regressed once since). Fires on member spellings
+// with a non-empty argument feeding a boolean operator (!, &&, ||, ?:) or
+// sitting directly in an if/while condition. Explicit comparisons
+// (`count(x) != 0`) and the zero-arg Histogram::count() stay out of scope.
+void CheckCountInBoolContext(const std::string& path,
+                             const std::vector<LineInfo>& lines,
+                             std::vector<Finding>* out) {
+  if (!StartsWith(path, "src/")) return;
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& code = lines[ln].code;
+    if (code.empty()) continue;
+    ForEachIdentifier(code, [&](size_t b, const std::string& id) {
+      if (id != "count") return;
+      // Member spelling only: x.count( / x->count(.
+      size_t recv = b;
+      if (b >= 1 && code[b - 1] == '.') {
+        recv = b - 1;
+      } else if (b >= 2 && code[b - 2] == '-' && code[b - 1] == '>') {
+        recv = b - 2;
+      } else {
+        return;
+      }
+      size_t open = b + id.size();
+      while (open < code.size() && code[open] == ' ') ++open;
+      if (open >= code.size() || code[open] != '(') return;
+      size_t j = open + 1;
+      while (j < code.size() && code[j] == ' ') ++j;
+      if (j >= code.size() || code[j] == ')') return;  // zero-arg count()
+      // Walk the receiver back over a member chain, then classify the
+      // token before it and the token after the call's closing paren.
+      while (recv > 0) {
+        const char c = code[recv - 1];
+        if (IsIdentChar(c) || c == '.' || c == '[' || c == ']' || c == ':') {
+          --recv;
+        } else if (recv >= 2 && c == '>' && code[recv - 2] == '-') {
+          recv -= 2;
+        } else {
+          break;
+        }
+      }
+      size_t p = recv;
+      while (p > 0 && code[p - 1] == ' ') --p;
+      const bool negated = p >= 1 && code[p - 1] == '!';
+      const bool conjoined =
+          p >= 2 && ((code[p - 2] == '&' && code[p - 1] == '&') ||
+                     (code[p - 2] == '|' && code[p - 1] == '|'));
+      bool condition_head = false;  // directly inside if (...) / while (...)
+      if (p >= 1 && code[p - 1] == '(') {
+        size_t kw_end = p - 1;
+        while (kw_end > 0 && code[kw_end - 1] == ' ') --kw_end;
+        size_t kw_beg = kw_end;
+        while (kw_beg > 0 && IsIdentChar(code[kw_beg - 1])) --kw_beg;
+        const std::string kw = code.substr(kw_beg, kw_end - kw_beg);
+        condition_head = kw == "if" || kw == "while";
+      }
+      int depth = 1;
+      size_t close = open + 1;
+      while (close < code.size() && depth > 0) {
+        if (code[close] == '(') ++depth;
+        if (code[close] == ')') --depth;
+        ++close;
+      }
+      if (depth != 0) return;  // call spans lines; stay conservative
+      size_t a = close;
+      while (a < code.size() && code[a] == ' ') ++a;
+      const bool before_ternary = a < code.size() && code[a] == '?';
+      const bool closes_bool =
+          a >= code.size() || code[a] == ')' || code[a] == ';' ||
+          (a + 1 < code.size() && ((code[a] == '&' && code[a + 1] == '&') ||
+                                   (code[a] == '|' && code[a + 1] == '|')));
+      if (!(negated || before_ternary ||
+            ((conjoined || condition_head) && closes_bool))) {
+        return;
+      }
+      out->push_back(
+          {path, static_cast<int>(ln + 1), "count-in-bool-context",
+           "'count(...)' used as a boolean presence test; use contains() "
+           "or compare the count explicitly"});
+    });
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Shard-purity rules (src/common/shard_annotations.h vocabulary).
 // ---------------------------------------------------------------------------
@@ -1241,6 +1325,9 @@ const std::vector<RuleInfo>& Rules() {
        "leed::FillBytes"},
       {"metric-name",
        "leed::obs metric names are lowercase dot-scoped identifiers"},
+      {"count-in-bool-context",
+       "map/set membership tests in src/ use contains(), not count(x) in a "
+       "boolean context"},
       {"shard-affine-capture",
        "lambdas given to cross-shard schedulers (AtOnShard, "
        "ShardedRunner::Post) must not capture or dereference "
@@ -1293,6 +1380,7 @@ std::vector<Finding> LintFile(const std::string& path,
   CheckPragmaOnce(path, lines, &raw);
   CheckBannedFunctions(path, lines, &raw);
   CheckMetricNames(path, lines, &raw);
+  CheckCountInBoolContext(path, lines, &raw);
 
   // Per-TU model: declarations from this file plus — for a .cc — its
   // companion header, so fields annotated in x.h are known while x.cc is
