@@ -78,6 +78,15 @@ void BaselineExecutor::Submit(engine::Request request) {
     shared->callback(std::move(st), std::move(value), meta);
   };
 
+  if (shared->type == engine::OpType::kScan) {
+    // Baselines expose no ordered view through this executor; the node layer
+    // gates on SupportsScan(), so this is a defensive reject.
+    engine::ResponseMeta meta;
+    meta.ssd = ssd;
+    shared->scan_callback(Status::InvalidArgument("scan unsupported"), {}, meta);
+    return;
+  }
+
   if (config_.kind == BaselineKind::kFawn) {
     FawnStore& st = *fawn_stores_[store_id];
     switch (shared->type) {
@@ -93,6 +102,8 @@ void BaselineExecutor::Submit(engine::Request request) {
       case engine::OpType::kDel:
         st.Del(shared->key, [complete](Status s) { complete(std::move(s), {}); });
         break;
+      case engine::OpType::kScan:
+        break;  // handled (rejected) above
     }
   } else {
     KvellStore& st = *kvell_stores_[store_id];
@@ -109,6 +120,8 @@ void BaselineExecutor::Submit(engine::Request request) {
       case engine::OpType::kDel:
         st.Del(shared->key, [complete](Status s) { complete(std::move(s), {}); });
         break;
+      case engine::OpType::kScan:
+        break;  // handled (rejected) above
     }
   }
 }

@@ -57,7 +57,34 @@ Result<OpKind> ParseKind(const std::string& s) {
   if (s == "get") return OpKind::kGet;
   if (s == "put") return OpKind::kPut;
   if (s == "del") return OpKind::kDel;
+  if (s == "scan") return OpKind::kScan;
   return Status::InvalidArgument("unknown op kind: " + s);
+}
+
+// Parses the "s=key:digest,key:digest,..." scan-observation token
+// (without the leading "s=").
+Result<std::vector<ScanObservation>> ParseScanObs(const std::string& body) {
+  std::vector<ScanObservation> obs;
+  if (body == "-") return obs;
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    size_t comma = body.find(',', pos);
+    const std::string entry =
+        body.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    size_t colon = entry.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad scan observation: " + entry);
+    }
+    ScanObservation o;
+    auto key = UnescapeKey(entry.substr(0, colon));
+    LEED_RETURN_IF_ERROR(key.status());
+    o.key = std::move(key).value();
+    o.digest = std::strtoull(entry.c_str() + colon + 1, nullptr, 16);
+    obs.push_back(std::move(o));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return obs;
 }
 
 Result<Outcome> ParseOutcome(const std::string& s) {
@@ -78,6 +105,8 @@ std::string_view OpKindName(OpKind k) {
       return "put";
     case OpKind::kDel:
       return "del";
+    case OpKind::kScan:
+      return "scan";
   }
   return "?";
 }
@@ -128,6 +157,16 @@ void HistoryLog::RecordResponse(uint64_t op_id, SimTime now, Outcome outcome,
   }
 }
 
+void HistoryLog::RecordScanResponse(uint64_t op_id, SimTime now,
+                                    Outcome outcome,
+                                    std::vector<ScanObservation> observations) {
+  if (op_id == 0 || op_id > ops_.size()) return;
+  HistoryOp& op = ops_[op_id - 1];
+  op.response = now;
+  op.outcome = outcome;
+  if (outcome == Outcome::kOk) op.scan_obs = std::move(observations);
+}
+
 std::string FormatOp(const HistoryOp& op) {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
@@ -144,11 +183,26 @@ std::string FormatOp(const HistoryOp& op) {
   }
   line += " ";
   line += OutcomeName(op.outcome);
+  if (op.kind == OpKind::kScan) {
+    line += " s=";
+    if (op.scan_obs.empty()) {
+      line += "-";
+    } else {
+      for (size_t i = 0; i < op.scan_obs.size(); ++i) {
+        if (i > 0) line += ",";
+        char dbuf[24];
+        std::snprintf(dbuf, sizeof(dbuf), "%016" PRIx64, op.scan_obs[i].digest);
+        line += EscapeKey(op.scan_obs[i].key);
+        line += ":";
+        line += dbuf;
+      }
+    }
+  }
   return line;
 }
 
 std::string FormatDump(const std::vector<HistoryOp>& ops, uint64_t dropped) {
-  std::string out = "leed-history v1 ops=" + std::to_string(ops.size()) +
+  std::string out = "leed-history v2 ops=" + std::to_string(ops.size()) +
                     " dropped=" + std::to_string(dropped) + "\n";
   for (const HistoryOp& op : ops) {
     out += FormatOp(op);
@@ -173,8 +227,10 @@ Result<std::vector<HistoryOp>> HistoryLog::Parse(const std::string& text) {
     return Status::InvalidArgument("empty history");
   }
   uint64_t n = 0, dropped = 0;
-  if (std::sscanf(line.c_str(), "leed-history v1 ops=%" SCNu64
-                  " dropped=%" SCNu64, &n, &dropped) != 2) {
+  unsigned version = 0;
+  if (std::sscanf(line.c_str(), "leed-history v%u ops=%" SCNu64
+                  " dropped=%" SCNu64, &version, &n, &dropped) != 3 ||
+      version < 1 || version > 2) {
     return Status::InvalidArgument("bad history header: " + line);
   }
   std::vector<HistoryOp> ops;
@@ -216,6 +272,18 @@ Result<std::vector<HistoryOp>> HistoryLog::Parse(const std::string& text) {
     auto outcome = ParseOutcome(outcome_tok);
     LEED_RETURN_IF_ERROR(outcome.status());
     op.outcome = outcome.value();
+    if (op.kind == OpKind::kScan) {
+      if (version < 2) {
+        return Status::InvalidArgument("scan op in a v1 history: " + line);
+      }
+      std::string s_tok;
+      if (!(ls >> s_tok) || s_tok.rfind("s=", 0) != 0) {
+        return Status::InvalidArgument("scan op missing s= token: " + line);
+      }
+      auto obs = ParseScanObs(s_tok.substr(2));
+      LEED_RETURN_IF_ERROR(obs.status());
+      op.scan_obs = std::move(obs).value();
+    }
     if (op.outcome == Outcome::kOpen && op.response != kNoResponse) {
       return Status::InvalidArgument("open op with a response time: " + line);
     }

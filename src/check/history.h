@@ -25,7 +25,7 @@
 
 namespace leed::check {
 
-enum class OpKind : uint8_t { kGet, kPut, kDel };
+enum class OpKind : uint8_t { kGet, kPut, kDel, kScan };
 
 // Terminal outcome of an operation as the client saw it.
 //   kOk / kNotFound  determinate: the response defines the op's semantics.
@@ -41,18 +41,30 @@ std::string_view OutcomeName(Outcome o);
 // Sentinel response time for ops that never completed.
 constexpr SimTime kNoResponse = -1;
 
+// One (key, value digest) pair a SCAN returned. The order within a scan's
+// observation list is the order the server returned (ascending key).
+struct ScanObservation {
+  std::string key;
+  uint64_t digest = 0;
+  bool operator==(const ScanObservation&) const = default;
+};
+
 struct HistoryOp {
   uint64_t id = 0;        // 1-based, assigned in invoke order
   uint32_t client = 0;    // recording client ("process" for linearizability)
   OpKind kind = OpKind::kGet;
-  std::string key;
+  std::string key;        // SCAN: the inclusive start key
   // PUT: digest of the written value. GET with Outcome::kOk: digest of the
   // returned value. Otherwise 0.
   uint64_t value_digest = 0;
+  // SCAN: the requested result cap (the n= field doubles as the limit);
+  // other ops: the value payload size.
   uint32_t value_size = 0;
   SimTime invoke = 0;
   SimTime response = kNoResponse;
   Outcome outcome = Outcome::kOpen;
+  // SCAN with Outcome::kOk: what the scan observed, in returned order.
+  std::vector<ScanObservation> scan_obs;
 };
 
 // 64-bit digest of a value payload (FNV-1a, same as the store's key hash
@@ -79,6 +91,11 @@ class HistoryLog {
   void RecordResponse(uint64_t op_id, SimTime now, Outcome outcome,
                       uint64_t value_digest, uint32_t value_size);
 
+  // Response half of a SCAN: the observed (key, digest) list in returned
+  // order. Ignored for id 0 / unknown ids.
+  void RecordScanResponse(uint64_t op_id, SimTime now, Outcome outcome,
+                          std::vector<ScanObservation> observations);
+
   const std::vector<HistoryOp>& ops() const { return ops_; }
   uint64_t dropped() const { return dropped_; }
   size_t size() const { return ops_.size(); }
@@ -89,16 +106,18 @@ class HistoryLog {
   }
 
   // --- versioned dump format ---
-  // Line 1:  "leed-history v1 ops=<n> dropped=<d>"
+  // Line 1:  "leed-history v2 ops=<n> dropped=<d>"
   // Then one line per op in id order:
   //   "<id> c<client> <kind> <key> d=<digest hex> n=<size> i=<invoke>
   //    r=<response|-> <outcome>"   (one physical line per op)
+  // Scan ops carry the requested limit in n= and append one extra token:
+  //   "s=<key>:<digest hex>,<key>:<digest hex>,..."   ("s=-" when empty)
   // Keys are percent-escaped so the format stays line- and space-delimited.
   std::string Dump() const;
   bool WriteFile(const std::string& path) const;
 
-  // Parses a v1 dump (e.g. a corpus file or a triage dump). Returns a
-  // status error on malformed input.
+  // Parses a v1 or v2 dump (e.g. a corpus file or a triage dump). Returns
+  // a status error on malformed input.
   static Result<std::vector<HistoryOp>> Parse(const std::string& text);
   static Result<std::vector<HistoryOp>> ParseFile(const std::string& path);
 

@@ -1,8 +1,10 @@
 #include "check/linearize.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_set>
 
 namespace leed::check {
@@ -73,6 +75,12 @@ std::vector<Call> LowerCalls(const std::vector<const HistoryOp*>& ops) {
         c.is_write = true;
         c.is_del = true;
         break;
+      case OpKind::kScan:
+        // Scans never enter per-key sub-histories directly: CheckHistory
+        // projects each observation into a virtual per-key read, and the
+        // joint (same-instant) constraint is handled by the scan passes
+        // and the multi-key cluster search.
+        continue;
     }
     calls.push_back(c);
   }
@@ -363,6 +371,527 @@ void ReadSemanticsCheck(const std::string& key, const std::vector<Call>& calls,
 }
 
 // ---------------------------------------------------------------------------
+// Scan passes: phantom-scan / torn-scan / non-monotonic-scan.
+// ---------------------------------------------------------------------------
+
+// Latest instant by which an op has definitely taken effect; indeterminate
+// ops may take effect arbitrarily late.
+SimTime EffectiveResponse(const HistoryOp& op) {
+  const bool determinate =
+      op.outcome == Outcome::kOk || op.outcome == Outcome::kNotFound;
+  return determinate ? op.response : kInfTime;
+}
+
+// Per-key write summary over the original history (scan passes reason
+// about writers directly, independent of the per-key projection).
+struct KeyWrites {
+  std::map<uint64_t, const HistoryOp*> writer;     // PUT digest -> op
+  std::vector<const HistoryOp*> determinate_writes;  // PUT and DEL
+  bool digests_unique = true;
+};
+
+std::map<std::string, KeyWrites> SummarizeWrites(
+    const std::vector<HistoryOp>& history) {
+  std::map<std::string, KeyWrites> out;
+  for (const HistoryOp& op : history) {
+    if (op.kind != OpKind::kPut && op.kind != OpKind::kDel) continue;
+    KeyWrites& kw = out[op.key];
+    if (op.kind == OpKind::kPut) {
+      if (kw.writer.contains(op.value_digest)) kw.digests_unique = false;
+      kw.writer[op.value_digest] = &op;
+    }
+    if (EffectiveResponse(op) != kInfTime) kw.determinate_writes.push_back(&op);
+  }
+  return out;
+}
+
+std::vector<HistoryOp> CollectOpsVec(std::vector<const HistoryOp*> calls) {
+  std::vector<HistoryOp> ops;
+  ops.reserve(calls.size());
+  for (const HistoryOp* c : calls) ops.push_back(*c);
+  std::sort(ops.begin(), ops.end(),
+            [](const HistoryOp& a, const HistoryOp& b) { return a.id < b.id; });
+  ops.erase(std::unique(ops.begin(), ops.end(),
+                        [](const HistoryOp& a, const HistoryOp& b) {
+                          return a.id == b.id;
+                        }),
+            ops.end());
+  return ops;
+}
+
+// The cheap scan pass. Sound under the same precondition as the per-key
+// read-semantics pass (unique PUT digests per involved key; checked per
+// key here). Records keys it convicts into `convicted` so the exact
+// cluster search skips re-deriving them.
+void ScanSemanticsCheck(const std::vector<HistoryOp>& history,
+                        std::vector<Violation>* out,
+                        std::set<std::string>* convicted) {
+  const std::map<std::string, KeyWrites> writes = SummarizeWrites(history);
+
+  std::map<uint32_t, std::vector<const HistoryOp*>> scans_by_client;
+  for (const HistoryOp& op : history) {
+    if (op.kind != OpKind::kScan || op.outcome != Outcome::kOk) continue;
+    scans_by_client[op.client].push_back(&op);
+
+    // Phantom-scan: an observed digest no PUT in the history ever wrote.
+    // Needs no uniqueness precondition (it is an existence check).
+    bool phantom = false;
+    for (const ScanObservation& obs : op.scan_obs) {
+      auto kw = writes.find(obs.key);
+      if (kw == writes.end() || !kw->second.writer.contains(obs.digest)) {
+        Violation v;
+        v.key = obs.key;
+        v.kind = "phantom-scan";
+        v.detail = "scan op " + std::to_string(op.id) + " observed key '" +
+                   obs.key + "' with a value no PUT in the history ever wrote";
+        v.sub_history = CollectOpsVec({&op});
+        out->push_back(std::move(v));
+        convicted->insert(obs.key);
+        phantom = true;
+      }
+    }
+    if (phantom) continue;
+
+    // Torn-scan: intersect, over all observations, the instants at which
+    // the observed value could have been current. Each key's feasible
+    // window is [writer.invoke, U) where U is the earliest completion of a
+    // write that definitely supersedes the writer; the scan itself must
+    // linearize inside [invoke, response]. All-singly-feasible with an
+    // empty joint intersection is the torn signature (a single infeasible
+    // item is a stale read, convicted by the projection pass instead).
+    bool uniq = true;
+    for (const ScanObservation& obs : op.scan_obs) {
+      if (!writes.at(obs.key).digests_unique) uniq = false;
+    }
+    if (!uniq || op.scan_obs.size() < 2) continue;
+    SimTime lo = op.invoke;
+    SimTime hi_excl = op.response + 1;
+    bool singly_feasible = true;
+    std::vector<const HistoryOp*> witnesses{&op};
+    for (const ScanObservation& obs : op.scan_obs) {
+      const KeyWrites& kw = writes.at(obs.key);
+      const HistoryOp* w = kw.writer.at(obs.digest);
+      SimTime u = kInfTime;
+      const HistoryOp* u_witness = nullptr;
+      for (const HistoryOp* w2 : kw.determinate_writes) {
+        if (w2 == w) continue;
+        if (EffectiveResponse(*w) < w2->invoke && w2->response < u) {
+          u = w2->response;
+          u_witness = w2;
+        }
+      }
+      if (std::max(lo, w->invoke) >= std::min(hi_excl, u)) {
+        // This interval alone is empty only if the item is stale outright.
+        if (std::max(op.invoke, w->invoke) >=
+            std::min(static_cast<SimTime>(op.response + 1), u)) {
+          singly_feasible = false;
+          break;
+        }
+      }
+      lo = std::max(lo, w->invoke);
+      hi_excl = std::min(hi_excl, u);
+      witnesses.push_back(w);
+      if (u_witness) witnesses.push_back(u_witness);
+    }
+    if (singly_feasible && lo >= hi_excl) {
+      Violation v;
+      v.key = op.scan_obs.front().key;
+      v.kind = "torn-scan";
+      v.detail = "scan op " + std::to_string(op.id) +
+                 " straddled a commit: every observation is individually "
+                 "feasible but no single instant satisfies all " +
+                 std::to_string(op.scan_obs.size()) + " of them";
+      v.sub_history = CollectOpsVec(std::move(witnesses));
+      out->push_back(std::move(v));
+      for (const ScanObservation& obs : op.scan_obs) convicted->insert(obs.key);
+    }
+  }
+
+  // Non-monotonic-scan: a client's later scan observed a strictly older
+  // value for a key than its earlier scan did. One witness per client.
+  for (auto& [client, scans] : scans_by_client) {
+    std::sort(scans.begin(), scans.end(),
+              [](const HistoryOp* a, const HistoryOp* b) {
+                if (a->invoke != b->invoke) return a->invoke < b->invoke;
+                return a->id < b->id;
+              });
+    bool found = false;
+    for (size_t i = 0; i < scans.size() && !found; ++i) {
+      for (size_t j = i + 1; j < scans.size() && !found; ++j) {
+        const HistoryOp* s1 = scans[i];
+        const HistoryOp* s2 = scans[j];
+        if (s1->response >= s2->invoke) continue;  // must be real-time ordered
+        for (const ScanObservation& o1 : s1->scan_obs) {
+          const ScanObservation* o2 = nullptr;
+          for (const ScanObservation& cand : s2->scan_obs) {
+            if (cand.key == o1.key) {
+              o2 = &cand;
+              break;
+            }
+          }
+          if (!o2 || o2->digest == o1.digest) continue;
+          auto kw_it = writes.find(o1.key);
+          if (kw_it == writes.end() || !kw_it->second.digests_unique) continue;
+          const KeyWrites& kw = kw_it->second;
+          if (!kw.writer.contains(o1.digest) || !kw.writer.contains(o2->digest))
+            continue;
+          const HistoryOp* w1 = kw.writer.at(o1.digest);
+          const HistoryOp* w2 = kw.writer.at(o2->digest);
+          if (EffectiveResponse(*w2) < w1->invoke) {
+            Violation v;
+            v.key = o1.key;
+            v.kind = "non-monotonic-scan";
+            v.detail = "client " + std::to_string(client) + " scan op " +
+                       std::to_string(s1->id) + " observed op " +
+                       std::to_string(w1->id) + "'s value, then scan op " +
+                       std::to_string(s2->id) +
+                       " went back to op " + std::to_string(w2->id) +
+                       "'s strictly older value";
+            v.sub_history = CollectOpsVec({w1, w2, s1, s2});
+            out->push_back(std::move(v));
+            convicted->insert(o1.key);
+            found = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-key Wing–Gong over scan clusters (exact atomic-scan semantics).
+// ---------------------------------------------------------------------------
+
+struct MultiCall {
+  const HistoryOp* src = nullptr;
+  bool is_scan = false;
+  // Point ops:
+  int key = -1;
+  bool is_write = false;
+  bool is_del = false;
+  bool reads_absent = false;
+  uint64_t digest = 0;
+  // Scans: observed (key index, digest) pairs that must hold jointly.
+  std::vector<std::pair<int, uint64_t>> obs;
+  SimTime invoke = 0;
+  SimTime response = kInfTime;
+};
+
+using MultiState = std::vector<RegState>;
+
+bool StepModelMulti(const MultiState& s, const MultiCall& c, MultiState* out) {
+  if (c.is_scan) {
+    for (const auto& [k, d] : c.obs) {
+      if (!s[k].present || s[k].value != d) return false;
+    }
+    *out = s;
+    return true;
+  }
+  if (c.is_write) {
+    *out = s;
+    (*out)[c.key].present = !c.is_del;
+    (*out)[c.key].value = c.is_del ? 0 : c.digest;
+    return true;
+  }
+  if (c.reads_absent) {
+    if (s[c.key].present) return false;
+  } else {
+    if (!s[c.key].present || s[c.key].value != c.digest) return false;
+  }
+  *out = s;
+  return true;
+}
+
+struct MultiCacheKey {
+  std::vector<uint64_t> bits;
+  MultiState state;
+
+  bool operator==(const MultiCacheKey&) const = default;
+};
+
+struct MultiCacheKeyHash {
+  size_t operator()(const MultiCacheKey& k) const {
+    uint64_t h = 0x5ca9;
+    for (const RegState& r : k.state) {
+      h = Mix64(h ^ r.value ^ (r.present ? 0x9e37u : 0));
+    }
+    for (uint64_t w : k.bits) h = Mix64(h ^ w);
+    return static_cast<size_t>(h);
+  }
+};
+
+// Same search as WingGongCheck, over a vector of registers with scans as
+// atomic multi-key reads.
+WgResult WingGongCheckMulti(const std::vector<MultiCall>& calls,
+                            size_t num_keys, uint64_t budget) {
+  WgResult result;
+  const size_t n = calls.size();
+  if (n == 0) return result;
+
+  struct Ev {
+    SimTime time;
+    int type;
+    int call;
+  };
+  std::vector<Ev> evs;
+  evs.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    evs.push_back({calls[i].invoke, 0, static_cast<int>(i)});
+    evs.push_back({calls[i].response, 1, static_cast<int>(i)});
+  }
+  std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.type != b.type) return a.type < b.type;
+    return a.call < b.call;
+  });
+
+  std::vector<std::unique_ptr<EventNode>> storage;
+  storage.reserve(2 * n + 1);
+  auto make = [&storage]() {
+    storage.push_back(std::make_unique<EventNode>());
+    return storage.back().get();
+  };
+  EventNode* root = make();
+  EventNode* tail = root;
+  std::vector<EventNode*> call_node(n), return_node(n);
+  for (const Ev& e : evs) {
+    EventNode* node = make();
+    node->call = e.call;
+    node->prev = tail;
+    tail->next = node;
+    tail = node;
+    if (e.type == 0) {
+      call_node[e.call] = node;
+    } else {
+      return_node[e.call] = node;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) call_node[i]->match = return_node[i];
+
+  auto lift = [](EventNode* call) {
+    call->prev->next = call->next;
+    if (call->next) call->next->prev = call->prev;
+    EventNode* ret = call->match;
+    ret->prev->next = ret->next;
+    if (ret->next) ret->next->prev = ret->prev;
+  };
+  auto unlift = [](EventNode* call) {
+    EventNode* ret = call->match;
+    ret->prev->next = ret;
+    if (ret->next) ret->next->prev = ret;
+    call->prev->next = call;
+    if (call->next) call->next->prev = call;
+  };
+
+  const size_t words = (n + 63) / 64;
+  std::vector<uint64_t> linearized(words, 0);
+  MultiState state(num_keys);
+  // leed-lint: allow(unordered-iter): membership probes only
+  std::unordered_set<MultiCacheKey, MultiCacheKeyHash> cache;
+  struct Frame {
+    EventNode* call;
+    MultiState prev_state;
+  };
+  std::vector<Frame> stack;
+
+  EventNode* entry = root->next;
+  while (root->next != nullptr) {
+    if (result.steps >= budget) {
+      result.verdict = Verdict::kInconclusive;
+      return result;
+    }
+    if (entry == nullptr) {
+      if (stack.empty()) {
+        result.verdict = Verdict::kViolation;
+        result.blocked_call = root->next->call;
+        return result;
+      }
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      state = std::move(f.prev_state);
+      const int c = f.call->call;
+      linearized[c / 64] &= ~(1ull << (c % 64));
+      unlift(f.call);
+      entry = f.call->next;
+      continue;
+    }
+    if (entry->match != nullptr) {
+      ++result.steps;
+      MultiState next_state;
+      bool ok = StepModelMulti(state, calls[entry->call], &next_state);
+      if (ok) {
+        MultiCacheKey key{linearized, next_state};
+        key.bits[entry->call / 64] |= 1ull << (entry->call % 64);
+        if (!cache.insert(std::move(key)).second) ok = false;
+      }
+      if (ok) {
+        stack.push_back({entry, state});
+        state = std::move(next_state);
+        linearized[entry->call / 64] |= 1ull << (entry->call % 64);
+        lift(entry);
+        entry = root->next;
+      } else {
+        entry = entry->next;
+      }
+    } else {
+      if (stack.empty()) {
+        result.verdict = Verdict::kViolation;
+        result.blocked_call = entry->call;
+        return result;
+      }
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      state = std::move(f.prev_state);
+      const int c = f.call->call;
+      linearized[c / 64] &= ~(1ull << (c % 64));
+      unlift(f.call);
+      entry = f.call->next;
+    }
+  }
+  return result;
+}
+
+// Finds scan-connected key clusters and runs the exact multi-key search on
+// each small one. Keys already convicted by the cheap scan pass are
+// skipped (their cluster's violation is recorded already).
+void ScanClusterCheck(const std::vector<HistoryOp>& history,
+                      const CheckOptions& options,
+                      const std::set<std::string>& convicted,
+                      uint64_t* budget_left, CheckReport* report) {
+  // Union-find over the keys each kOk scan observed.
+  std::map<std::string, std::string> parent;
+  std::function<std::string(const std::string&)> find =
+      [&](const std::string& k) -> std::string {
+    auto it = parent.find(k);
+    if (it == parent.end() || it->second == k) return k;
+    std::string root = find(it->second);
+    parent[k] = root;
+    return root;
+  };
+  auto unite = [&](const std::string& a, const std::string& b) {
+    std::string ra = find(a), rb = find(b);
+    if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+  };
+  bool any_scan = false;
+  for (const HistoryOp& op : history) {
+    if (op.kind != OpKind::kScan || op.outcome != Outcome::kOk ||
+        op.scan_obs.empty()) {
+      continue;
+    }
+    any_scan = true;
+    parent.try_emplace(op.scan_obs.front().key, op.scan_obs.front().key);
+    for (size_t i = 1; i < op.scan_obs.size(); ++i) {
+      parent.try_emplace(op.scan_obs[i].key, op.scan_obs[i].key);
+      unite(op.scan_obs.front().key, op.scan_obs[i].key);
+    }
+  }
+  if (!any_scan) return;
+
+  std::map<std::string, std::vector<std::string>> clusters;  // root -> keys
+  for (const auto& [k, p] : parent) {
+    (void)p;
+    clusters[find(k)].push_back(k);
+  }
+
+  for (auto& [root, keys] : clusters) {
+    (void)root;
+    // Single-key clusters are exactly covered by the per-key search over
+    // projected reads (a one-key atomic read IS a read).
+    if (keys.size() < 2) continue;
+    bool skip = false;
+    for (const std::string& k : keys) {
+      if (convicted.contains(k)) skip = true;
+    }
+    if (skip) continue;
+    if (keys.size() > options.scan_cluster_max_keys) {
+      ++report->scan_clusters_capped;
+      continue;
+    }
+    std::map<std::string, int> key_idx;
+    for (const std::string& k : keys) {
+      key_idx.emplace(k, static_cast<int>(key_idx.size()));
+    }
+
+    // Lower every op touching the cluster. Scans observing any cluster key
+    // observe only cluster keys (by union-find construction).
+    std::vector<MultiCall> calls;
+    for (const HistoryOp& op : history) {
+      const bool determinate =
+          op.outcome == Outcome::kOk || op.outcome == Outcome::kNotFound;
+      MultiCall c;
+      c.src = &op;
+      c.invoke = op.invoke;
+      c.response = determinate ? op.response : kInfTime;
+      if (op.kind == OpKind::kScan) {
+        if (op.outcome != Outcome::kOk || op.scan_obs.empty()) continue;
+        if (!key_idx.contains(op.scan_obs.front().key)) continue;
+        c.is_scan = true;
+        for (const ScanObservation& obs : op.scan_obs) {
+          c.obs.emplace_back(key_idx.at(obs.key), obs.digest);
+        }
+      } else {
+        if (!key_idx.contains(op.key)) continue;
+        c.key = key_idx.at(op.key);
+        switch (op.kind) {
+          case OpKind::kGet:
+            if (!determinate) continue;
+            c.reads_absent = (op.outcome == Outcome::kNotFound);
+            c.digest = op.value_digest;
+            break;
+          case OpKind::kPut:
+            c.is_write = true;
+            c.digest = op.value_digest;
+            break;
+          case OpKind::kDel:
+            c.is_write = true;
+            c.is_del = true;
+            break;
+          case OpKind::kScan:
+            continue;  // handled above
+        }
+      }
+      calls.push_back(std::move(c));
+    }
+    if (calls.size() > options.scan_cluster_max_ops) {
+      ++report->scan_clusters_capped;
+      continue;
+    }
+    if (*budget_left == 0) {
+      ++report->inconclusive_keys;
+      continue;
+    }
+    WgResult wg = WingGongCheckMulti(calls, key_idx.size(), *budget_left);
+    report->steps_used += wg.steps;
+    *budget_left -= std::min(*budget_left, wg.steps);
+    switch (wg.verdict) {
+      case Verdict::kLinearizable:
+        break;
+      case Verdict::kInconclusive:
+        ++report->inconclusive_keys;
+        break;
+      case Verdict::kViolation: {
+        Violation v;
+        v.key = keys.front();
+        v.kind = "scan-linearizability";
+        uint64_t blocked_id =
+            wg.blocked_call >= 0 ? calls[wg.blocked_call].src->id : 0;
+        v.detail = "no linearization order exists for the " +
+                   std::to_string(keys.size()) +
+                   "-key scan cluster (search blocked at op " +
+                   std::to_string(blocked_id) + ")";
+        std::vector<const HistoryOp*> ops;
+        ops.reserve(calls.size());
+        for (const MultiCall& c : calls) ops.push_back(c.src);
+        v.sub_history = CollectOpsVec(std::move(ops));
+        report->violations.push_back(std::move(v));
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Violation minimization
 // ---------------------------------------------------------------------------
 
@@ -432,6 +961,10 @@ std::string CheckReport::Summary() const {
   if (inconclusive_keys > 0) {
     s += ", " + std::to_string(inconclusive_keys) + " inconclusive";
   }
+  if (scan_clusters_capped > 0) {
+    s += ", " + std::to_string(scan_clusters_capped) +
+         " scan clusters over the exact-search cap";
+  }
   if (!violations.empty()) {
     s += ", " + std::to_string(violations.size()) + " violations (first: " +
          violations[0].kind + " on key '" + violations[0].key + "' — " +
@@ -444,9 +977,46 @@ CheckReport CheckHistory(const std::vector<HistoryOp>& history,
                          const CheckOptions& options) {
   CheckReport report;
 
+  // Project every successful scan observation into a virtual per-key read
+  // spanning the scan's interval (sound: only the joint same-instant
+  // constraint is dropped; the scan passes and the cluster search restore
+  // it). Reserved up front: by_key holds pointers into this vector.
+  size_t projected = 0;
+  for (const HistoryOp& op : history) {
+    if (op.kind == OpKind::kScan && op.outcome == Outcome::kOk) {
+      projected += op.scan_obs.size();
+    }
+  }
+  std::vector<HistoryOp> synthetic;
+  synthetic.reserve(projected);
+
   // P-compositionality: partition per key (sorted for determinism).
   std::map<std::string, std::vector<const HistoryOp*>> by_key;
-  for (const HistoryOp& op : history) by_key[op.key].push_back(&op);
+  for (const HistoryOp& op : history) {
+    if (op.kind == OpKind::kScan) {
+      if (op.outcome != Outcome::kOk) continue;  // unconstrained, drop
+      for (const ScanObservation& obs : op.scan_obs) {
+        HistoryOp read;
+        read.id = op.id;  // violations traced back to the scan op
+        read.client = op.client;
+        read.kind = OpKind::kGet;
+        read.key = obs.key;
+        read.value_digest = obs.digest;
+        read.invoke = op.invoke;
+        read.response = op.response;
+        read.outcome = Outcome::kOk;
+        synthetic.push_back(std::move(read));
+        by_key[obs.key].push_back(&synthetic.back());
+      }
+      continue;
+    }
+    by_key[op.key].push_back(&op);
+  }
+
+  std::set<std::string> scan_convicted;
+  if (options.read_semantics) {
+    ScanSemanticsCheck(history, &report.violations, &scan_convicted);
+  }
 
   uint64_t budget_left = options.step_budget;
   for (auto& [key, ops] : by_key) {
@@ -497,6 +1067,11 @@ CheckReport CheckHistory(const std::vector<HistoryOp>& history,
         break;
       }
     }
+  }
+
+  // Exact atomic-scan semantics on small scan-connected key clusters.
+  if (options.step_budget > 0) {
+    ScanClusterCheck(history, options, scan_convicted, &budget_left, &report);
   }
 
   if (!report.violations.empty()) {

@@ -23,6 +23,25 @@
 // response interval (they can linearize at any later point — including
 // "effectively never", i.e. after every read). Indeterminate reads impose
 // no constraint and are dropped.
+//
+// SCAN operations are multi-key atomic reads: every observed (key, digest)
+// pair must hold simultaneously at the scan's linearization point. The
+// checker never infers absence from a scan (scans are partition-local and
+// limit-truncated, so an unobserved key proves nothing). Three mechanisms
+// cover them:
+//  1. Projection: each observation becomes a virtual per-key read over the
+//     scan's interval, feeding both per-key passes. Sound (it drops only
+//     the same-instant constraint) and catches stale scan items.
+//  2. Cheap scan passes: phantom-scan (an observed digest no PUT ever
+//     wrote), torn-scan (each observation individually feasible inside the
+//     scan window but their feasible instants have empty intersection —
+//     the scan straddled a commit), and non-monotonic-scan (a client's
+//     later scan observed a strictly older value than its earlier scan).
+//  3. Exact search: keys connected by scans form clusters; small clusters
+//     (scan_cluster_max_keys / scan_cluster_max_ops) get a multi-register
+//     Wing–Gong search treating each scan as one atomic multi-key read.
+//     Oversized clusters fall back to projection only (still sound for
+//     conviction; counted in scan_clusters_capped).
 
 #pragma once
 
@@ -51,12 +70,19 @@ struct CheckOptions {
   uint64_t minimize_budget = 100'000;
   // Per-key op-count ceiling for greedy minimization (quadratic).
   size_t minimize_max_ops = 400;
+  // Ceilings for the exact multi-key scan-cluster search (state space is
+  // exponential in ops and keys). Clusters over either limit fall back to
+  // per-key projection and count into scan_clusters_capped.
+  size_t scan_cluster_max_keys = 6;
+  size_t scan_cluster_max_ops = 48;
 };
 
 struct Violation {
-  std::string key;
+  std::string key;     // scan violations: the scan's start key or first
+                       // convicting observed key
   std::string kind;    // "linearizability", "stale-read", "phantom-read",
-                       // "non-monotonic-read"
+                       // "non-monotonic-read", "phantom-scan", "torn-scan",
+                       // "non-monotonic-scan", "scan-linearizability"
   std::string detail;  // human-readable one-liner
   // Minimized per-key sub-history that still fails (dumpable via
   // FormatDump and re-checkable via HistoryLog::Parse + CheckHistory).
@@ -68,6 +94,9 @@ struct CheckReport {
   uint64_t keys_checked = 0;
   uint64_t steps_used = 0;
   uint32_t inconclusive_keys = 0;
+  // Scan clusters too large for the exact multi-key search (checked by
+  // projection only — a documented completeness gap, not a violation).
+  uint32_t scan_clusters_capped = 0;
   std::vector<Violation> violations;
 
   std::string Summary() const;

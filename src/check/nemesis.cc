@@ -53,6 +53,7 @@ ClusterConfig NemesisCluster(const NemesisOptions& opt, uint64_t seed,
   cfg.node.engine.checkpoint_period = 5 * kMillisecond;
   cfg.node.engine.offload_enabled = opt.offload;
   cfg.node.test_only_serve_dirty_reads = opt.unsafe_dirty_reads;
+  cfg.node.test_only_serve_torn_scans = opt.unsafe_torn_scans;
   cfg.node.test_only_cross_shard_touch = opt.cross_shard_touch;
 
   cfg.client.stores_per_ssd = 2;
@@ -170,6 +171,12 @@ SeedResult RunNemesisSeed(const NemesisOptions& opt, const NemesisPlan& plan,
                             [&issue, c](Status, SimTime) { issue(c); });
     } else if (roll < opt.put_permille + opt.del_permille) {
       cluster.client(c).Del(key, [&issue, c](Status, SimTime) { issue(c); });
+    } else if (roll < opt.put_permille + opt.del_permille + opt.scan_permille) {
+      cluster.client(c).Scan(
+          key, opt.scan_limit,
+          [&issue, c](Status, std::vector<store::ScanItem>, SimTime) {
+            issue(c);
+          });
     } else {
       cluster.client(c).Get(key, [&issue, c](Status, std::vector<uint8_t>,
                                              SimTime) { issue(c); });

@@ -62,6 +62,12 @@ struct NemesisOptions {
   uint32_t value_size = 64;
   uint32_t put_permille = 400;  // of the remaining, a slice is DELs
   uint32_t del_permille = 60;
+  // SCANs per mille of driven ops (start key drawn from the hot keyspace,
+  // up to scan_limit items). The "nk<i>" keys sort lexicographically, so
+  // scans exercise real multi-key runs of the range index while racing the
+  // same dirty windows as the write mix — the torn-scan trap.
+  uint32_t scan_permille = 0;
+  uint32_t scan_limit = 4;
   SimTime run_for = 200 * kMillisecond;  // hard deadline for the drive phase
 
   CheckOptions check;
@@ -76,6 +82,13 @@ struct NemesisOptions {
   // replicas (disables CRRS dirty-bit shipping). The sweep must then
   // report violations — this is the end-to-end self-test of the pipeline.
   bool unsafe_dirty_reads = false;
+
+  // TEST-ONLY mutation switch (NodeConfig::test_only_serve_torn_scans):
+  // serve SCANs from mid-chain replicas without parking on dirty keys, so
+  // a scan can return values the tail already superseded. With a scan mix
+  // armed the sweep must report violations — the end-to-end self-test of
+  // the scan-aware checker.
+  bool unsafe_torn_scans = false;
 
   // TEST-ONLY mutation switch (NodeConfig::test_only_cross_shard_touch):
   // every node dispatches received messages under the wrong shard's

@@ -8,6 +8,19 @@
 
 namespace leed::engine {
 
+namespace {
+
+// Admission cost of a request: point ops by type, scans proportional to the
+// snapshot they will actually fetch.
+uint32_t RequestTokenCost(const TokenConfig& cfg, const Request& req) {
+  if (req.type == OpType::kScan) {
+    return ScanTokenCost(cfg, static_cast<uint32_t>(req.scan_snapshot.size()));
+  }
+  return TokenCost(cfg, req.type);
+}
+
+}  // namespace
+
 IoEngine::IoEngine(sim::Simulator& simulator, sim::CpuModel& cpu,
                    EngineConfig config, uint64_t seed)
     : sim_(simulator),
@@ -251,7 +264,7 @@ void IoEngine::RecoverNextStore(std::shared_ptr<RecoverRun> run) {
   opts.scan_beyond_tail = true;
   store::RecoverSegTbl(
       *stores_[s], store::Checkpoint(*stores_[s]), opts,
-      [this, run](Status st, store::RecoveryStats stats) mutable {
+      [this, s, run](Status st, store::RecoveryStats stats) mutable {
         run->total.buckets_scanned += stats.buckets_scanned;
         run->total.segments_recovered += stats.segments_recovered;
         run->total.stale_copies_skipped += stats.stale_copies_skipped;
@@ -264,7 +277,17 @@ void IoEngine::RecoverNextStore(std::shared_ptr<RecoverRun> run) {
           done(std::move(st), run->total);
           return;
         }
-        RecoverNextStore(std::move(run));
+        // The ordered view rides the same bucket scan: rebuild this store's
+        // range index from the freshly recovered SegTbl before moving on.
+        stores_[s]->RebuildRangeIndex(
+            nullptr, [this, run](Status rst, uint64_t) mutable {
+              if (!rst.ok()) {
+                auto done = std::move(run->done);
+                done(std::move(rst), run->total);
+                return;
+              }
+              RecoverNextStore(std::move(run));
+            });
       });
 }
 
@@ -306,11 +329,11 @@ void IoEngine::Submit(Request req) {
   // another one's active queue" — it is admitted against the DONOR's
   // tokens and queue, which is what actually relieves the overloaded SSD.
   uint32_t ssd = ssd_of_store(req.store_id);
-  if (req.type != OpType::kGet) {
+  if (IsWriteOp(req.type)) {
     if (auto donor = stores_[req.store_id]->swap_target()) ssd = *donor;
   }
   PerSsd& p = *per_ssd_[ssd];
-  const uint32_t cost = TokenCost(p.tokens.config(), req.type);
+  const uint32_t cost = RequestTokenCost(p.tokens.config(), req);
   trace_->Record(sim_.Now(), obs::TraceKind::kOpBegin, config_.node_id, ssd,
                  req.trace_id, static_cast<int64_t>(req.type));
 
@@ -320,7 +343,7 @@ void IoEngine::Submit(Request req) {
     return;
   }
   const uint64_t trace_id = req.trace_id;
-  const bool queued_write = req.type != OpType::kGet;
+  const bool queued_write = IsWriteOp(req.type);
   if (p.waiting.TryPush(std::move(req))) {
     if (queued_write) ++p.waiting_writes;
     m_.waited->Inc();
@@ -337,6 +360,11 @@ void IoEngine::Submit(Request req) {
   trace_->Record(sim_.Now(), obs::TraceKind::kOpEnd, config_.node_id, ssd,
                  req.trace_id, static_cast<int64_t>(StatusCode::kOverloaded));
   // `req` was moved into TryPush only on success; on failure it is intact.
+  if (req.type == OpType::kScan) {
+    auto cb = std::move(req.scan_callback);
+    cb(Status::Overloaded("waiting queue full"), {}, meta);
+    return;
+  }
   auto cb = std::move(req.callback);
   cb(Status::Overloaded("waiting queue full"), {}, meta);
 }
@@ -417,7 +445,7 @@ void IoEngine::Execute(uint32_t ssd, Request req) {
   m_.queue_us->Record(ToMicros(queued));
 
   store::DataStore& ds = *stores_[req.store_id];
-  const uint32_t cost = TokenCost(p.tokens.config(), req.type);
+  const uint32_t cost = RequestTokenCost(p.tokens.config(), req);
 
   auto shared = std::make_shared<Request>(std::move(req));
   switch (shared->type) {
@@ -437,7 +465,38 @@ void IoEngine::Execute(uint32_t ssd, Request req) {
         OnComplete(ssd, cost, started, *shared, std::move(st), {});
       });
       break;
+    case OpType::kScan:
+      ds.ScanFetch(std::move(shared->scan_snapshot),
+                   [this, ssd, cost, started, shared](
+                       Status st, std::vector<store::ScanItem> items) {
+                     OnScanComplete(ssd, cost, started, *shared, std::move(st),
+                                    std::move(items));
+                   });
+      break;
   }
+}
+
+void IoEngine::OnScanComplete(uint32_t ssd, uint32_t cost, SimTime started,
+                              Request& req, Status status,
+                              std::vector<store::ScanItem> items) {
+  m_.completed->Inc();
+  PerSsd& p = *per_ssd_[ssd];
+  p.active = p.active > 0 ? p.active - 1 : 0;
+
+  const SimTime service = sim_.Now() - started;
+  m_.service_us->Record(ToMicros(service));
+  m_.total_us->Record(ToMicros(sim_.Now() - req.enqueued_at));
+  trace_->Record(sim_.Now(), obs::TraceKind::kOpEnd, config_.node_id, ssd,
+                 req.trace_id, static_cast<int64_t>(status.code()));
+  p.tokens.Refund(cost);
+
+  ResponseMeta meta;
+  meta.available_tokens = AvailableTokensFor(ssd, req.tenant);
+  meta.ssd = ssd;
+  meta.server_time_ns = sim_.Now() - req.enqueued_at;
+  req.scan_callback(std::move(status), std::move(items), meta);
+
+  PumpWaiting(ssd);
 }
 
 void IoEngine::OnRawIo(uint32_t ssd, bool ok, SimTime device_ns) {
@@ -523,10 +582,10 @@ uint32_t IoEngine::AvailableTokensFor(uint32_t ssd, uint32_t tenant) const {
 void IoEngine::PumpWaiting(uint32_t ssd) {
   PerSsd& p = *per_ssd_[ssd];
   while (const Request* front = p.waiting.Front()) {
-    const uint32_t cost = TokenCost(p.tokens.config(), front->type);
+    const uint32_t cost = RequestTokenCost(p.tokens.config(), *front);
     if (!p.tokens.TryTake(cost)) break;  // FCFS: no reordering past the head
     auto req = p.waiting.TryPop();
-    if (req->type != OpType::kGet && p.waiting_writes > 0) --p.waiting_writes;
+    if (IsWriteOp(req->type) && p.waiting_writes > 0) --p.waiting_writes;
     trace_->Record(sim_.Now(), obs::TraceKind::kQueueLeave, config_.node_id,
                    ssd, req->trace_id, static_cast<int64_t>(p.waiting.Size()));
     Execute(ssd, std::move(*req));

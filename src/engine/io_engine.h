@@ -148,6 +148,14 @@ class IoEngine : public StorageService {
   uint32_t num_stores() const override {
     return static_cast<uint32_t>(stores_.size());
   }
+  // SCAN: LEED stores carry a DRAM range index, so the engine supports
+  // ordered snapshots (one synchronous event on the owning shard).
+  bool SupportsScan() const override { return true; }
+  std::vector<store::ScanLoc> ScanSnapshot(uint32_t store_id,
+                                           std::string_view start,
+                                           uint32_t limit) override {
+    return stores_[store_id]->ScanKeys(start, limit);
+  }
   uint32_t ssd_of_store(uint32_t store_id) const override {
     return store_id / config_.stores_per_ssd;
   }
@@ -221,6 +229,8 @@ class IoEngine : public StorageService {
   void Execute(uint32_t ssd, Request req);
   void OnComplete(uint32_t ssd, uint32_t cost, SimTime started, Request& req,
                   Status status, std::vector<uint8_t> value);
+  void OnScanComplete(uint32_t ssd, uint32_t cost, SimTime started, Request& req,
+                      Status status, std::vector<store::ScanItem> items);
   // Per-SSD health latch, fed raw device completion statuses through the
   // BlockDevice io observer (KV-level statuses wrap device errors into
   // corruption/internal codes, so OnComplete cannot see them).

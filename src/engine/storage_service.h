@@ -13,10 +13,13 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "store/format.h"
 
 namespace leed::engine {
 
-enum class OpType : uint8_t { kGet, kPut, kDel };
+enum class OpType : uint8_t { kGet, kPut, kDel, kScan };
+
+inline bool IsWriteOp(OpType t) { return t == OpType::kPut || t == OpType::kDel; }
 
 // Piggybacked serving-availability metadata (the flow-control signal the
 // inter-JBOF scheduler consumes, §3.5).
@@ -35,6 +38,15 @@ struct Request {
   // its available tokens among co-located tenants in a weighted fashion).
   uint32_t tenant = 0;
   std::function<void(Status, std::vector<uint8_t>, ResponseMeta)> callback;
+  // SCAN: the requested result cap, the pre-resolved (key, location)
+  // snapshot from the owning store's range index — taken by the node layer
+  // so its CRRS dirty-window check covers exactly the keys the store will
+  // fetch — and the scan-shaped completion. Scans use scan_callback, every
+  // other op uses callback.
+  uint32_t scan_limit = 0;
+  std::vector<store::ScanLoc> scan_snapshot;
+  std::function<void(Status, std::vector<store::ScanItem>, ResponseMeta)>
+      scan_callback;
   SimTime enqueued_at = 0;
   // Correlation id for obs trace events (op_begin/queue_*/op_end); assigned
   // by the executing engine at submission.
@@ -51,6 +63,20 @@ class StorageService {
   // Flow-control token advertisement for the SSD (baselines advertise their
   // remaining queue slots).
   virtual uint32_t AvailableTokens(uint32_t ssd) const = 0;
+
+  // SCAN support: synchronously snapshot up to `limit` ordered
+  // (key, location) pairs with key >= start from `store_id`'s range index.
+  // Backends without an ordered view keep the default (scans unsupported;
+  // the node NACKs them with kInvalidArgument).
+  virtual bool SupportsScan() const { return false; }
+  virtual std::vector<store::ScanLoc> ScanSnapshot(uint32_t store_id,
+                                                   std::string_view start,
+                                                   uint32_t limit) {
+    (void)store_id;
+    (void)start;
+    (void)limit;
+    return {};
+  }
 };
 
 }  // namespace leed::engine

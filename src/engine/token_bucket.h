@@ -34,6 +34,10 @@ struct TokenConfig {
   uint32_t get_cost = 2;
   uint32_t put_cost = 3;
   uint32_t del_cost = 2;
+  // SCAN cost scale: a scan charges one GET-equivalent per this many items
+  // it fetches from the value log (rounded up, min one GET) — cost stays
+  // proportional to the buckets actually touched.
+  uint32_t scan_items_per_token = 4;
 };
 
 inline uint32_t TokenCost(const TokenConfig& cfg, OpType t) {
@@ -44,8 +48,21 @@ inline uint32_t TokenCost(const TokenConfig& cfg, OpType t) {
       return cfg.put_cost;
     case OpType::kDel:
       return cfg.del_cost;
+    case OpType::kScan:
+      // Callers with a known item count use ScanTokenCost; this is the
+      // one-unit floor (an empty-range scan still costs an index walk).
+      return cfg.get_cost;
   }
   return 1;
+}
+
+// Scan admission cost for `items` fetched entries. The client-side flow
+// control charges the same formula against the requested limit (an upper
+// bound), so Algorithm-1 throttling and engine admission agree.
+inline uint32_t ScanTokenCost(const TokenConfig& cfg, uint32_t items) {
+  const uint32_t per = cfg.scan_items_per_token == 0 ? 1 : cfg.scan_items_per_token;
+  const uint32_t units = (items + per - 1) / per;
+  return cfg.get_cost * (units == 0 ? 1 : units);
 }
 
 // Internally synchronized: in the single-threaded simulator the lock is

@@ -71,6 +71,15 @@ void Client::Del(std::string key, OpCallback callback) {
   StartOp(std::move(op));
 }
 
+void Client::Scan(std::string start_key, uint32_t limit, ScanCallback callback) {
+  auto op = std::make_shared<Inflight>();
+  op->op = engine::OpType::kScan;
+  op->key = std::move(start_key);
+  op->scan_limit = limit;
+  op->scan_cb = std::move(callback);
+  StartOp(std::move(op));
+}
+
 void Client::StartOp(std::shared_ptr<Inflight> op) {
   stats_.issued++;
   op->first_issued = sim_.Now();
@@ -78,15 +87,18 @@ void Client::StartOp(std::shared_ptr<Inflight> op) {
   if (config_.history) {
     check::OpKind kind = check::OpKind::kGet;
     uint64_t digest = 0;
+    uint32_t size = static_cast<uint32_t>(op->value.size());
     if (op->op == engine::OpType::kPut) {
       kind = check::OpKind::kPut;
       digest = check::ValueDigest(op->value);
     } else if (op->op == engine::OpType::kDel) {
       kind = check::OpKind::kDel;
+    } else if (op->op == engine::OpType::kScan) {
+      kind = check::OpKind::kScan;
+      size = op->scan_limit;  // the n= field carries the scan's limit
     }
     op->history_op = config_.history->RecordInvoke(
-        config_.history_client_id, kind, op->key, digest,
-        static_cast<uint32_t>(op->value.size()), sim_.Now());
+        config_.history_client_id, kind, op->key, digest, size, sim_.Now());
   }
   Issue(std::move(op));
 }
@@ -98,9 +110,11 @@ bool Client::Route(const std::string& key, engine::OpType optype,
   if (chain.empty()) return false;
 
   int idx = 0;
-  if (optype == engine::OpType::kGet) {
-    // Candidate replicas: not filling for this key. CRRS picks the one
-    // advertising the most tokens; baseline CR uses the tail.
+  if (!engine::IsWriteOp(optype)) {
+    // Reads and scans. Candidate replicas: not filling for this key (for a
+    // scan, the start key — the serving node re-checks its whole fill state
+    // and ships if any range is incomplete). CRRS picks the one advertising
+    // the most tokens; baseline CR uses the tail.
     int best = -1;
     int64_t best_tokens = INT64_MIN;
     for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
@@ -171,6 +185,7 @@ void Client::Issue(std::shared_ptr<Inflight> op) {
   msg.op = op->op;
   msg.key = op->key;
   if (op->op == engine::OpType::kPut) msg.value = op->value;
+  msg.scan_limit = op->scan_limit;
   msg.vnode = vnode;
   msg.hop = hop;
   msg.view_epoch = view_.epoch;
@@ -179,7 +194,13 @@ void Client::Issue(std::shared_ptr<Inflight> op) {
 
   flowctl::OutRequest out;
   out.target = target;
-  out.token_cost = engine::TokenCost(config_.token_costs, op->op);
+  // Scans pre-charge for the limit — the upper bound of what the server may
+  // return — with the same formula the engine settles on actual items, so
+  // Algorithm-1's admission and the server-side charge agree.
+  out.token_cost = op->op == engine::OpType::kScan
+                       ? engine::ScanTokenCost(config_.token_costs,
+                                               op->scan_limit)
+                       : engine::TokenCost(config_.token_costs, op->op);
   out.send = [this, req_id, m = std::move(msg), node_ep]() mutable {
     if (!inflight_.contains(req_id)) return;  // timed out while queued
     stats_.sends++;
@@ -222,7 +243,8 @@ void Client::OnResponse(ResponseMsg resp) {
 
   switch (resp.code) {
     case StatusCode::kOk:
-      Complete(op, Status::Ok(), std::move(resp.value));
+      Complete(op, Status::Ok(), std::move(resp.value),
+               std::move(resp.scan_items));
       return;
     case StatusCode::kNotFound:
       Complete(op, Status::NotFound(), {});
@@ -295,7 +317,8 @@ void Client::RetryLater(std::shared_ptr<Inflight> op) {
 }
 
 void Client::Complete(std::shared_ptr<Inflight> op, Status st,
-                      std::vector<uint8_t> value) {
+                      std::vector<uint8_t> value,
+                      std::vector<store::ScanItem> scan_items) {
   const SimTime latency = sim_.Now() - op->first_issued;
   if (config_.history && op->history_op != 0) {
     check::Outcome outcome = check::Outcome::kError;
@@ -304,14 +327,24 @@ void Client::Complete(std::shared_ptr<Inflight> op, Status st,
     } else if (st.IsNotFound()) {
       outcome = check::Outcome::kNotFound;
     }
-    uint64_t digest = 0;
-    uint32_t size = 0;
-    if (op->op == engine::OpType::kGet && st.ok()) {
-      digest = check::ValueDigest(value);
-      size = static_cast<uint32_t>(value.size());
+    if (op->op == engine::OpType::kScan) {
+      std::vector<check::ScanObservation> obs;
+      obs.reserve(scan_items.size());
+      for (const auto& item : scan_items) {
+        obs.push_back({item.key, check::ValueDigest(item.value)});
+      }
+      config_.history->RecordScanResponse(op->history_op, sim_.Now(), outcome,
+                                          std::move(obs));
+    } else {
+      uint64_t digest = 0;
+      uint32_t size = 0;
+      if (op->op == engine::OpType::kGet && st.ok()) {
+        digest = check::ValueDigest(value);
+        size = static_cast<uint32_t>(value.size());
+      }
+      config_.history->RecordResponse(op->history_op, sim_.Now(), outcome,
+                                      digest, size);
     }
-    config_.history->RecordResponse(op->history_op, sim_.Now(), outcome,
-                                    digest, size);
     op->history_op = 0;
   }
   if (st.ok()) {
@@ -324,6 +357,8 @@ void Client::Complete(std::shared_ptr<Inflight> op, Status st,
   stats_.latency_us.Record(ToMicros(latency));
   if (op->op == engine::OpType::kGet) {
     op->get_cb(std::move(st), std::move(value), latency);
+  } else if (op->op == engine::OpType::kScan) {
+    op->scan_cb(std::move(st), std::move(scan_items), latency);
   } else {
     op->op_cb(std::move(st), latency);
   }

@@ -92,6 +92,8 @@ class LEED_SHARD_AFFINE Client {
   using GetCallback =
       std::function<void(Status, std::vector<uint8_t>, SimTime latency_ns)>;
   using OpCallback = std::function<void(Status, SimTime latency_ns)>;
+  using ScanCallback = std::function<void(Status, std::vector<store::ScanItem>,
+                                          SimTime latency_ns)>;
 
   Client(sim::Simulator& simulator, sim::Network& network,
          sim::EndpointId control_plane,
@@ -113,6 +115,12 @@ class LEED_SHARD_AFFINE Client {
   void Get(std::string key, GetCallback callback);
   void Put(std::string key, std::vector<uint8_t> value, OpCallback callback);
   void Del(std::string key, OpCallback callback);
+  // Ordered range read: up to `limit` items with key >= start_key, served by
+  // the chain owning start_key (scans are partition-local — keys are hash-
+  // partitioned, so the range a single chain can answer is its own shard's
+  // key set). Charged ScanTokenCost(limit) up front: the limit is the upper
+  // bound of what the server may return, so Algorithm-1's admission uses it.
+  void Scan(std::string start_key, uint32_t limit, ScanCallback callback);
 
   // In-flight operations (for closed-loop drivers).
   size_t outstanding() const { return inflight_.size(); }
@@ -127,8 +135,10 @@ class LEED_SHARD_AFFINE Client {
     engine::OpType op;
     std::string key;
     std::vector<uint8_t> value;
+    uint32_t scan_limit = 0;
     GetCallback get_cb;
     OpCallback op_cb;
+    ScanCallback scan_cb;
     SimTime first_issued = 0;
     uint32_t attempts = 0;
     uint32_t tenant = 0;
@@ -147,7 +157,8 @@ class LEED_SHARD_AFFINE Client {
   SimTime BackoffDelay(const Inflight& op);
   void RetryLater(std::shared_ptr<Inflight> op);
   void Complete(std::shared_ptr<Inflight> op, Status st,
-                std::vector<uint8_t> value);
+                std::vector<uint8_t> value,
+                std::vector<store::ScanItem> scan_items = {});
   void RequestViewRefresh();
 
   sim::Simulator& sim_;

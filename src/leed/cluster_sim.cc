@@ -198,6 +198,7 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
     bool measuring = false;
     bool stopped = false;
     uint64_t bucket_count = 0;
+    uint64_t scan_items = 0;
   };
   auto st = std::make_shared<DriveState>();
 
@@ -237,6 +238,17 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
                  if (st->measuring) st->latency.Record(ToMicros(lat));
                  on_done(std::move(s), lat);
                });
+        break;
+      case workload::OpKind::kScan:
+        cl.Scan(std::move(key), op.scan_len,
+                [st, on_done](Status s, std::vector<store::ScanItem> items,
+                              SimTime lat) {
+                  if (st->measuring) {
+                    st->latency.Record(ToMicros(lat));
+                    st->scan_items += items.size();
+                  }
+                  on_done(std::move(s), lat);
+                });
         break;
       case workload::OpKind::kReadModifyWrite: {
         // GET then PUT of the same key; one logical query (paper's YCSB-F).
@@ -307,6 +319,13 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
                [record](Status s, std::vector<uint8_t>, SimTime lat) {
                  record(std::move(s), lat);
                });
+      } else if (op.kind == workload::OpKind::kScan) {
+        cl.Scan(std::move(key), op.scan_len,
+                [st, record](Status s, std::vector<store::ScanItem> items,
+                             SimTime lat) {
+                  if (st->measuring) st->scan_items += items.size();
+                  record(std::move(s), lat);
+                });
       } else {
         cl.Put(std::move(key), generator.MakeValue(op.key_id, 1),
                [record](Status s, SimTime lat) { record(std::move(s), lat); });
@@ -362,6 +381,7 @@ RunResult ClusterSim::Run(workload::YcsbGenerator& generator,
 
   result.completed = st->completed_measured;
   result.errors = st->errors;
+  result.scan_items = st->scan_items;
   result.duration_s = ToSeconds(options.duration);
   result.throughput_qps = result.completed / result.duration_s;
   result.latency_us = st->latency;

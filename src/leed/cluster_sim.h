@@ -47,6 +47,7 @@ struct ClusterConfig {
 struct RunResult {
   uint64_t completed = 0;  // ok + not_found
   uint64_t errors = 0;
+  uint64_t scan_items = 0;  // items returned by completed SCANs (YCSB-E)
   double duration_s = 0;
   double throughput_qps = 0;
   Histogram latency_us;

@@ -23,6 +23,9 @@ Node::Node(sim::Simulator& simulator, sim::Network& network,
   scope_.ResetInstruments();
   m_.client_requests = scope_.GetCounter("client_requests");
   m_.gets_served = scope_.GetCounter("gets_served");
+  m_.scans_served = scope_.GetCounter("scans_served");
+  m_.scan_items_returned = scope_.GetCounter("scan_items_returned");
+  m_.scans_parked = scope_.GetCounter("scans_parked");
   m_.reads_shipped = scope_.GetCounter("reads_shipped");
   m_.writes_headed = scope_.GetCounter("writes_headed");
   m_.chain_writes = scope_.GetCounter("chain_writes");
@@ -80,6 +83,9 @@ NodeStats Node::stats() const {
   NodeStats s;
   s.client_requests = m_.client_requests->value();
   s.gets_served = m_.gets_served->value();
+  s.scans_served = m_.scans_served->value();
+  s.scan_items_returned = m_.scan_items_returned->value();
+  s.scans_parked = m_.scans_parked->value();
   s.reads_shipped = m_.reads_shipped->value();
   s.writes_headed = m_.writes_headed->value();
   s.chain_writes = m_.chain_writes->value();
@@ -270,6 +276,10 @@ void Node::HandleClientRequest(ClientRequestMsg req) {
     HandleGet(std::move(req));
     return;
   }
+  if (req.op == engine::OpType::kScan) {
+    HandleScan(std::move(req));
+    return;
+  }
   // Writes enter at the head of the chain.
   const cluster::VNodeInfo* info = OwnedVNode(req.vnode);
   if (!info) {
@@ -406,6 +416,169 @@ void Node::HandleGet(ClientRequestMsg req) {
   ServeGetLocally(std::move(req), info->local_store);
 }
 
+void Node::HandleScan(ClientRequestMsg req, uint32_t attempt) {
+  const cluster::VNodeInfo* info = OwnedVNode(req.vnode);
+  if (!info) {
+    SendNack(req.reply_to, req.req_id);
+    return;
+  }
+  if (StoreIsFailed(info->local_store)) {
+    m_.store_unavailable_nacks->Inc();
+    RespondToClient(req.reply_to, req.req_id, StatusCode::kUnavailable, {},
+                    info->local_store, false);
+    return;
+  }
+  if (!storage_->SupportsScan()) {
+    // Baseline stacks expose no ordered view; tell the client outright
+    // instead of NACKing it into a refresh-retry loop.
+    RespondToClient(req.reply_to, req.req_id, StatusCode::kInvalidArgument, {},
+                    info->local_store, false);
+    return;
+  }
+  auto chain = ChainForKey(req.key);
+  const int idx = replication::IndexIn(chain, req.vnode);
+  if (idx < 0 || (!req.shipped && idx != req.hop)) {
+    m_.nacks_sent->Inc();
+    SendNack(req.reply_to, req.req_id);
+    return;
+  }
+  const bool is_tail = (idx == static_cast<int>(chain.size()) - 1);
+  // Data completeness: fill progress is tracked per key position but the
+  // scan spans an arbitrary key range, so any fill activity on this vnode
+  // disqualifies the whole replica (it may be missing keys anywhere in the
+  // range). Ship to a chain member with no fill activity at all.
+  auto vnode_filling = [this](VNodeId v) {
+    for (const auto& f : view_.filling) {
+      if (f.vnode == v) return true;
+    }
+    return false;
+  };
+  const bool must_ship = !req.shipped && (vnode_filling(req.vnode) ||
+                                          (!config_.crrs && !is_tail));
+  if (must_ship) {
+    VNodeId target = cluster::kInvalidVNode;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (*it == req.vnode) continue;
+      if (vnode_filling(*it)) continue;
+      target = *it;
+      break;
+    }
+    const cluster::VNodeInfo* tinfo = target != cluster::kInvalidVNode
+                                          ? view_.Find(target)
+                                          : nullptr;
+    if (!tinfo || !node_endpoints_ || !node_endpoints_->contains(tinfo->owner_node)) {
+      RespondToClient(req.reply_to, req.req_id, StatusCode::kUnavailable, {},
+                      info->local_store, false);
+      return;
+    }
+    m_.reads_shipped->Inc();
+    trace_->Record(sim_.Now(), obs::TraceKind::kCrrsShip, node_id_, req.vnode,
+                   req.req_id, static_cast<int64_t>(target));
+    ClientRequestMsg shipped = std::move(req);
+    shipped.vnode = target;
+    shipped.shipped = true;
+    SendMsg(node_endpoints_->at(tinfo->owner_node), std::move(shipped));
+    return;
+  }
+
+  // Atomic snapshot of the range index (synchronous: one sim event, same
+  // shard). The fetch phase below may observe kBusy if compaction moves a
+  // value afterwards, but never a torn mix of index generations.
+  std::vector<store::ScanLoc> snapshot =
+      storage_->ScanSnapshot(info->local_store, req.key, req.scan_limit);
+
+  // Per-key serve guard. The snapshot walks the store's whole ordered
+  // index, and every key in it demands its own safety argument:
+  //  - Chains are ring windows, so this store serves each key through
+  //    whichever of this node's vnodes sits in THAT key's chain — as tail
+  //    for some keys and head/mid for others (`is_tail` above describes
+  //    only the start key's chain).
+  //  - A recovered (or drained) store can still index keys for arcs it no
+  //    longer owns: point ops never route here for them, but a scan would
+  //    happily return the leftover — and possibly stale — values. Drop
+  //    any key whose current chain does not pass through this store.
+  //  - A filling member may not have backfilled a key yet; drop it (a
+  //    scan is limit-truncated anyway, and the checker never infers
+  //    absence from scan results).
+  //  - CRRS torn-scan guard: a non-tail member's store holds only
+  //    *applied* writes, so during a key's dirty window the value here may
+  //    already be superseded by a commit the tail acked. Park until the
+  //    window drains; the tail serves dirty keys safely (it applies before
+  //    acking). This is the guard test_only_serve_torn_scans disables.
+  size_t kept = 0;
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    store::ScanLoc& loc = snapshot[i];
+    auto kchain = ChainForKey(loc.key);
+    VNodeId member = cluster::kInvalidVNode;
+    for (VNodeId v : kchain) {
+      const cluster::VNodeInfo* vi = OwnedVNode(v);
+      if (vi && vi->local_store == info->local_store) {
+        member = v;
+        break;
+      }
+    }
+    if (member == cluster::kInvalidVNode) {
+      continue;  // stale-arc leftover
+    }
+    const uint64_t kpos = cluster::HashRing::KeyPosition(loc.key);
+    if (view_.IsFilling(member, kpos)) {
+      continue;  // not backfilled yet
+    }
+    if (!config_.test_only_serve_torn_scans &&
+        Replica(member).IsDirty(loc.key) && kchain.back() != member) {
+      m_.scans_parked->Inc();
+      parked_reads_[{member, loc.key}].push_back(std::move(req));
+      return;
+    }
+    if (kept != i) snapshot[kept] = std::move(loc);
+    ++kept;
+  }
+  snapshot.resize(kept);
+  ServeScanLocally(std::move(req), info->local_store, std::move(snapshot),
+                   attempt);
+}
+
+void Node::ServeScanLocally(ClientRequestMsg req, uint32_t local_store,
+                            std::vector<store::ScanLoc> snapshot,
+                            uint32_t attempt) {
+  engine::Request sreq;
+  sreq.type = engine::OpType::kScan;
+  sreq.key = req.key;
+  sreq.store_id = local_store;
+  sreq.tenant = req.tenant;
+  sreq.scan_limit = req.scan_limit;
+  sreq.scan_snapshot = std::move(snapshot);
+  auto shared = std::make_shared<ClientRequestMsg>(std::move(req));
+  sreq.scan_callback = [this, shared, local_store, attempt](
+                           Status st, std::vector<store::ScanItem> items,
+                           engine::ResponseMeta meta) {
+    if (st.IsBusy() && attempt + 1 < config_.max_internal_retries) {
+      // Compaction recycled a snapshot location mid-fetch: take a fresh
+      // snapshot and retry. Bounded — a store compacting faster than it can
+      // be scanned eventually surfaces as kOverloaded to the client.
+      m_.internal_retries->Inc();
+      sim_.Schedule(config_.internal_retry_delay, [this, shared, attempt] {
+        if (failed_) return;
+        HandleScan(std::move(*shared), attempt + 1);
+      });
+      return;
+    }
+    m_.scans_served->Inc();
+    m_.scan_items_returned->Add(items.size());
+    if (crashed_ || shared->reply_to == sim::kInvalidEndpoint) return;
+    ResponseMsg resp;
+    resp.req_id = shared->req_id;
+    resp.code = st.IsBusy() ? StatusCode::kOverloaded : st.code();
+    resp.scan_items = std::move(items);
+    resp.node = node_id_;
+    resp.ssd = storage_->ssd_of_store(local_store);
+    resp.tokens = meta.available_tokens;
+    resp.has_tokens = true;
+    SendMsg(shared->reply_to, std::move(resp));
+  };
+  storage_->Submit(std::move(sreq));
+}
+
 void Node::ServeParkedReads(VNodeId vnode, const std::string& key) {
   auto it = parked_reads_.find(std::make_pair(vnode, key));
   if (it == parked_reads_.end()) return;
@@ -418,7 +591,13 @@ void Node::ServeParkedReads(VNodeId vnode, const std::string& key) {
       SendNack(req.reply_to, req.req_id);
       continue;
     }
-    ServeGetLocally(std::move(req), info->local_store);
+    if (req.op == engine::OpType::kScan) {
+      // Re-enter the scan path: it re-snapshots the index and re-checks the
+      // dirty set (another key in range may have gone dirty meanwhile).
+      HandleScan(std::move(req));
+    } else {
+      ServeGetLocally(std::move(req), info->local_store);
+    }
   }
 }
 

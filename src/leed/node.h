@@ -58,6 +58,12 @@ struct NodeConfig {
   // propagating. The nemesis sweep must flag this as non-linearizable —
   // it is the end-to-end proof the checker can see a CRRS dirty-read bug.
   bool test_only_serve_dirty_reads = false;
+  // TEST-ONLY (mutation switch, docs/CHECKING.md): serve SCANs from the
+  // applied store state without parking on dirty keys, so a mid-chain
+  // replica can return values the tail already superseded — a torn scan.
+  // The nemesis sweep must flag this as non-linearizable; it is the
+  // end-to-end proof the scan-aware checker can see the bug.
+  bool test_only_serve_torn_scans = false;
   // TEST-ONLY (mutation switch for the shard-purity harness,
   // docs/PARALLEL_SIM.md): dispatch every received message under the *next*
   // shard's context, as if the delivery had been queued onto the wrong
@@ -95,6 +101,9 @@ struct NodeConfig {
 struct NodeStats {
   uint64_t client_requests = 0;
   uint64_t gets_served = 0;
+  uint64_t scans_served = 0;
+  uint64_t scan_items_returned = 0;
+  uint64_t scans_parked = 0;        // scans that waited out a dirty window
   uint64_t reads_shipped = 0;       // CRRS dirty-key shipping
   uint64_t writes_headed = 0;       // writes entering at this head
   uint64_t chain_writes = 0;        // traversing writes received
@@ -174,6 +183,14 @@ class LEED_SHARD_AFFINE Node {
 
   void HandleClientRequest(ClientRequestMsg req);
   void HandleGet(ClientRequestMsg req);
+  // SCAN entry point: snapshot the range index, gate on CRRS dirty windows
+  // (park until they drain unless this replica is the tail), then fetch the
+  // values through the engine. kBusy completions (compaction moved a value
+  // under the snapshot) re-enter here for a fresh snapshot, bounded by
+  // max_internal_retries.
+  void HandleScan(ClientRequestMsg req, uint32_t attempt = 0);
+  void ServeScanLocally(ClientRequestMsg req, uint32_t local_store,
+                        std::vector<store::ScanLoc> snapshot, uint32_t attempt);
   // Host-bypass offload (Scalio-style): serve an index-hit GET straight
   // from the NIC offload engine, charging no rx/tx or store-core cycles.
   // Returns false (req intact) when the op must take the CPU slow path.
@@ -292,6 +309,9 @@ class LEED_SHARD_AFFINE Node {
   struct Metrics {
     obs::Counter* client_requests;
     obs::Counter* gets_served;
+    obs::Counter* scans_served;
+    obs::Counter* scan_items_returned;
+    obs::Counter* scans_parked;
     obs::Counter* reads_shipped;
     obs::Counter* writes_headed;
     obs::Counter* chain_writes;

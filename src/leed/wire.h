@@ -29,14 +29,15 @@ namespace leed {
 struct ClientRequestMsg {
   uint64_t req_id = 0;
   engine::OpType op = engine::OpType::kGet;
-  std::string key;
+  std::string key;            // SCAN: the inclusive start key
   std::vector<uint8_t> value;
+  uint32_t scan_limit = 0;    // SCAN: max items returned (0 for point ops)
   cluster::VNodeId vnode = cluster::kInvalidVNode;  // addressed chain member
   uint8_t hop = 0;            // expected index of `vnode` in the key's chain
   uint64_t view_epoch = 0;    // client's view at issue time
   uint32_t tenant = 0;        // weighted token allocation identity (§3.5)
   sim::EndpointId reply_to = sim::kInvalidEndpoint;
-  bool shipped = false;       // CRRS: GET shipped replica -> tail
+  bool shipped = false;       // CRRS: GET/SCAN shipped replica -> tail
 };
 
 // CRAQ-style version query (§3.7's rejected design alternative, kept as an
@@ -86,6 +87,9 @@ struct ResponseMsg {
   uint64_t req_id = 0;
   StatusCode code = StatusCode::kOk;
   std::vector<uint8_t> value;
+  // SCAN payload: ordered (key, value) items starting at the request's
+  // start key. Empty for point ops.
+  std::vector<store::ScanItem> scan_items;
   // Flow-control piggyback (§3.5): which SSD served this and its current
   // token allocation.
   uint32_t node = 0;
@@ -107,7 +111,11 @@ inline uint64_t WireSize(const ChainAckMsg& m) {
   return kRpcHeaderBytes + m.key.size();
 }
 inline uint64_t WireSize(const ResponseMsg& m) {
-  return kRpcHeaderBytes + m.value.size();
+  uint64_t bytes = kRpcHeaderBytes + m.value.size();
+  for (const auto& item : m.scan_items) {
+    bytes += item.key.size() + item.value.size();
+  }
+  return bytes;
 }
 inline uint64_t WireSize(const CraqQueryMsg& m) {
   return kRpcHeaderBytes + m.key.size();

@@ -154,8 +154,14 @@ void Compactor::RelocateValues(uint32_t segment_id,
     // Offset reservation and Append happen in the same event — no other
     // append can interleave in a single-threaded event loop.
     KeyItem& it = (*merged)[index];
+    const RangeIndex::ValueLoc old_loc{it.value_ssd, it.value_offset,
+                                       it.value_len};
     it.value_offset = home.value_log->tail();
     it.value_ssd = home_ssd;
+    // Repoint the ordered view before the donor copy can be reclaimed, so
+    // scan snapshots taken after this event see the home location.
+    s_.RepairIndexLocation(it.key, old_loc,
+                           {it.value_ssd, it.value_offset, it.value_len});
     s_.m_.ssd_writes->Inc();
     home.value_log->Append(std::move(encoded),
                            [this, segment_id, merged, index,
@@ -579,7 +585,15 @@ void Compactor::ValueRunGroup(std::shared_ptr<ValueRun> run, size_t group) {
         // Reserve offsets and append in the same event (no interleaving).
         const uint64_t base = home.value_log->tail();
         for (const auto& rw : *rewrites) {
-          (*merged)[rw.item_index].value_offset = base + rw.relative;
+          KeyItem& item = (*merged)[rw.item_index];
+          const RangeIndex::ValueLoc old_loc{item.value_ssd, item.value_offset,
+                                             item.value_len};
+          item.value_offset = base + rw.relative;
+          // Keep the ordered view pointing at live bytes across the rewrite
+          // (no-op if a newer PUT already owns the index entry).
+          s_.RepairIndexLocation(item.key, old_loc,
+                                 {item.value_ssd, item.value_offset,
+                                  item.value_len});
         }
         s_.m_.ssd_writes->Inc();
         home.value_log->Append(std::move(*batch),

@@ -40,6 +40,9 @@ DataStore::DataStore(sim::Simulator& simulator, sim::CpuCore& core, LogSet home,
   m_.puts_failed_full = scope_.GetCounter("puts_failed_full");
   m_.fast_gets = scope_.GetCounter("fast_gets");
   m_.fast_get_aborts = scope_.GetCounter("fast_get_aborts");
+  m_.scans = scope_.GetCounter("scans");
+  m_.scan_items = scope_.GetCounter("scan_items");
+  m_.scan_stale_locs = scope_.GetCounter("scan_stale_locs");
   log_sets_[home.ssd_id] = home;
   compactor_ = std::make_unique<Compactor>(*this);
 }
@@ -68,6 +71,9 @@ StoreStats DataStore::stats() const {
   s.puts_failed_full = m_.puts_failed_full->value();
   s.fast_gets = m_.fast_gets->value();
   s.fast_get_aborts = m_.fast_get_aborts->value();
+  s.scans = m_.scans->value();
+  s.scan_items = m_.scan_items->value();
+  s.scan_stale_locs = m_.scan_stale_locs->value();
   return s;
 }
 
@@ -332,6 +338,9 @@ struct DataStore::PutOp {
   uint64_t new_offset = 0;
   uint8_t new_chain = 0;
   uint8_t target_ssd = 0;
+  // Final value location, for the range-index upsert at commit.
+  uint64_t value_offset = 0;
+  uint32_t value_len = 0;
 };
 
 void DataStore::Put(std::string key, std::vector<uint8_t> value, OpCallback callback) {
@@ -366,7 +375,10 @@ void DataStore::PutReadHead(std::shared_ptr<PutOp> op) {
   const SegmentEntry& e = segtbl_.At(op->segment);
   if (e.Empty()) {
     if (op->is_del) {
-      // Deleting from an empty segment: nothing on flash to mark.
+      // Deleting from an empty segment: nothing on flash to mark (and
+      // nothing in the ordered view — an empty segment owns no index keys;
+      // the erase is defensive).
+      range_index_.Erase(op->key);
       PutFinish(op, Status::Ok());
       return;
     }
@@ -446,6 +458,8 @@ void DataStore::PutApply(std::shared_ptr<PutOp> op, std::optional<Bucket> head) 
       entry.key = op->key;
       entry.value = op->value;
       item.value_offset = target.value_log->tail();
+      op->value_offset = item.value_offset;
+      op->value_len = item.value_len;
       op->pending_appends++;
       m_.ssd_writes->Inc();
       target.value_log->Append(EncodeValueEntry(entry), [this, op](log::AppendResult r) {
@@ -515,6 +529,15 @@ void DataStore::PutCommit(std::shared_ptr<PutOp> op) {
     // later PUTs land home while old values still sit on the donor.
     if (op->target_ssd != home_.ssd_id) {
       swapped_segments_.insert(op->segment);
+    }
+    // Maintain the ordered view at the same commit point that publishes the
+    // SegTbl entry, so a scan snapshot taken in any later event sees
+    // exactly the committed state.
+    if (op->is_del) {
+      range_index_.Erase(op->key);
+    } else {
+      range_index_.Upsert(op->key,
+                          {op->target_ssd, op->value_offset, op->value_len});
     }
     PutFinish(op, Status::Ok());
     MaybeCompact();
@@ -611,6 +634,194 @@ void DataStore::CopyEmitValues(std::shared_ptr<CopyOp> op) {
     ++op->value_index;
     CopyEmitValues(op);
   });
+}
+
+// ---------------------------------------------------------------------------
+// SCAN (ordered view; DESIGN.md §11): snapshot the range index, then fetch
+// value-log entries in bounded steps.
+// ---------------------------------------------------------------------------
+
+std::vector<ScanLoc> DataStore::ScanKeys(std::string_view start,
+                                         uint32_t limit) const {
+  std::vector<ScanLoc> out;
+  if (limit == 0) return out;
+  out.reserve(limit);
+  range_index_.VisitFrom(
+      start, [&out, limit](const std::string& key, const RangeIndex::ValueLoc& loc) {
+        out.push_back({key, loc.ssd, loc.offset, loc.value_len});
+        return out.size() < limit;
+      });
+  return out;
+}
+
+struct DataStore::ScanOp {
+  std::vector<ScanLoc> snapshot;
+  ScanCallback callback;
+  std::vector<ScanItem> items;
+  size_t index = 0;     // next snapshot entry to fetch
+  uint32_t in_step = 0; // entries fetched since the last yield
+};
+
+void DataStore::ScanFetch(std::vector<ScanLoc> snapshot, ScanCallback callback) {
+  auto op = std::make_shared<ScanOp>();
+  op->snapshot = std::move(snapshot);
+  op->callback = std::move(callback);
+  m_.scans->Inc();
+  op->items.reserve(op->snapshot.size());
+  core_.Run(Cycles(config_.costs.op_dispatch), [this, op] { ScanFetchStep(op); });
+}
+
+void DataStore::ScanFetchStep(std::shared_ptr<ScanOp> op) {
+  if (op->index >= op->snapshot.size()) {
+    ScanFinish(op, Status::Ok());
+    return;
+  }
+  if (op->in_step >= config_.scan_step_items) {
+    // Yield so queued point ops interleave with a long scan.
+    op->in_step = 0;
+    sim_.Schedule(0, [this, op] { ScanFetchStep(op); });
+    return;
+  }
+  op->in_step++;
+  const ScanLoc& loc = op->snapshot[op->index];
+  auto it = log_sets_.find(loc.value_ssd);
+  if (it == log_sets_.end()) {
+    // A donor log set this store no longer references: the location is from
+    // a reclaimed swap epoch. Treat like any stale location.
+    m_.scan_stale_locs->Inc();
+    ScanFinish(op, Status::Busy("scan snapshot names unknown SSD"));
+    return;
+  }
+  log::CircularLog* vlog = it->second.value_log;
+  uint32_t entry_bytes =
+      ValueEntryBytes(static_cast<uint32_t>(loc.key.size()), loc.value_len);
+  if (loc.value_offset < vlog->head() ||
+      loc.value_offset + entry_bytes > vlog->tail()) {
+    // Compaction reclaimed (or is about to rewrite) this location since the
+    // snapshot; the caller must re-snapshot.
+    m_.scan_stale_locs->Inc();
+    ScanFinish(op, Status::Busy("scan location reclaimed under snapshot"));
+    return;
+  }
+  m_.ssd_reads->Inc();
+  vlog->Read(loc.value_offset, entry_bytes, [this, op](log::ReadResult r) {
+    const ScanLoc& cur = op->snapshot[op->index];
+    if (!r.status.ok()) {
+      m_.scan_stale_locs->Inc();
+      ScanFinish(op, Status::Busy("scan read rejected by log"));
+      return;
+    }
+    auto entry = DecodeValueEntry(r.data, 0);
+    if (!entry.ok() || entry.value().key != cur.key) {
+      // Offset recycled between validation and completion.
+      m_.scan_stale_locs->Inc();
+      ScanFinish(op, Status::Busy("scan location recycled under read"));
+      return;
+    }
+    op->items.push_back({cur.key, std::move(entry).value().value});
+    op->index++;
+    uint64_t parse = config_.costs.bucket_parse_per_item;
+    core_.Run(Cycles(parse), [this, op] { ScanFetchStep(op); });
+  });
+}
+
+void DataStore::ScanFinish(std::shared_ptr<ScanOp> op, Status status) {
+  core_.Run(Cycles(config_.costs.op_complete),
+            [this, op, st = std::move(status)]() mutable {
+              if (st.ok()) m_.scan_items->Add(op->items.size());
+              op->callback(std::move(st), std::move(op->items));
+            });
+}
+
+void DataStore::Scan(std::string start_key, uint32_t limit, ScanCallback callback) {
+  auto attempt = std::make_shared<uint32_t>(0);
+  auto run = std::make_shared<std::function<void()>>();
+  *run = [this, start_key = std::move(start_key), limit,
+          callback = std::move(callback), attempt,
+          wrun = std::weak_ptr<std::function<void()>>(run)] {
+    auto self = wrun.lock();
+    if (!self) return;
+    uint64_t snap_cycles = config_.costs.scan_index_per_item *
+                           std::max<uint64_t>(1, std::min<uint64_t>(limit, range_index_.size()));
+    core_.Run(Cycles(snap_cycles), [this, start_key, limit, callback, attempt, self] {
+      std::vector<ScanLoc> snapshot = ScanKeys(start_key, limit);
+      ScanFetch(std::move(snapshot),
+                [this, callback, attempt, self](Status st, std::vector<ScanItem> items) {
+                  if (st.IsBusy() && ++*attempt <= config_.max_get_retries) {
+                    (*self)();
+                    return;
+                  }
+                  callback(std::move(st), std::move(items));
+                });
+    });
+  };
+  (*run)();
+}
+
+// ---------------------------------------------------------------------------
+// Range-index rebuild (recovery's bucket scan; torture-test oracle).
+// ---------------------------------------------------------------------------
+
+struct DataStore::RebuildOp {
+  RangeIndex* out = nullptr;
+  std::function<void(Status, uint64_t)> done;
+  uint32_t next_segment = 0;
+  uint64_t live_items = 0;
+};
+
+void DataStore::RebuildRangeIndex(RangeIndex* out,
+                                  std::function<void(Status, uint64_t)> done) {
+  auto op = std::make_shared<RebuildOp>();
+  op->out = out ? out : &range_index_;
+  op->done = std::move(done);
+  op->out->Clear();
+  RebuildNextSegment(op);
+}
+
+void DataStore::RebuildNextSegment(std::shared_ptr<RebuildOp> op) {
+  while (op->next_segment < config_.num_segments &&
+         segtbl_.At(op->next_segment).Empty()) {
+    ++op->next_segment;
+  }
+  if (op->next_segment >= config_.num_segments) {
+    op->done(Status::Ok(), op->live_items);
+    return;
+  }
+  uint32_t seg = op->next_segment;
+  if (!segtbl_.TryLock(seg)) {
+    segtbl_.WaitOnLock(seg, [this, op] { RebuildNextSegment(op); });
+    return;
+  }
+  const SegmentEntry& e = segtbl_.At(seg);
+  ReadChain(seg, e.ssd, e.offset, e.chain_len,
+            [this, op, seg](Status st, std::vector<Bucket> chain) {
+              UnlockAndPump(seg);
+              if (!st.ok()) {
+                op->done(st, op->live_items);
+                return;
+              }
+              // Newest-wins merge across the chain; tombstones shadow and
+              // are dropped — same discipline as compaction's MergeChain.
+              std::set<std::string> seen;
+              for (const auto& b : chain) {
+                for (const auto& it : b.items) {
+                  if (!seen.insert(it.key).second) continue;
+                  if (it.IsTombstone()) continue;
+                  op->out->Upsert(it.key,
+                                  {it.value_ssd, it.value_offset, it.value_len});
+                  ++op->live_items;
+                }
+              }
+              ++op->next_segment;
+              // Yield between segments, like CopyOut.
+              sim_.Schedule(0, [this, op] { RebuildNextSegment(op); });
+            });
+}
+
+void DataStore::RepairIndexLocation(const std::string& key,
+                                    const RangeIndex::ValueLoc& from,
+                                    const RangeIndex::ValueLoc& to) {
+  range_index_.Repair(key, from, to);
 }
 
 // ---------------------------------------------------------------------------

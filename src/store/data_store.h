@@ -37,6 +37,7 @@
 #include "sim/cpu_model.h"
 #include "sim/simulator.h"
 #include "store/format.h"
+#include "store/range_index.h"
 #include "store/segment_table.h"
 
 namespace leed::store {
@@ -51,6 +52,7 @@ struct CpuCosts {
   uint64_t op_complete = 600;          // response formatting / bookkeeping
   uint64_t compaction_per_item = 70;   // dedupe/copy per live item
   uint64_t compaction_setup = 2500;    // per sub-compaction dispatch
+  uint64_t scan_index_per_item = 40;   // range-index walk, per snapshotted key
 };
 
 // Caps how many compaction runs may execute concurrently across the stores
@@ -81,6 +83,10 @@ struct StoreConfig {
   uint32_t subcompactions = 8;         // S-way intra-parallelism (Fig 13a)
   bool prefetch = true;                // prefetch run N+1's chunk during N
   uint32_t max_get_retries = 4;
+  // SCAN fetch pacing: value reads issued per scheduled step before the op
+  // yields to the event loop, so long scans interleave with point ops
+  // deterministically (same discipline as CopyOut's per-segment yield).
+  uint32_t scan_step_items = 8;
   CpuCosts costs;
   double ipc_factor = 1.0;
   // Fixed latency of the host-bypass offload engine (Scalio-style): the NIC
@@ -124,6 +130,9 @@ struct StoreStats {
   uint64_t puts_failed_full = 0;
   uint64_t fast_gets = 0;        // GETs entered via the offload fast path
   uint64_t fast_get_aborts = 0;  // fast-path GETs demoted to the CPU path
+  uint64_t scans = 0;            // scan fetch phases executed
+  uint64_t scan_items = 0;       // value entries returned by scans
+  uint64_t scan_stale_locs = 0;  // snapshot entries invalidated under fetch
 };
 
 class Compactor;  // store/compaction.h
@@ -166,6 +175,38 @@ class DataStore {
   // segment, as the paper requires.
   void CopyOut(std::function<bool(std::string_view)> want, ItemSink sink,
                OpCallback done);
+
+  // --- SCAN (ordered view; DESIGN.md §11) ---
+  using ScanCallback = std::function<void(Status, std::vector<ScanItem>)>;
+
+  // Phase 1: atomically snapshot up to `limit` ordered (key, location)
+  // pairs with key >= start from the DRAM range index. Synchronous — one
+  // simulator event — so the snapshot is consistent with respect to every
+  // committed PUT/DEL. The caller charges scan_index_per_item cycles.
+  std::vector<ScanLoc> ScanKeys(std::string_view start, uint32_t limit) const;
+
+  // Phase 2: fetch the snapshot's value-log entries, scan_step_items per
+  // event-loop step. Locations are immutable log offsets; if compaction
+  // reclaimed one under the snapshot (read rejected, or the entry's key
+  // echo mismatches), the fetch fails with kBusy and the caller re-snapshots
+  // — see Scan() for the bounded-retry composition.
+  void ScanFetch(std::vector<ScanLoc> snapshot, ScanCallback callback);
+
+  // Snapshot + fetch with bounded internal restarts (max_get_retries), the
+  // convenience composition used by tests and baselines. The cluster path
+  // splits the phases so the node layer can run its CRRS dirty-window check
+  // between them (node.cc HandleScan).
+  void Scan(std::string start_key, uint32_t limit, ScanCallback callback);
+
+  const RangeIndex& range_index() const { return range_index_; }
+
+  // Rebuild a range index from a full bucket scan of the current SegTbl:
+  // per segment, read the chain, merge newest-first, drop tombstones, and
+  // insert every live item's location. Writes into `out`, or into this
+  // store's own index (after clearing it) when out == nullptr — the
+  // recovery path. Locks one segment at a time, like CopyOut.
+  void RebuildRangeIndex(RangeIndex* out,
+                         std::function<void(Status, uint64_t live_items)> done);
 
   // Kick compaction if a log crossed its threshold and none is running.
   // Returns true if a run started.
@@ -238,6 +279,20 @@ class DataStore {
                      uint8_t remaining);
   void CopyEmitValues(std::shared_ptr<CopyOp> op);
 
+  // --- SCAN machine ---
+  struct ScanOp;
+  void ScanFetchStep(std::shared_ptr<ScanOp> op);
+  void ScanFinish(std::shared_ptr<ScanOp> op, Status status);
+
+  // --- range-index rebuild (recovery / torture oracle) ---
+  struct RebuildOp;
+  void RebuildNextSegment(std::shared_ptr<RebuildOp> op);
+
+  // Compaction/swap repair: repoint the index entry for `key` from the old
+  // value location to the new one (no-op if a newer PUT superseded it).
+  void RepairIndexLocation(const std::string& key, const RangeIndex::ValueLoc& from,
+                           const RangeIndex::ValueLoc& to);
+
   // Chain read helper shared with the compactor: reads the full chain of a
   // segment into buckets (newest-first). Must be called with seg locked or
   // from a context that tolerates relocation retries.
@@ -277,8 +332,12 @@ class DataStore {
     obs::Counter* puts_failed_full;
     obs::Counter* fast_gets;
     obs::Counter* fast_get_aborts;
+    obs::Counter* scans;
+    obs::Counter* scan_items;
+    obs::Counter* scan_stale_locs;
   } m_{};
   std::set<uint32_t> swapped_segments_;
+  RangeIndex range_index_;
   std::unique_ptr<Compactor> compactor_;
 };
 

@@ -134,4 +134,24 @@ inline uint32_t ValueEntryBytes(uint32_t key_len, uint32_t value_len) {
   return ValueEntry::kHeaderBytes + key_len + value_len;
 }
 
+// ---- SCAN support ---------------------------------------------------------
+
+// One entry of a scan snapshot: a (key, value-log location) pair captured
+// atomically from the DRAM range index. The locations are immutable log
+// offsets; the fetch phase reads them asynchronously and detects (via the
+// log's pointer validation plus the key echo in the value entry) when
+// compaction reclaimed a location under the snapshot.
+struct ScanLoc {
+  std::string key;
+  uint8_t value_ssd = 0;
+  uint64_t value_offset = 0;
+  uint32_t value_len = 0;
+};
+
+// One fetched scan result item.
+struct ScanItem {
+  std::string key;
+  std::vector<uint8_t> value;
+};
+
 }  // namespace leed::store

@@ -16,6 +16,8 @@ const char* MixName(Mix mix) {
       return "YCSB-C";
     case Mix::kD:
       return "YCSB-D";
+    case Mix::kE:
+      return "YCSB-E";
     case Mix::kF:
       return "YCSB-F";
     case Mix::kWriteOnly:
@@ -62,6 +64,8 @@ double YcsbGenerator::ReadFraction() const {
       return 1.00;
     case Mix::kD:
       return 0.95;
+    case Mix::kE:
+      return 0.95;  // scans are (multi-item) reads
     case Mix::kF:
       return 0.50;  // the other half are read-modify-writes
     case Mix::kWriteOnly:
@@ -109,6 +113,20 @@ Op YcsbGenerator::Next() {
         op.kind = OpKind::kRead;
         uint64_t back = zipf_.Next(rng_) % population_;
         op.key_id = population_ - 1 - back;
+      }
+      break;
+    }
+    case Mix::kE: {
+      // 95% short range scans / 5% inserts of fresh keys (the standard
+      // ordered-keys mix). Scan lengths are uniform in [1, max_scan_len].
+      if (rng_.NextBool(0.05)) {
+        op.kind = OpKind::kInsert;
+        op.key_id = population_++;
+      } else {
+        op.kind = OpKind::kScan;
+        op.key_id = SampleKey();
+        uint32_t cap = config_.max_scan_len > 0 ? config_.max_scan_len : 1;
+        op.scan_len = 1 + static_cast<uint32_t>(rng_.NextBounded(cap));
       }
       break;
     }

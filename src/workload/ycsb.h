@@ -5,6 +5,11 @@
 // F (50/50 read/read-modify-write), and WR (write-only — the paper's
 // "YCSB-WR"). Key choice is uniform or scrambled-Zipf with configurable
 // skewness theta (YCSB default 0.99); values are 256 B or 1 KB.
+//
+// We additionally support YCSB-E (95% short SCANs / 5% inserts, the
+// standard ordered-keys mix) to exercise the range index
+// (docs/BENCHMARKS.md); scan lengths are uniform in [1, max_scan_len]
+// per the YCSB default.
 
 #pragma once
 
@@ -17,15 +22,16 @@
 
 namespace leed::workload {
 
-enum class Mix : uint8_t { kA, kB, kC, kD, kF, kWriteOnly };
+enum class Mix : uint8_t { kA, kB, kC, kD, kE, kF, kWriteOnly };
 
 const char* MixName(Mix mix);
 
-enum class OpKind : uint8_t { kRead, kUpdate, kInsert, kReadModifyWrite };
+enum class OpKind : uint8_t { kRead, kUpdate, kInsert, kReadModifyWrite, kScan };
 
 struct Op {
   OpKind kind = OpKind::kRead;
   uint64_t key_id = 0;
+  uint32_t scan_len = 0;  // kScan only: item limit, in [1, max_scan_len]
 };
 
 struct YcsbConfig {
@@ -34,6 +40,7 @@ struct YcsbConfig {
   uint32_t value_size = 1024;
   double zipf_theta = 0.99;  // <= 0 means uniform
   uint64_t seed = 42;
+  uint32_t max_scan_len = 100;  // YCSB-E scan-length ceiling (YCSB default)
   // >= 0: override the mix with a plain read/update split at this
   // read-permille (ablation sweeps over arbitrary read ratios).
   int32_t custom_read_permille = -1;

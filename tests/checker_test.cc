@@ -71,6 +71,45 @@ TEST(CheckCorpus, ViolatingHistoriesAreConvicted) {
   }
 }
 
+TEST(CheckCorpus, ScanViolationsAreConvicted) {
+  // Golden scan histories, one per cheap-pass conviction kind. The scan
+  // passes run before the per-key projection, so the first violation
+  // carries the scan-specific kind.
+  struct Case {
+    const char* file;
+    const char* kind;
+    const char* key;
+  };
+  for (const auto& c :
+       {Case{"phantom_scan.history", "phantom-scan", "k1"},
+        Case{"torn_scan.history", "torn-scan", "ka"},
+        Case{"nonmonotonic_scan.history", "non-monotonic-scan", "k0"}}) {
+    auto ops = LoadCorpus(c.file);
+    ASSERT_FALSE(ops.empty()) << c.file;
+    CheckReport report = CheckHistory(ops);
+    EXPECT_EQ(report.verdict, Verdict::kViolation)
+        << c.file << ": " << report.Summary();
+    ASSERT_FALSE(report.violations.empty()) << c.file;
+    EXPECT_EQ(report.violations[0].kind, c.kind) << c.file;
+    EXPECT_EQ(report.violations[0].key, c.key) << c.file;
+  }
+}
+
+TEST(CheckCorpus, ScanViolationsConvictedInSearchOnlyModeToo) {
+  // With the cheap passes disabled the scan-cluster Wing–Gong search must
+  // reach the same verdicts: the targeted scan passes are an optimization,
+  // not the oracle.
+  CheckOptions opt;
+  opt.read_semantics = false;
+  for (const char* name : {"phantom_scan.history", "torn_scan.history",
+                           "nonmonotonic_scan.history"}) {
+    auto ops = LoadCorpus(name);
+    CheckReport report = CheckHistory(ops, opt);
+    EXPECT_EQ(report.verdict, Verdict::kViolation)
+        << name << ": " << report.Summary();
+  }
+}
+
 TEST(CheckCorpus, ViolationsConvictedWithoutCheapPassesToo) {
   // The Wing–Gong search alone (read-semantics pass disabled) must reach
   // the same verdicts: the cheap passes are an optimization, not the oracle.
@@ -338,6 +377,29 @@ TEST(NemesisSweep, MutationSmokeDirtyReadsAreFlagged) {
     }
   }
   EXPECT_TRUE(saw_violation_detail);
+}
+
+TEST(NemesisSweep, ScanMixCleanPipelineIsLinearizable) {
+  NemesisOptions opt = SmokeOptions();
+  opt.scan_permille = 400;
+  opt.scan_limit = 6;
+  NemesisResult result = RunNemesisSweep(opt);
+  EXPECT_TRUE(result.AllLinearizable())
+      << result.violating_seeds << " violating, " << result.inconclusive_seeds
+      << " inconclusive";
+}
+
+TEST(NemesisSweep, MutationSmokeTornScansAreFlagged) {
+  // Same self-test pattern as dirty reads, for the scan path: serving
+  // scans without dirty-window parking (test_only_serve_torn_scans) must
+  // surface as a linearizability violation under a scan-heavy mix.
+  NemesisOptions opt = SmokeOptions();
+  opt.seeds = 4;
+  opt.scan_permille = 400;
+  opt.scan_limit = 6;
+  opt.unsafe_torn_scans = true;
+  NemesisResult result = RunNemesisSweep(opt);
+  EXPECT_GT(result.violating_seeds, 0u);
 }
 
 TEST(NemesisSweep, HistoryDumpIsDeterministic) {

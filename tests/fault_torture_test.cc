@@ -314,6 +314,112 @@ TEST(FaultTortureTest, AckedImpliesDurableAtEveryCrashPoint) {
 }
 
 // ---------------------------------------------------------------------------
+// Range-index recovery identity: crash mid-scan / mid-compaction-with-scans
+// ---------------------------------------------------------------------------
+
+// Engine-level SCAN with the snapshot pre-resolved the way the node layer
+// does it. Returns true if the scan's callback fired before the simulator
+// drained (a crash mid-scan may leave it hung — both are acceptable).
+bool SubmitScan(sim::Simulator& sim, IoEngine& eng, uint32_t limit) {
+  Request req;
+  req.type = OpType::kScan;
+  req.store_id = 0;
+  req.scan_limit = limit;
+  req.scan_snapshot = eng.ScanSnapshot(0, "", limit);
+  bool done = false;
+  req.scan_callback = [&](Status, std::vector<store::ScanItem>,
+                          engine::ResponseMeta) { done = true; };
+  eng.Submit(std::move(req));
+  testutil::RunUntilFlag(sim, done);
+  return done;
+}
+
+// The recovery contract under test: the range index the recovered store
+// rebuilt during its bucket scan must agree byte-for-byte with an index
+// rebuilt fresh from the recovered SegTbl — no entry stranded by the
+// crashed scan or the crashed compaction survives into either.
+void ExpectRecoveredIndexMatchesFreshRebuild(sim::Simulator& sim,
+                                             IoEngine& recovered) {
+  store::DataStore& ds = recovered.data_store(0);
+  const std::string recovered_dump = ds.range_index().DebugDump();
+  store::RangeIndex fresh;
+  bool done = false;
+  Status st = Status::Internal("pending");
+  ds.RebuildRangeIndex(&fresh,
+                       [&](Status s, uint64_t) {
+                         st = std::move(s);
+                         done = true;
+                       });
+  testutil::RunUntilFlag(sim, done);
+  ASSERT_TRUE(done) << "rebuild never completed";
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(recovered_dump, fresh.DebugDump())
+      << "recovered range index diverges from a fresh bucket scan";
+  EXPECT_TRUE(ds.range_index().CheckInvariants());
+}
+
+TEST(FaultTortureTest, RangeIndexSurvivesCrashMidScan) {
+  const std::vector<ScriptOp> script = BuildScript();
+
+  // Dry run: IO count at script end and after one full scan; crash points
+  // in (script_ios, scan_ios] land inside the scan's value fetches.
+  TortureRig dry(0);
+  CrashRun base = dry.Execute(script);
+  ASSERT_FALSE(base.hung);
+  const uint64_t script_ios = base.total_ios;
+  ASSERT_TRUE(SubmitScan(dry.sim_, *dry.engine_, 16));
+  const uint64_t scan_ios = dry.faults_->ios_seen();
+  ASSERT_GT(scan_ios, script_ios) << "scan issued no device IOs";
+
+  for (uint64_t k = script_ios + 1; k <= scan_ios; ++k) {
+    SCOPED_TRACE("crash_at_io=" + std::to_string(k));
+    TortureRig rig(k);
+    CrashRun run = rig.Execute(script);
+    ASSERT_FALSE(run.hung);
+    (void)SubmitScan(rig.sim_, *rig.engine_, 16);  // dies mid-flight
+    IoEngine& recovered = rig.Recover();
+    VerifyInvariants(rig, recovered, script, run);
+    ExpectRecoveredIndexMatchesFreshRebuild(rig.sim_, recovered);
+  }
+}
+
+TEST(FaultTortureTest, RangeIndexSurvivesCrashMidCompactionWithScans) {
+  const std::vector<ScriptOp> script = BuildScript();
+
+  // Dry run: measure the IO span of a forced value compaction interleaved
+  // with a scan, so every crash point lands inside that interleaving.
+  TortureRig dry(0);
+  CrashRun base = dry.Execute(script);
+  ASSERT_FALSE(base.hung);
+  const uint64_t script_ios = base.total_ios;
+  bool compacted = false;
+  dry.engine_->data_store(0).ForceValueCompaction(
+      [&](Status) { compacted = true; });
+  ASSERT_TRUE(SubmitScan(dry.sim_, *dry.engine_, 16));
+  testutil::RunUntilFlag(dry.sim_, compacted);
+  ASSERT_TRUE(compacted);
+  const uint64_t busy_ios = dry.faults_->ios_seen();
+  ASSERT_GT(busy_ios, script_ios) << "compaction+scan issued no device IOs";
+
+  const uint64_t span = busy_ios - script_ios;
+  const uint64_t step = std::max<uint64_t>(1, span / 24);
+  for (uint64_t k = script_ios + 1; k <= busy_ios; k += step) {
+    SCOPED_TRACE("crash_at_io=" + std::to_string(k));
+    TortureRig rig(k);
+    CrashRun run = rig.Execute(script);
+    ASSERT_FALSE(run.hung);
+    bool comp_done = false;
+    rig.engine_->data_store(0).ForceValueCompaction(
+        [&](Status) { comp_done = true; });
+    (void)SubmitScan(rig.sim_, *rig.engine_, 16);  // interleaves, then dies
+    testutil::RunUntilFlag(rig.sim_, comp_done);
+    IoEngine& recovered = rig.Recover();
+    VerifyInvariants(rig, recovered, script, run);
+    ExpectRecoveredIndexMatchesFreshRebuild(rig.sim_, recovered);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Cluster-level: partition + tail crash, zero acked-write loss
 // ---------------------------------------------------------------------------
 

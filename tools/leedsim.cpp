@@ -30,7 +30,11 @@ namespace {
 struct Options {
   std::string system = "leed";  // leed | kvell | fawn
   uint32_t nodes = 3;
-  std::string mix = "B";        // A B C D F WR
+  std::string mix = "B";        // A B C D E F WR
+  // Named workload preset. "ycsbe" = the ordered-keys mix (docs/BENCHMARKS.md):
+  // bench mode drives Mix::kE (95% SCAN / 5% insert); check mode arms a
+  // scan-heavy nemesis mix so SCANs race writes across dirty windows.
+  std::string workload;
   uint32_t value_size = 1024;
   uint64_t keys = 20'000;
   double skew = 0.99;
@@ -62,6 +66,7 @@ struct Options {
   std::string check_dump_dir;   // violating histories land here
   std::string history_out;      // full history of the first seed
   bool unsafe_dirty_reads = false;  // TEST-ONLY mutation switch
+  bool unsafe_torn_scans = false;   // TEST-ONLY scan mutation switch
   bool cross_shard_touch = false;   // TEST-ONLY shard-purity mutation switch
   // Check-mode data-loss gate: by default any seed whose recovery abandoned
   // copies (cluster.copies_abandoned > 0) fails the run with exit 1.
@@ -73,7 +78,9 @@ void Usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --system=leed|kvell|fawn   storage stack + platform (default leed)\n"
       "  --nodes=N                  back-end node count (default 3)\n"
-      "  --mix=A|B|C|D|F|WR         YCSB mix (default B)\n"
+      "  --mix=A|B|C|D|E|F|WR       YCSB mix (default B)\n"
+      "  --workload=ycsbe           ordered-keys preset: bench mode = --mix=E;\n"
+      "                             check mode = scan-heavy nemesis mix\n"
       "  --value-size=BYTES         object size (default 1024)\n"
       "  --keys=N                   preloaded key count (default 20000)\n"
       "  --skew=THETA               Zipf skewness, 0=uniform (default 0.99)\n"
@@ -113,6 +120,9 @@ void Usage(const char* argv0) {
       "  --history-out=FILE         write the first seed's full history dump\n"
       "  --unsafe-dirty-reads       TEST-ONLY: disable CRRS dirty-bit handling;\n"
       "                             the sweep is expected to FAIL (self-test)\n"
+      "  --unsafe-torn-scans        TEST-ONLY: serve SCANs without parking on\n"
+      "                             dirty keys; with a scan workload the sweep\n"
+      "                             is expected to FAIL (self-test)\n"
       "  --cross-shard-touch        TEST-ONLY: dispatch node messages on the\n"
       "                             wrong shard; with --sharded, a debug\n"
       "                             build's shard checker must abort\n",
@@ -133,6 +143,7 @@ workload::Mix ParseMix(const std::string& m) {
   if (m == "B") return workload::Mix::kB;
   if (m == "C") return workload::Mix::kC;
   if (m == "D") return workload::Mix::kD;
+  if (m == "E") return workload::Mix::kE;
   if (m == "F") return workload::Mix::kF;
   if (m == "WR") return workload::Mix::kWriteOnly;
   std::fprintf(stderr, "unknown mix '%s'\n", m.c_str());
@@ -166,7 +177,21 @@ int RunCheckMode(const Options& opt) {
     no.plan = plans[p];
     no.offload = opt.offload;
     no.unsafe_dirty_reads = opt.unsafe_dirty_reads;
+    no.unsafe_torn_scans = opt.unsafe_torn_scans;
     no.cross_shard_touch = opt.cross_shard_touch;
+    if (opt.workload == "ycsbe") {
+      // Scan-heavy consistency mix: SCANs dominate reads but writes stay
+      // frequent enough that scans keep racing dirty windows (a pure
+      // 95/5 E mix would barely exercise the parking path).
+      no.put_permille = 250;
+      no.del_permille = 50;
+      no.scan_permille = 500;
+      no.scan_limit = 8;
+    } else if (!opt.workload.empty()) {
+      std::fprintf(stderr, "unknown --workload '%s' (try ycsbe)\n",
+                   opt.workload.c_str());
+      return 2;
+    }
     no.dump_dir = opt.check_dump_dir;
     no.verbose = opt.verbose;
     no.jobs = opt.jobs;
@@ -176,9 +201,12 @@ int RunCheckMode(const Options& opt) {
       no.history_out = plans.size() == 1 ? opt.history_out
                                          : opt.history_out + "." + plans[p];
     }
-    std::printf("checking plan '%s': %u seeds from %llu%s\n", plans[p].c_str(),
-                no.seeds, static_cast<unsigned long long>(no.base_seed),
-                opt.unsafe_dirty_reads ? "  [UNSAFE DIRTY READS]" : "");
+    std::printf("checking plan '%s': %u seeds from %llu%s%s%s\n",
+                plans[p].c_str(), no.seeds,
+                static_cast<unsigned long long>(no.base_seed),
+                no.scan_permille > 0 ? "  [scan mix]" : "",
+                opt.unsafe_dirty_reads ? "  [UNSAFE DIRTY READS]" : "",
+                opt.unsafe_torn_scans ? "  [UNSAFE TORN SCANS]" : "");
     check::NemesisResult res = check::RunNemesisSweep(no);
     uint32_t clean = 0;
     for (const check::SeedResult& sr : res.seeds) {
@@ -293,6 +321,7 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "--system", &v)) opt.system = v;
     else if (ParseFlag(argv[i], "--nodes", &v)) opt.nodes = std::stoul(v);
     else if (ParseFlag(argv[i], "--mix", &v)) opt.mix = v;
+    else if (ParseFlag(argv[i], "--workload", &v)) opt.workload = v;
     else if (ParseFlag(argv[i], "--value-size", &v)) opt.value_size = std::stoul(v);
     else if (ParseFlag(argv[i], "--keys", &v)) opt.keys = std::stoull(v);
     else if (ParseFlag(argv[i], "--skew", &v)) opt.skew = std::stod(v);
@@ -318,6 +347,8 @@ int main(int argc, char** argv) {
       opt.allow_data_loss = true;
     else if (std::strcmp(argv[i], "--unsafe-dirty-reads") == 0)
       opt.unsafe_dirty_reads = true;
+    else if (std::strcmp(argv[i], "--unsafe-torn-scans") == 0)
+      opt.unsafe_torn_scans = true;
     else if (std::strcmp(argv[i], "--cross-shard-touch") == 0)
       opt.cross_shard_touch = true;
     else if (std::strcmp(argv[i], "--verbose") == 0) opt.verbose = true;
@@ -333,6 +364,14 @@ int main(int argc, char** argv) {
 
   if (!opt.check.empty()) return RunCheckMode(opt);
 
+  if (opt.workload == "ycsbe") {
+    opt.mix = "E";
+  } else if (!opt.workload.empty()) {
+    std::fprintf(stderr, "unknown --workload '%s' (try ycsbe)\n",
+                 opt.workload.c_str());
+    return 2;
+  }
+
   ClusterConfig cfg;
   if (opt.system == "leed") {
     cfg = bench::LeedCluster(opt.nodes, opt.value_size, opt.seed);
@@ -346,6 +385,12 @@ int main(int argc, char** argv) {
     cfg = bench::FawnCluster(opt.nodes, opt.value_size, opt.seed);
   } else {
     std::fprintf(stderr, "unknown system '%s'\n", opt.system.c_str());
+    return 2;
+  }
+  if (opt.mix == "E" && opt.system != "leed") {
+    std::fprintf(stderr,
+                 "--mix=E needs --system=leed (the baselines have no range "
+                 "index; their executors reject SCAN)\n");
     return 2;
   }
   cfg.client.flow_control = opt.flow_control;
@@ -409,6 +454,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.completed),
               static_cast<unsigned long long>(r.errors));
   std::printf("  latency         : %s\n", r.latency_us.Summary("us").c_str());
+  if (r.scan_items > 0) {
+    std::printf("  scan items      : %llu (%.1f per completed op)\n",
+                static_cast<unsigned long long>(r.scan_items),
+                r.completed > 0 ? static_cast<double>(r.scan_items) /
+                                      static_cast<double>(r.completed)
+                                : 0.0);
+  }
   std::printf("  cluster power   : %.1f W\n", r.cluster_power_w);
   std::printf("  energy efficiency: %.2f KQueries/Joule\n",
               r.queries_per_joule / 1e3);
